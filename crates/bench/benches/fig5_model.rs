@@ -1,0 +1,45 @@
+//! Fig. 5 bench: the Markov-chain warp-interleaving model and its
+//! Monte-Carlo driver. Regenerates the Fig. 5 data shape (IPC variation
+//! per (p, M, N) configuration) while measuring its cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tbpoint_model::{ipc_variation, IpcVariationConfig, WarpChain};
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/markov_steady_state");
+    for n in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("dense_chain", n), &n, |b, &n| {
+            let chain = WarpChain::uniform(n, 0.1, 200.0);
+            b.iter(|| black_box(chain.ipc()));
+        });
+        g.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, &n| {
+            let chain = WarpChain::uniform(n, 0.1, 200.0);
+            b.iter(|| black_box(chain.ipc_fast()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/monte_carlo");
+    g.sample_size(10);
+    for samples in [1_000usize, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("p0.1M200N8", samples),
+            &samples,
+            |b, &samples| {
+                let mut cfg = IpcVariationConfig::paper(0.1, 200.0, 8);
+                cfg.samples = samples;
+                b.iter(|| {
+                    let r = ipc_variation(&cfg, 1);
+                    assert!(r.fraction_within_band > 0.9);
+                    black_box(r)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_monte_carlo);
+criterion_main!(benches);

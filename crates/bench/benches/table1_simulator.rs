@@ -1,0 +1,66 @@
+//! Table I bench: raw simulator and emulator throughput — the numbers
+//! behind the slowdown table. Reported as time per launch; divide issued
+//! warp instructions by the measured time for insts/sec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbpoint_emu::profile_launch;
+use tbpoint_ir::{AddrPattern, Kernel, KernelBuilder, LaunchId, LaunchSpec, Op, TripCount};
+use tbpoint_sim::{simulate_launch, GpuConfig, NullSampling};
+
+fn compute_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("alu", 3, 128);
+    let body = b.block(&[Op::IAlu, Op::FAlu, Op::IAlu, Op::FAlu]);
+    let n = b.loop_(TripCount::Const(25), body);
+    b.finish(n)
+}
+
+fn memory_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("mem", 3, 128);
+    let body = b.block(&[
+        Op::IAlu,
+        Op::LdGlobal(AddrPattern::Random {
+            region: 0,
+            bytes: 16 << 20,
+        }),
+    ]);
+    let n = b.loop_(TripCount::Const(25), body);
+    b.finish(n)
+}
+
+fn spec(n: u32) -> LaunchSpec {
+    LaunchSpec {
+        launch_id: LaunchId(0),
+        num_blocks: n,
+        work_scale: 1.0,
+    }
+}
+
+fn bench_timing_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/timing_simulator");
+    g.sample_size(10);
+    let gpu = GpuConfig::fermi();
+    for (label, kernel) in [("compute", compute_kernel()), ("memory", memory_kernel())] {
+        let sp = spec(256);
+        // 256 TBs * 4 warps * 100 warp insts.
+        let insts = 256u64 * 4 * 100;
+        g.throughput(Throughput::Elements(insts));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kernel, |b, kernel| {
+            b.iter(|| black_box(simulate_launch(kernel, &sp, &gpu, &mut NullSampling, None)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/functional_profiler");
+    let kernel = memory_kernel();
+    let sp = spec(256);
+    g.throughput(Throughput::Elements(256 * 4 * 100));
+    g.bench_function("profile_launch", |b| {
+        b.iter(|| black_box(profile_launch(&kernel, &sp, 1)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_timing_simulator, bench_functional_emulator);
+criterion_main!(benches);

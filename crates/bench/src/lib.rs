@@ -1,0 +1,21 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Benches run at [`Scale::Tiny`](tbpoint_workloads::Scale::Tiny) so a
+//! full `cargo bench` pass stays in the minutes range; the *recorded*
+//! paper-scale numbers live in EXPERIMENTS.md and are regenerated with
+//! the `tbpoint` CLI at `--scale full`.
+
+use tbpoint_cluster::Point;
+use tbpoint_stats::SplitMix64;
+
+/// Deterministic synthetic feature vectors: `n` points in `dim`
+/// dimensions drawn from `k` well-separated Gaussian blobs.
+pub fn blob_points(n: usize, dim: usize, k: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let blob = (i % k) as f64 * 10.0;
+            (0..dim).map(|_| blob + rng.next_gaussian() * 0.3).collect()
+        })
+        .collect()
+}

@@ -1,0 +1,196 @@
+//! Quality ablations of the design choices DESIGN.md calls out: how do
+//! sampling error and sample size move when a TBPoint design parameter
+//! departs from the paper's value? (The runtime cost of the same
+//! variants is measured by the Criterion benches in `crates/bench`.)
+
+use crate::output;
+use serde::{Deserialize, Serialize};
+use tbpoint_core::inter::{InterAlgo, InterConfig};
+use tbpoint_core::intra::IntraConfig;
+use tbpoint_core::predict::{run_tbpoint, TbpointConfig};
+use tbpoint_emu::profile_run;
+use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint_stats::geometric_mean;
+use tbpoint_workloads::{all_benchmarks, Scale};
+
+/// One ablation point: a parameter setting and its aggregate outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Which knob.
+    pub knob: String,
+    /// The value tried (paper value marked with `*`).
+    pub value: String,
+    /// Geomean sampling error across the roster, percent.
+    pub geomean_error_pct: f64,
+    /// Geomean sample size across the roster.
+    pub geomean_sample: f64,
+}
+
+/// The full ablation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// All points, knob-major.
+    pub points: Vec<AblationPoint>,
+}
+
+impl AblationResult {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.knob.clone(),
+                    p.value.clone(),
+                    output::fmt(p.geomean_error_pct, 2),
+                    output::pct(p.geomean_sample),
+                ]
+            })
+            .collect();
+        output::render_table(&["knob", "value", "geomean err%", "geomean sample"], &rows)
+    }
+}
+
+/// Evaluate one TBPoint configuration across the whole roster and return
+/// (geomean error, geomean sample size).
+fn score(cfg: &TbpointConfig, scale: Scale) -> (f64, f64) {
+    let gpu = GpuConfig::fermi();
+    let mut errors = vec![];
+    let mut samples = vec![];
+    for bench in all_benchmarks(scale) {
+        let profile = profile_run(&bench.run, 1);
+        let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
+        let tbp = run_tbpoint(&bench.run, &profile, cfg, &gpu);
+        errors.push(tbp.error_vs(full.overall_ipc()).max(0.05));
+        samples.push(tbp.sample_size());
+    }
+    (geometric_mean(&errors), geometric_mean(&samples))
+}
+
+/// Run every ablation sweep at the given scale.
+pub fn ablate(scale: Scale) -> AblationResult {
+    let mut points = vec![];
+    let base = TbpointConfig::default();
+
+    // 1. Inter-launch distance threshold sigma (paper: 0.1).
+    for sigma in [0.02, 0.05, 0.1, 0.2, 0.5] {
+        let cfg = TbpointConfig {
+            inter: InterConfig {
+                sigma,
+                ..base.inter
+            },
+            ..base
+        };
+        let (e, s) = score(&cfg, scale);
+        points.push(AblationPoint {
+            knob: "inter_sigma".into(),
+            value: format!("{sigma}{}", if sigma == 0.1 { "*" } else { "" }),
+            geomean_error_pct: e,
+            geomean_sample: s,
+        });
+    }
+
+    // 2. Intra-launch (epoch) distance threshold sigma (paper: 0.2).
+    for sigma in [0.05, 0.1, 0.2, 0.4] {
+        let cfg = TbpointConfig {
+            intra: IntraConfig {
+                sigma,
+                ..base.intra
+            },
+            ..base
+        };
+        let (e, s) = score(&cfg, scale);
+        points.push(AblationPoint {
+            knob: "intra_sigma".into(),
+            value: format!("{sigma}{}", if sigma == 0.2 { "*" } else { "" }),
+            geomean_error_pct: e,
+            geomean_sample: s,
+        });
+    }
+
+    // 3. Variation-factor threshold (paper: 0.3).
+    for vf in [0.1, 0.3, 0.6, 1.0] {
+        let cfg = TbpointConfig {
+            intra: IntraConfig {
+                variation_factor: vf,
+                ..base.intra
+            },
+            ..base
+        };
+        let (e, s) = score(&cfg, scale);
+        points.push(AblationPoint {
+            knob: "variation_factor".into(),
+            value: format!("{vf}{}", if vf == 0.3 { "*" } else { "" }),
+            geomean_error_pct: e,
+            geomean_sample: s,
+        });
+    }
+
+    // 4. Warming threshold (paper: 10%).
+    for wt in [0.02, 0.05, 0.10, 0.20, 0.30] {
+        let cfg = TbpointConfig {
+            warming_threshold: wt,
+            ..base
+        };
+        let (e, s) = score(&cfg, scale);
+        points.push(AblationPoint {
+            knob: "warming_threshold".into(),
+            value: format!("{wt}{}", if wt == 0.10 { "*" } else { "" }),
+            geomean_error_pct: e,
+            geomean_sample: s,
+        });
+    }
+
+    // 5. Footnote-2 extension: BBV appended to the inter features.
+    for (label, use_bbv) in [("off*", false), ("on", true)] {
+        let cfg = TbpointConfig {
+            inter: InterConfig {
+                use_bbv,
+                ..base.inter
+            },
+            ..base
+        };
+        let (e, s) = score(&cfg, scale);
+        points.push(AblationPoint {
+            knob: "inter_bbv_extension".into(),
+            value: label.into(),
+            geomean_error_pct: e,
+            geomean_sample: s,
+        });
+    }
+
+    // 6. Inter clustering algorithm (paper: hierarchical).
+    for (label, algo) in [
+        ("hierarchical*", InterAlgo::Hierarchical),
+        ("kmeans_bic", InterAlgo::KMeansBic { max_k: 15 }),
+    ] {
+        let cfg = TbpointConfig {
+            inter: InterConfig { algo, ..base.inter },
+            ..base
+        };
+        let (e, s) = score(&cfg, scale);
+        points.push(AblationPoint {
+            knob: "inter_algo".into(),
+            value: label.into(),
+            geomean_error_pct: e,
+            geomean_sample: s,
+        });
+    }
+
+    AblationResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_runs_on_tiny_scale() {
+        // A smoke test of the scoring helper on one config (full sweeps
+        // are exercised via the CLI / recorded in EXPERIMENTS.md).
+        let (e, s) = score(&TbpointConfig::default(), Scale::Tiny);
+        assert!(e.is_finite() && e > 0.0);
+        assert!(s > 0.0 && s <= 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per paper artefact; each returns serialisable result
+//! structs and can render itself as text.
+
+pub mod ablate;
+pub mod eval;
+pub mod fig5;
+pub mod fig8;
+pub mod inspect;
+pub mod sensitivity;
+pub mod table1;
+pub mod table6;
+
+pub use ablate::{ablate, AblationResult};
+pub use eval::{eval, render_fig10, render_fig11, render_fig9, BenchEval, EvalConfig, EvalResult};
+pub use fig5::fig5;
+pub use fig8::fig8;
+pub use inspect::inspect;
+pub use sensitivity::{render_fig12, render_fig13, sensitivity, SensitivityResult};
+pub use table1::table1;
+pub use table6::table6;
+
+use tbpoint_workloads::Scale;
+
+/// Parse a `--scale` value.
+pub fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "full" => Some(Scale::Full),
+        "dev" => Some(Scale::Dev),
+        "tiny" => Some(Scale::Tiny),
+        _ => None,
+    }
+}
+
+/// Default worker-thread count: the machine's parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

@@ -1,0 +1,179 @@
+//! Figs. 12 and 13: TBPoint accuracy and sample size across hardware
+//! configurations with different system occupancy (W warps per SM,
+//! S SMs).
+//!
+//! The point of the experiment (Section V-C) is that only the cheap
+//! steps rerun per configuration: the profile is collected **once** and
+//! reused, the epoch table is rebuilt (epoch size = system occupancy),
+//! and the simulation is re-run. This module is written exactly that
+//! way — `profile_run` is called once per benchmark outside the
+//! configuration loop.
+
+use crate::output;
+use serde::{Deserialize, Serialize};
+use tbpoint_core::predict::{run_tbpoint, TbpointConfig};
+use tbpoint_emu::profile_run;
+use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint_workloads::{all_benchmarks, Scale};
+
+/// The evaluated (W, S) grid. The paper's exact pairs are unreadable in
+/// the scan; these six bracket the Fermi baseline (48, 14) from both
+/// sides, which is what Figs. 12-13 require.
+pub const CONFIGS: [(u32, u32); 6] = [(16, 8), (32, 8), (16, 14), (32, 14), (48, 14), (48, 28)];
+
+/// One (benchmark, config) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Warps per SM.
+    pub warps: u32,
+    /// Number of SMs.
+    pub sms: u32,
+    /// TBPoint sampling error (percent) under this configuration.
+    pub error_pct: f64,
+    /// TBPoint total sample size under this configuration.
+    pub sample_size: f64,
+    /// System occupancy (epoch size) under this configuration.
+    pub occupancy: u32,
+}
+
+/// Figs. 12-13 data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityResult {
+    /// All cells, benchmark-major.
+    pub cells: Vec<SensitivityCell>,
+}
+
+impl SensitivityResult {
+    fn benches(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.cells.iter().map(|c| c.bench.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    fn render(&self, value: impl Fn(&SensitivityCell) -> String) -> String {
+        let mut headers: Vec<String> = vec!["bench".into()];
+        headers.extend(CONFIGS.iter().map(|(w, s)| format!("W{w}S{s}")));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .benches()
+            .into_iter()
+            .map(|name| {
+                let mut row = vec![name.clone()];
+                for (w, s) in CONFIGS {
+                    let cell = self
+                        .cells
+                        .iter()
+                        .find(|c| c.bench == name && c.warps == w && c.sms == s)
+                        .expect("grid is complete");
+                    row.push(value(cell));
+                }
+                row
+            })
+            .collect();
+        output::render_table(&headers_ref, &rows)
+    }
+
+    /// Fig. 12 table: errors.
+    pub fn render_errors(&self) -> String {
+        let mut s = self.render(|c| output::fmt(c.error_pct, 2));
+        let max = self.cells.iter().map(|c| c.error_pct).fold(0.0, f64::max);
+        s.push_str(&format!(
+            "max error across configs: {max:.2}% (paper: <14%)\n"
+        ));
+        s
+    }
+
+    /// Fig. 13 table: sample sizes.
+    pub fn render_samples(&self) -> String {
+        self.render(|c| output::pct(c.sample_size))
+    }
+}
+
+/// Run the sensitivity sweep.
+pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
+    let benches = all_benchmarks(scale);
+    let mut cells = Vec::new();
+    // One profile per benchmark (one-time profiling), reused across every
+    // hardware configuration.
+    let profiles: Vec<_> = benches
+        .iter()
+        .map(|b| profile_run(&b.run, threads))
+        .collect();
+
+    let mut tasks: Vec<(usize, u32, u32)> = Vec::new();
+    for bi in 0..benches.len() {
+        for (w, s) in CONFIGS {
+            tasks.push((bi, w, s));
+        }
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out = std::sync::Mutex::new(&mut cells);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(tasks.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let (bi, w, s) = tasks[i];
+                let gpu = GpuConfig::with_occupancy(w, s);
+                let full = simulate_run(&benches[bi].run, &gpu, &mut NullSampling, None);
+                let tbp = run_tbpoint(
+                    &benches[bi].run,
+                    &profiles[bi],
+                    &TbpointConfig::default(),
+                    &gpu,
+                );
+                out.lock().unwrap().push(SensitivityCell {
+                    bench: benches[bi].name.to_string(),
+                    warps: w,
+                    sms: s,
+                    error_pct: tbp.error_vs(full.overall_ipc()),
+                    sample_size: tbp.sample_size(),
+                    occupancy: gpu.system_occupancy(&benches[bi].run.kernel),
+                });
+            });
+        }
+    })
+    .expect("sensitivity worker panicked");
+
+    // Deterministic order: benchmark-major, then config order.
+    cells.sort_by_key(|c| {
+        let bi = benches.iter().position(|b| b.name == c.bench).unwrap();
+        let ci = CONFIGS
+            .iter()
+            .position(|&(w, s)| (w, s) == (c.warps, c.sms))
+            .unwrap();
+        (bi, ci)
+    });
+    SensitivityResult { cells }
+}
+
+/// Render Fig. 12 (errors).
+pub fn render_fig12(r: &SensitivityResult) -> String {
+    r.render_errors()
+}
+
+/// Render Fig. 13 (sample sizes).
+pub fn render_fig13(r: &SensitivityResult) -> String {
+    r.render_samples()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_scales_with_config() {
+        // Cheap structural check: occupancy must grow with W and S.
+        let gpu_small = GpuConfig::with_occupancy(16, 8);
+        let gpu_big = GpuConfig::with_occupancy(48, 28);
+        let bench = &all_benchmarks(Scale::Tiny)[6]; // cfd
+        assert!(
+            gpu_big.system_occupancy(&bench.run.kernel)
+                > gpu_small.system_occupancy(&bench.run.kernel)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Table I: GPU execution time vs. simulation time.
+//!
+//! The paper's Table I motivates sampling with an ~80,000x slowdown of
+//! cycle-level simulation over an NVIDIA Quadro 6000. We reproduce the
+//! *measurement methodology* on our own substrate: simulated GPU time is
+//! `cycles / 1.15 GHz`; simulation time is the wall clock of the full
+//! simulation; slowdown is their ratio. (Absolute slowdowns differ from
+//! the paper's — our simulator models less detail than Macsim and the
+//! workloads are scaled — but the table's message, "even second-long
+//! kernels take unacceptably long to simulate", reproduces.)
+
+use crate::output;
+use serde::{Deserialize, Serialize};
+use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint_workloads::{all_benchmarks, Scale};
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Simulated GPU time in milliseconds (cycles / clock).
+    pub gpu_ms: f64,
+    /// Wall-clock simulation time in seconds.
+    pub sim_seconds: f64,
+    /// Slowdown factor.
+    pub slowdown: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Simulated warp instructions.
+    pub warp_insts: u64,
+}
+
+/// Table I data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Rows in Table VI order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bench.clone(),
+                    output::fmt(r.gpu_ms, 3),
+                    output::fmt(r.sim_seconds, 2),
+                    format!("{:.0}x", r.slowdown),
+                    r.cycles.to_string(),
+                    r.warp_insts.to_string(),
+                ]
+            })
+            .collect();
+        output::render_table(
+            &[
+                "bench",
+                "GPU (msec)",
+                "sim (sec)",
+                "slowdown",
+                "cycles",
+                "warp insts",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Measure the slowdown table at the given scale.
+pub fn table1(scale: Scale) -> Table1Result {
+    let gpu = GpuConfig::fermi();
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|bench| {
+            let t0 = std::time::Instant::now();
+            let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
+            let sim_seconds = t0.elapsed().as_secs_f64();
+            let cycles = full.total_cycles();
+            let gpu_ms = gpu.cycles_to_ms(cycles);
+            Table1Row {
+                bench: bench.name.to_string(),
+                gpu_ms,
+                sim_seconds,
+                slowdown: sim_seconds * 1e3 / gpu_ms,
+                cycles,
+                warp_insts: full.total_issued_warp_insts(),
+            }
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_is_substantial_even_at_tiny_scale() {
+        let r = table1(Scale::Tiny);
+        assert_eq!(r.rows.len(), 12);
+        for row in &r.rows {
+            assert!(row.cycles > 0);
+            assert!(row.gpu_ms > 0.0);
+            assert!(
+                row.slowdown > 1.0,
+                "{}: slowdown {:.1}",
+                row.bench,
+                row.slowdown
+            );
+        }
+        assert!(r.render().contains("slowdown"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Table VI: the evaluated benchmark roster.
+
+use crate::output;
+use tbpoint_workloads::{all_benchmarks, Scale};
+
+/// Render Table VI at the given scale (at `Scale::Full` the launch and
+/// thread-block counts match the paper exactly).
+pub fn table6(scale: Scale) -> String {
+    let rows: Vec<Vec<String>> = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.to_string(),
+                format!("{:?}", b.suite).to_lowercase(),
+                match b.kind {
+                    tbpoint_workloads::KernelKind::Irregular => "I".to_string(),
+                    tbpoint_workloads::KernelKind::Regular => "II".to_string(),
+                },
+                b.run.num_launches().to_string(),
+                b.run.total_blocks().to_string(),
+                b.run.kernel.threads_per_block.to_string(),
+            ]
+        })
+        .collect();
+    output::render_table(
+        &[
+            "bench",
+            "suite",
+            "type",
+            "launches",
+            "thread blocks",
+            "threads/block",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let t = table6(Scale::Full);
+        assert!(t.contains("202752"), "conv TB count missing:\n{t}");
+        assert!(t.contains("108000"), "lbm TB count missing:\n{t}");
+        assert!(t.contains("lonestar"));
+    }
+}

@@ -1,0 +1,314 @@
+//! `tbpoint` — regenerate any table or figure from the paper.
+//!
+//! ```text
+//! tbpoint table1 [--scale dev]        Table I   simulation slowdown
+//! tbpoint table6 [--scale full]       Table VI  benchmark roster
+//! tbpoint fig5   [--samples 10000]    Fig. 5    Monte-Carlo IPC variation
+//! tbpoint fig8   [--scale dev]        Fig. 8    TB-size scatter (CSV artefacts)
+//! tbpoint eval   [--scale dev]        Figs. 9-11 (computes + caches)
+//! tbpoint fig9 | fig10 | fig11        render from the cached eval
+//! tbpoint fig12 | fig13 [--scale dev] hardware-sensitivity sweep
+//! tbpoint ablate [--scale dev]        design-choice quality ablations
+//! tbpoint inspect <bench>             characterisation report
+//! tbpoint profile <bench>             save a one-time profile (JSON)
+//! tbpoint all    [--scale dev]        everything above
+//! ```
+//!
+//! Artefacts (JSON + CSV) land in `./artifacts/`.
+
+use std::path::PathBuf;
+use tbpoint_cli::experiments::{self, EvalConfig};
+use tbpoint_cli::output;
+use tbpoint_workloads::Scale;
+
+struct Args {
+    command: String,
+    target: Option<String>,
+    scale: Scale,
+    samples: usize,
+    threads: usize,
+    artifacts: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        target: None,
+        scale: Scale::Dev,
+        samples: 10_000,
+        threads: experiments::default_threads(),
+        artifacts: PathBuf::from("artifacts"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                args.scale = experiments::parse_scale(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (full|dev|tiny)");
+                    std::process::exit(2);
+                });
+            }
+            "--samples" => {
+                args.samples = it.next().and_then(|v| v.parse().ok()).unwrap_or(10_000);
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.threads);
+            }
+            "--artifacts" => {
+                args.artifacts = PathBuf::from(it.next().unwrap_or_default());
+            }
+            cmd if args.command.is_empty() && !cmd.starts_with('-') => {
+                args.command = cmd.to_string();
+            }
+            tgt if !tgt.starts_with('-') && args.target.is_none() => {
+                args.target = Some(tgt.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Full => "full",
+        Scale::Dev => "dev",
+        Scale::Tiny => "tiny",
+    }
+}
+
+fn eval_cache_path(args: &Args) -> PathBuf {
+    args.artifacts
+        .join(format!("eval_{}.json", scale_tag(args.scale)))
+}
+
+fn run_eval(args: &Args) -> experiments::EvalResult {
+    let mut cfg = EvalConfig::new(args.scale);
+    cfg.threads = args.threads;
+    eprintln!(
+        "running evaluation at {} scale on {} threads (this simulates every benchmark in full)...",
+        scale_tag(args.scale),
+        cfg.threads
+    );
+    let r = experiments::eval(&cfg);
+    output::write_json(&eval_cache_path(args), &r).expect("write eval artefact");
+    r
+}
+
+fn load_or_run_eval(args: &Args) -> experiments::EvalResult {
+    let path = eval_cache_path(args);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(r) = serde_json::from_str(&text) {
+            eprintln!("using cached evaluation {}", path.display());
+            return r;
+        }
+    }
+    run_eval(args)
+}
+
+fn cmd_fig5(args: &Args) {
+    let r = experiments::fig5(args.samples, args.threads);
+    output::write_json(&args.artifacts.join("fig5.json"), &r).expect("write fig5");
+    println!(
+        "Fig. 5 — IPC variation of a homogeneous interval ({} samples)",
+        args.samples
+    );
+    println!("{}", r.render());
+}
+
+fn cmd_fig8(args: &Args) {
+    let r = experiments::fig8(args.scale, args.threads);
+    output::write_json(
+        &args
+            .artifacts
+            .join(format!("fig8_{}.json", scale_tag(args.scale))),
+        &r,
+    )
+    .expect("write fig8");
+    for s in &r.series {
+        let rows: Vec<Vec<String>> = s
+            .size_ratio
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![i.to_string(), output::fmt(*v, 4)])
+            .collect();
+        output::write_csv(
+            &args
+                .artifacts
+                .join(format!("fig8_{}_{}.csv", scale_tag(args.scale), s.name)),
+            &["tb_index", "size_ratio"],
+            &rows,
+        )
+        .expect("write fig8 csv");
+    }
+    println!("Fig. 8 — thread-block size ratios (scatter data in artifacts/fig8_*.csv)");
+    println!("{}", r.render());
+}
+
+fn cmd_sensitivity(args: &Args, which: &str) {
+    let path = args
+        .artifacts
+        .join(format!("sensitivity_{}.json", scale_tag(args.scale)));
+    let r: experiments::SensitivityResult = match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok())
+    {
+        Some(r) => {
+            eprintln!("using cached sweep {}", path.display());
+            r
+        }
+        None => {
+            eprintln!("running hardware-sensitivity sweep (6 configs x 12 benchmarks)...");
+            let r = experiments::sensitivity(args.scale, args.threads);
+            output::write_json(&path, &r).expect("write sensitivity");
+            r
+        }
+    };
+    if which == "fig12" {
+        println!("Fig. 12 — TBPoint sampling error across hardware configurations");
+        println!("{}", experiments::render_fig12(&r));
+    } else {
+        println!("Fig. 13 — TBPoint total sample size across hardware configurations");
+        println!("{}", experiments::render_fig13(&r));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "table1" => {
+            let r = experiments::table1(args.scale);
+            output::write_json(
+                &args
+                    .artifacts
+                    .join(format!("table1_{}.json", scale_tag(args.scale))),
+                &r,
+            )
+            .expect("write table1");
+            println!(
+                "Table I — GPU time vs simulation time ({} scale)",
+                scale_tag(args.scale)
+            );
+            println!("{}", r.render());
+        }
+        "table6" => {
+            println!(
+                "Table VI — evaluated benchmarks ({} scale)",
+                scale_tag(args.scale)
+            );
+            println!("{}", experiments::table6(args.scale));
+        }
+        "fig5" => cmd_fig5(&args),
+        "fig8" => cmd_fig8(&args),
+        "eval" => {
+            let r = run_eval(&args);
+            println!("{}", experiments::render_fig9(&r));
+            println!("{}", experiments::render_fig10(&r));
+            println!("{}", experiments::render_fig11(&r));
+        }
+        "fig9" => {
+            let r = load_or_run_eval(&args);
+            println!("Fig. 9 — overall IPC and sampling errors");
+            println!("{}", experiments::render_fig9(&r));
+        }
+        "fig10" => {
+            let r = load_or_run_eval(&args);
+            println!("Fig. 10 — total sample size");
+            println!("{}", experiments::render_fig10(&r));
+        }
+        "fig11" => {
+            let r = load_or_run_eval(&args);
+            println!("Fig. 11 — skipped-instruction breakdown");
+            println!("{}", experiments::render_fig11(&r));
+        }
+        "fig12" | "fig13" => cmd_sensitivity(&args, &args.command),
+        "profile" => {
+            let Some(name) = args.target.as_deref() else {
+                eprintln!("usage: tbpoint profile <bench> [--scale ...]");
+                std::process::exit(2);
+            };
+            let Some(bench) = tbpoint_workloads::benchmark_by_name(name, args.scale) else {
+                eprintln!("unknown benchmark {name:?}; see `tbpoint table6`");
+                std::process::exit(2);
+            };
+            let t0 = std::time::Instant::now();
+            let profile = tbpoint_emu::profile_run(&bench.run, args.threads);
+            let path =
+                args.artifacts
+                    .join(format!("profile_{}_{}.json", scale_tag(args.scale), name));
+            profile.save(&path).expect("write profile");
+            println!(
+                "profiled {name}: {} launches, {} thread blocks, {} warp insts in {:?}",
+                profile.launches.len(),
+                bench.run.total_blocks(),
+                profile.total_warp_insts(),
+                t0.elapsed()
+            );
+            println!("saved hardware-independent profile to {}", path.display());
+            println!("(reusable for any simulated configuration — Table II's one-time profiling)");
+        }
+        "inspect" => {
+            let Some(name) = args.target.as_deref() else {
+                eprintln!("usage: tbpoint inspect <bench> [--scale ...]");
+                std::process::exit(2);
+            };
+            match experiments::inspect(name, args.scale, args.threads) {
+                Some(report) => println!("{report}"),
+                None => {
+                    eprintln!("unknown benchmark {name:?}; see `tbpoint table6`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "ablate" => {
+            eprintln!(
+                "running design-choice ablations at {} scale...",
+                scale_tag(args.scale)
+            );
+            let r = experiments::ablate(args.scale);
+            output::write_json(
+                &args
+                    .artifacts
+                    .join(format!("ablate_{}.json", scale_tag(args.scale))),
+                &r,
+            )
+            .expect("write ablation");
+            println!(
+                "Design-choice ablations ({} scale; * marks the paper's value)",
+                scale_tag(args.scale)
+            );
+            println!("{}", r.render());
+        }
+        "all" => {
+            println!("Table VI\n{}", experiments::table6(args.scale));
+            cmd_fig5(&args);
+            cmd_fig8(&args);
+            let r = run_eval(&args);
+            println!("Fig. 9\n{}", experiments::render_fig9(&r));
+            println!("Fig. 10\n{}", experiments::render_fig10(&r));
+            println!("Fig. 11\n{}", experiments::render_fig11(&r));
+            cmd_sensitivity(&args, "fig12");
+            cmd_sensitivity(&args, "fig13");
+            let t1 = experiments::table1(args.scale);
+            println!("Table I\n{}", t1.render());
+        }
+        "" => {
+            eprintln!(
+                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|all> \
+                 [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR]"
+            );
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

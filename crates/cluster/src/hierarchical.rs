@@ -1,0 +1,255 @@
+//! Hierarchical agglomerative clustering with a distance-threshold stop.
+//!
+//! The paper picks hierarchical clustering over k-means precisely because
+//! "the number of clusters can be determined automatically by setting the
+//! *distance threshold* σ, which is the maximum distance between any two
+//! points in a cluster" (Section III). That definition corresponds to
+//! **complete linkage**: merging stops when no pair of clusters can merge
+//! without some intra-cluster pair exceeding σ.
+//!
+//! Implementation: classic O(n² log n) agglomerative loop over a condensed
+//! distance matrix updated with the Lance–Williams recurrences. The largest
+//! inputs in this reproduction are a few thousand epochs, well within range.
+
+use crate::point::{euclidean, Point};
+use crate::Clustering;
+
+/// Linkage criterion: how the distance between two *clusters* is derived
+/// from point distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains easily; ablation only).
+    Single,
+    /// Maximum pairwise distance — matches the paper's σ definition.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA; ablation only).
+    Average,
+}
+
+/// Agglomeratively cluster `points`, merging greedily while the closest
+/// pair of clusters is within `threshold` under `linkage`.
+///
+/// Returns dense cluster ids ordered by first appearance. An empty input
+/// yields an empty clustering; a single point yields one cluster.
+pub fn hierarchical_cluster(points: &[Point], threshold: f64, linkage: Linkage) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering {
+            assignments: vec![],
+            num_clusters: 0,
+        };
+    }
+    if n == 1 {
+        return Clustering {
+            assignments: vec![0],
+            num_clusters: 1,
+        };
+    }
+
+    // dist[i][j] for i < j, stored in a flat upper-triangular layout.
+    let idx = |i: usize, j: usize| {
+        debug_assert!(i < j);
+        i * n - i * (i + 1) / 2 + (j - i - 1)
+    };
+    let mut dist = vec![0.0f64; n * (n - 1) / 2];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dist[idx(i, j)] = euclidean(&points[i], &points[j]);
+        }
+    }
+
+    // active[c]: cluster c still exists; size[c]: member count.
+    let mut active = vec![true; n];
+    let mut size = vec![1usize; n];
+    // parent pointers for final assignment extraction.
+    let mut assign: Vec<usize> = (0..n).collect();
+
+    // Nearest-neighbour cache: nn[i] = (distance, j) over active j != i.
+    // Recomputing only invalidated entries keeps the merge loop at an
+    // amortised O(n^2) instead of the naive O(n^3) full rescan.
+    let pair_dist = |dist: &[f64], i: usize, j: usize| dist[idx(i.min(j), i.max(j))];
+    let compute_nn = |dist: &[f64], active: &[bool], i: usize| -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        #[allow(clippy::needless_range_loop)] // j indexes two parallel arrays
+        for j in 0..n {
+            if j == i || !active[j] {
+                continue;
+            }
+            let d = pair_dist(dist, i, j);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, j));
+            }
+        }
+        best
+    };
+    let mut nn: Vec<Option<(f64, usize)>> = (0..n).map(|i| compute_nn(&dist, &active, i)).collect();
+
+    loop {
+        // Closest active pair via the NN cache.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            if let Some((d, j)) = nn[i] {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((a, b, d)) = best else { break };
+        if d > threshold {
+            break;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        // Merge b into a; update distances via Lance–Williams.
+        for k in 0..n {
+            if !active[k] || k == a || k == b {
+                continue;
+            }
+            let dak = pair_dist(&dist, a, k);
+            let dbk = pair_dist(&dist, b, k);
+            let new = match linkage {
+                Linkage::Single => dak.min(dbk),
+                Linkage::Complete => dak.max(dbk),
+                Linkage::Average => {
+                    let (sa, sb) = (size[a] as f64, size[b] as f64);
+                    (sa * dak + sb * dbk) / (sa + sb)
+                }
+            };
+            dist[idx(a.min(k), a.max(k))] = new;
+        }
+        size[a] += size[b];
+        active[b] = false;
+        for asg in assign.iter_mut() {
+            if *asg == b {
+                *asg = a;
+            }
+        }
+        // Repair the NN cache: entries pointing at a or b are stale (a's
+        // distances changed, b vanished); a itself needs a fresh scan.
+        nn[b] = None;
+        nn[a] = compute_nn(&dist, &active, a);
+        for i in 0..n {
+            if !active[i] || i == a {
+                continue;
+            }
+            match nn[i] {
+                Some((_, j)) if j == a || j == b => {
+                    nn[i] = compute_nn(&dist, &active, i);
+                }
+                _ => {
+                    // Distance to the merged cluster may have *shrunk*
+                    // under single/average linkage — check it.
+                    let dia = pair_dist(&dist, i, a);
+                    if nn[i].is_none_or(|(bd, _)| dia < bd) {
+                        nn[i] = Some((dia, a));
+                    }
+                }
+            }
+        }
+    }
+
+    Clustering::from_assignments(&assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| vec![x]).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let c = hierarchical_cluster(&[], 1.0, Linkage::Complete);
+        assert_eq!(c.num_clusters, 0);
+        let c = hierarchical_cluster(&pts(&[5.0]), 1.0, Linkage::Complete);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.assignments, vec![0]);
+    }
+
+    #[test]
+    fn two_well_separated_groups() {
+        let points = pts(&[0.0, 0.1, 0.2, 10.0, 10.1]);
+        let c = hierarchical_cluster(&points, 1.0, Linkage::Complete);
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[1], c.assignments[2]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+    }
+
+    #[test]
+    fn threshold_zero_keeps_distinct_points_apart() {
+        let points = pts(&[0.0, 1.0, 2.0]);
+        let c = hierarchical_cluster(&points, 0.0, Linkage::Complete);
+        assert_eq!(c.num_clusters, 3);
+    }
+
+    #[test]
+    fn threshold_zero_merges_identical_points() {
+        let points = pts(&[1.0, 1.0, 2.0]);
+        let c = hierarchical_cluster(&points, 0.0, Linkage::Complete);
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything() {
+        let points = pts(&[0.0, 5.0, 50.0, 500.0]);
+        let c = hierarchical_cluster(&points, 1e9, Linkage::Complete);
+        assert_eq!(c.num_clusters, 1);
+    }
+
+    #[test]
+    fn complete_linkage_respects_sigma_semantics() {
+        // With complete linkage, no cluster may contain a pair farther
+        // apart than sigma — the paper's definition of the threshold.
+        let points = pts(&[0.0, 0.4, 0.8, 1.2, 1.6, 2.0]);
+        let sigma = 0.9;
+        let c = hierarchical_cluster(&points, sigma, Linkage::Complete);
+        assert!(c.max_intra_distance(&points) <= sigma + 1e-12);
+    }
+
+    #[test]
+    fn single_linkage_chains_where_complete_does_not() {
+        // A chain of points each 0.9 apart, threshold 1.0: single linkage
+        // merges the whole chain; complete stops early.
+        let points = pts(&[0.0, 0.9, 1.8, 2.7, 3.6]);
+        let single = hierarchical_cluster(&points, 1.0, Linkage::Single);
+        let complete = hierarchical_cluster(&points, 1.0, Linkage::Complete);
+        assert_eq!(single.num_clusters, 1);
+        assert!(complete.num_clusters > 1);
+    }
+
+    #[test]
+    fn average_linkage_between_the_two() {
+        let points = pts(&[0.0, 0.9, 1.8, 2.7, 3.6]);
+        let s = hierarchical_cluster(&points, 1.0, Linkage::Single).num_clusters;
+        let a = hierarchical_cluster(&points, 1.0, Linkage::Average).num_clusters;
+        let c = hierarchical_cluster(&points, 1.0, Linkage::Complete).num_clusters;
+        assert!(s <= a && a <= c, "s={s} a={a} c={c}");
+    }
+
+    #[test]
+    fn multidimensional_points() {
+        let points = vec![
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.05, 0.0, 0.0, 0.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+        ];
+        let c = hierarchical_cluster(&points, 0.1, Linkage::Complete);
+        assert_eq!(c.num_clusters, 2);
+    }
+
+    #[test]
+    fn homogeneous_launches_collapse_to_one_cluster() {
+        // The stream benchmark scenario: hundreds of identical launches
+        // must land in one cluster (inter-launch savings, Fig. 11).
+        let points: Vec<Point> = (0..200).map(|_| vec![1.0, 1.0, 1.0, 0.0]).collect();
+        let c = hierarchical_cluster(&points, 0.1, Linkage::Complete);
+        assert_eq!(c.num_clusters, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Feature-vector points and distances.
+
+/// A feature vector. Inter-launch vectors have 4 dimensions (Eq. 2),
+/// intra-launch (epoch) vectors have 1 (Eq. 5), BBVs have one per basic
+/// block — so a plain `Vec<f64>` is the right representation.
+pub type Point = Vec<f64>;
+
+/// Euclidean (L2) distance between two points of equal dimensionality.
+///
+/// # Panics
+/// Panics if the dimensionalities differ.
+pub fn euclidean(a: &Point, b: &Point) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Component-wise mean of a non-empty set of points.
+pub fn centroid(points: &[Point]) -> Point {
+    assert!(!points.is_empty(), "centroid of empty set");
+    let dim = points[0].len();
+    let mut c = vec![0.0; dim];
+    for p in points {
+        for (ci, pi) in c.iter_mut().zip(p) {
+            *ci += pi;
+        }
+    }
+    for ci in &mut c {
+        *ci /= points.len() as f64;
+    }
+    c
+}
+
+/// Normalize each dimension by its mean across all points (Eq. 2 of the
+/// paper: "each of which is normalized with its average value across all
+/// kernel launches so that they have the same order of magnitude").
+///
+/// Dimensions whose mean is zero are left as-is (they are uniformly zero).
+pub fn normalize_by_mean(points: &[Point]) -> Vec<Point> {
+    if points.is_empty() {
+        return vec![];
+    }
+    let means = centroid(points);
+    points
+        .iter()
+        .map(|p| {
+            p.iter()
+                .zip(&means)
+                .map(|(x, m)| if *m == 0.0 { *x } else { x / m })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basic() {
+        assert_eq!(euclidean(&vec![0.0, 0.0], &vec![3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&vec![1.0], &vec![1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn euclidean_rejects_mismatch() {
+        euclidean(&vec![1.0], &vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn centroid_basic() {
+        let c = centroid(&[vec![0.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(c, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn normalize_by_mean_makes_unit_means() {
+        let pts = vec![vec![10.0, 1000.0], vec![30.0, 3000.0]];
+        let n = normalize_by_mean(&pts);
+        assert_eq!(n[0], vec![0.5, 0.5]);
+        assert_eq!(n[1], vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn normalize_handles_zero_dimension() {
+        let pts = vec![vec![0.0, 2.0], vec![0.0, 4.0]];
+        let n = normalize_by_mean(&pts);
+        assert_eq!(n[0], vec![0.0, 2.0 / 3.0]);
+        assert_eq!(n[1][0], 0.0);
+    }
+
+    #[test]
+    fn normalize_empty_is_empty() {
+        assert!(normalize_by_mean(&[]).is_empty());
+    }
+}

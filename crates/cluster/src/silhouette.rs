@@ -1,0 +1,131 @@
+//! Silhouette analysis: a clustering-quality score independent of the
+//! criterion that produced the clustering.
+//!
+//! Used by the diagnostics in `tbpoint inspect`-style tooling and by the
+//! ablation study to sanity-check that the σ thresholds of Section III
+//! produce *well-separated* launch/epoch clusters rather than arbitrary
+//! cuts.
+
+use crate::point::{euclidean, Point};
+use crate::Clustering;
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// For each point: `s = (b - a) / max(a, b)` with `a` the mean distance
+/// to its own cluster's other members and `b` the smallest mean distance
+/// to another cluster. Points in singleton clusters contribute 0 (the
+/// standard convention). Returns 0 when fewer than two clusters exist.
+pub fn silhouette_score(points: &[Point], clustering: &Clustering) -> f64 {
+    assert_eq!(points.len(), clustering.assignments.len());
+    let k = clustering.num_clusters;
+    if k < 2 || points.is_empty() {
+        return 0.0;
+    }
+    let members: Vec<Vec<usize>> = (0..k).map(|c| clustering.members(c)).collect();
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = clustering.assignments[i];
+        if members[own].len() < 2 {
+            continue; // singleton: s = 0
+        }
+        let a = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| euclidean(p, &points[j]))
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && !members[c].is_empty())
+            .map(|c| {
+                members[c]
+                    .iter()
+                    .map(|&j| euclidean(p, &points[j]))
+                    .sum::<f64>()
+                    / members[c].len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    total / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::{hierarchical_cluster, Linkage};
+
+    fn blobs() -> (Vec<Point>, Clustering) {
+        let mut pts = vec![];
+        let mut asg = vec![];
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.01]);
+            asg.push(0);
+        }
+        for i in 0..10 {
+            pts.push(vec![100.0 + i as f64 * 0.01]);
+            asg.push(1);
+        }
+        (
+            pts,
+            Clustering {
+                assignments: asg,
+                num_clusters: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn well_separated_blobs_score_near_one() {
+        let (pts, c) = blobs();
+        let s = silhouette_score(&pts, &c);
+        assert!(s > 0.99, "s = {s}");
+    }
+
+    #[test]
+    fn wrong_split_scores_poorly() {
+        let (pts, _) = blobs();
+        // Assign alternating points to clusters, ignoring geometry.
+        let asg: Vec<usize> = (0..pts.len()).map(|i| i % 2).collect();
+        let c = Clustering {
+            assignments: asg,
+            num_clusters: 2,
+        };
+        let s = silhouette_score(&pts, &c);
+        assert!(s < 0.1, "bad clustering should score low, got {s}");
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let (pts, _) = blobs();
+        let c = Clustering {
+            assignments: vec![0; pts.len()],
+            num_clusters: 1,
+        };
+        assert_eq!(silhouette_score(&pts, &c), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_output_scores_well_on_blobs() {
+        let (pts, _) = blobs();
+        let c = hierarchical_cluster(&pts, 1.0, Linkage::Complete);
+        assert_eq!(c.num_clusters, 2);
+        assert!(silhouette_score(&pts, &c) > 0.99);
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let pts: Vec<Point> = vec![vec![0.0], vec![0.1], vec![50.0]];
+        let c = Clustering {
+            assignments: vec![0, 0, 1],
+            num_clusters: 2,
+        };
+        let s = silhouette_score(&pts, &c);
+        // Two good points + one singleton (0): average below 1 but high.
+        assert!(s > 0.6 && s < 1.0, "s = {s}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Inter-launch sampling (Section III of the paper).
+//!
+//! Kernel launches with homogeneous behaviour are clustered so only one
+//! launch per cluster needs cycle-level simulation. The feature vector is
+//! deliberately *not* a BBV: the paper argues GPGPU kernels have few basic
+//! blocks whose counts correlate poorly with performance, while these four
+//! features track the actual sources of IPC variation (size, control-flow
+//! divergence, memory divergence, thread-block interleaving).
+
+use serde::{Deserialize, Serialize};
+use tbpoint_cluster::{
+    hierarchical_cluster, kmeans_best_bic, normalize_by_mean, Clustering, Linkage,
+};
+use tbpoint_emu::RunProfile;
+
+/// Which clustering algorithm groups the launches.
+///
+/// The paper argues for hierarchical clustering (the σ threshold sets the
+/// cluster count automatically); the k-means+BIC variant exists for the
+/// design-choice ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InterAlgo {
+    /// Complete-linkage hierarchical clustering with distance threshold σ.
+    Hierarchical,
+    /// k-means with BIC model selection (SimPoint's approach), searching
+    /// `k = 1..=max_k`.
+    KMeansBic {
+        /// Largest cluster count considered.
+        max_k: usize,
+    },
+}
+
+/// Inter-launch clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterConfig {
+    /// Distance threshold σ of the hierarchical clustering (paper: 0.1).
+    pub sigma: f64,
+    /// Clustering algorithm (paper: hierarchical).
+    pub algo: InterAlgo,
+    /// Append the launch's normalised BBV to the feature vector — the
+    /// extension the paper's footnote 2 leaves for future work ("The BBV
+    /// can be added as another feature for improving accuracy with the
+    /// cost of increased total sample size"). Off by default (the
+    /// paper's configuration).
+    pub use_bbv: bool,
+}
+
+impl Default for InterConfig {
+    fn default() -> Self {
+        InterConfig {
+            sigma: 0.1,
+            algo: InterAlgo::Hierarchical,
+            use_bbv: false,
+        }
+    }
+}
+
+/// Result of inter-launch sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterResult {
+    /// Cluster id per launch (dense).
+    pub clustering: Clustering,
+    /// Per cluster, the index of the representative launch (the
+    /// simulation point): the member closest to the cluster centroid.
+    pub representatives: Vec<usize>,
+    /// The normalised feature vectors that were clustered (Eq. 2).
+    pub features: Vec<Vec<f64>>,
+}
+
+impl InterResult {
+    /// Number of launches that must be simulated.
+    pub fn num_simulated(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The representative launch index for launch `i`'s cluster.
+    pub fn representative_of(&self, i: usize) -> usize {
+        self.representatives[self.clustering.assignments[i]]
+    }
+
+    /// Is launch `i` a simulation point?
+    pub fn is_representative(&self, i: usize) -> bool {
+        self.representative_of(i) == i
+    }
+}
+
+/// Cluster the launches of `profile` per Eq. 2 and pick representatives.
+pub fn inter_launch_sample(profile: &RunProfile, cfg: &InterConfig) -> InterResult {
+    let raw: Vec<Vec<f64>> = profile
+        .launches
+        .iter()
+        .map(|l| {
+            let mut point = l.inter_features().to_point();
+            if cfg.use_bbv {
+                // Footnote-2 extension: BBV entries normalised by the
+                // launch's instruction count (Eq. 1's convention), so
+                // they describe the code *mix* independent of size.
+                let total = l.warp_insts().max(1) as f64;
+                point.extend(l.bbv().iter().map(|&c| c as f64 / total));
+            }
+            point
+        })
+        .collect();
+    let features = normalize_by_mean(&raw);
+    let clustering = match cfg.algo {
+        InterAlgo::Hierarchical => hierarchical_cluster(&features, cfg.sigma, Linkage::Complete),
+        InterAlgo::KMeansBic { max_k } => kmeans_best_bic(&features, max_k, 0xBEEF, 0.9).clustering,
+    };
+    let representatives = clustering.representatives(&features);
+    InterResult {
+        clustering,
+        representatives,
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbpoint_emu::profile_run;
+    use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, LaunchId, LaunchSpec, Op, TripCount};
+
+    /// A kernel whose launches are exact functions of (num_blocks,
+    /// work_scale): constant trip counts, so launches with equal
+    /// parameters produce identical feature vectors.
+    fn run_with_launches(launches: &[(u32, f64)]) -> KernelRun {
+        let mut b = KernelBuilder::new("k", 17, 64);
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Coalesced {
+                region: 0,
+                stride: 4,
+            }),
+        ]);
+        let n = b.loop_(TripCount::Const(10), body);
+        let kernel = b.finish(n);
+        KernelRun {
+            kernel,
+            launches: launches
+                .iter()
+                .enumerate()
+                .map(|(i, &(nb, ws))| LaunchSpec {
+                    launch_id: LaunchId(i as u32),
+                    num_blocks: nb,
+                    work_scale: ws,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn homogeneous_launches_need_one_simulation() {
+        let run = run_with_launches(&[(40, 1.0); 12]);
+        let profile = profile_run(&run, 2);
+        let r = inter_launch_sample(&profile, &InterConfig::default());
+        assert_eq!(
+            r.num_simulated(),
+            1,
+            "identical launches must share a cluster"
+        );
+        assert!(r.is_representative(r.representatives[0]));
+    }
+
+    #[test]
+    fn distinct_launch_sizes_split_clusters() {
+        // Launches alternate between tiny and huge grids (bfs-like
+        // frontier growth): at least two clusters expected.
+        let run = run_with_launches(&[
+            (4, 0.5),
+            (200, 4.0),
+            (4, 0.5),
+            (200, 4.0),
+            (4, 0.5),
+            (200, 4.0),
+        ]);
+        let profile = profile_run(&run, 2);
+        let r = inter_launch_sample(&profile, &InterConfig::default());
+        assert!(r.num_simulated() >= 2, "got {} clusters", r.num_simulated());
+        // The alternating launches must not share a cluster.
+        let a = r.clustering.assignments[0];
+        let b = r.clustering.assignments[1];
+        assert_ne!(a, b);
+        // And the pattern must repeat.
+        assert_eq!(r.clustering.assignments[0], r.clustering.assignments[2]);
+        assert_eq!(r.clustering.assignments[1], r.clustering.assignments[3]);
+    }
+
+    #[test]
+    fn representative_of_maps_members_to_their_rep() {
+        let run = run_with_launches(&[(40, 1.0), (40, 1.0), (400, 8.0)]);
+        let profile = profile_run(&run, 1);
+        let r = inter_launch_sample(&profile, &InterConfig::default());
+        // Launches 0 and 1 share a representative; launch 2 is its own.
+        assert_eq!(r.representative_of(0), r.representative_of(1));
+        assert_eq!(r.representative_of(2), 2);
+    }
+
+    #[test]
+    fn higher_sigma_means_fewer_clusters() {
+        let run = run_with_launches(&[
+            (10, 1.0),
+            (14, 1.2),
+            (18, 1.5),
+            (24, 1.9),
+            (30, 2.4),
+            (40, 3.0),
+        ]);
+        let profile = profile_run(&run, 1);
+        let tight = inter_launch_sample(
+            &profile,
+            &InterConfig {
+                sigma: 0.02,
+                ..Default::default()
+            },
+        );
+        let loose = inter_launch_sample(
+            &profile,
+            &InterConfig {
+                sigma: 10.0,
+                ..Default::default()
+            },
+        );
+        assert!(tight.num_simulated() >= loose.num_simulated());
+        assert_eq!(loose.num_simulated(), 1);
+    }
+
+    #[test]
+    fn bbv_extension_widens_the_feature_vector() {
+        let run = run_with_launches(&[(40, 1.0), (40, 1.0), (40, 2.0)]);
+        let profile = profile_run(&run, 1);
+        let base = inter_launch_sample(&profile, &InterConfig::default());
+        let ext = inter_launch_sample(
+            &profile,
+            &InterConfig {
+                use_bbv: true,
+                ..Default::default()
+            },
+        );
+        let bbs = run.kernel.num_basic_blocks as usize;
+        assert_eq!(ext.features[0].len(), base.features[0].len() + bbs);
+        // Identical launches still merge with the extension on.
+        assert_eq!(ext.clustering.assignments[0], ext.clustering.assignments[1]);
+        // And the footnote's warning holds: the extension can only split
+        // clusters further, never merge more.
+        assert!(ext.num_simulated() >= base.num_simulated());
+    }
+
+    #[test]
+    fn features_are_mean_normalised() {
+        let run = run_with_launches(&[(10, 1.0), (30, 1.0)]);
+        let profile = profile_run(&run, 1);
+        let r = inter_launch_sample(&profile, &InterConfig::default());
+        // Each dimension averages to 1 across launches (or 0 if the raw
+        // dimension was all-zero, e.g. CoV of identical TBs).
+        for d in 0..4 {
+            let avg: f64 = r.features.iter().map(|f| f[d]).sum::<f64>() / r.features.len() as f64;
+            assert!(
+                (avg - 1.0).abs() < 1e-9 || avg.abs() < 1e-9,
+                "dimension {d} averages to {avg}"
+            );
+        }
+    }
+}

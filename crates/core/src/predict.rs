@@ -1,0 +1,426 @@
+//! The end-to-end TBPoint pipeline and IPC prediction (Table IV).
+//!
+//! Given a one-time profile of every launch:
+//!
+//! 1. inter-launch clustering picks one representative launch per cluster;
+//! 2. each representative is simulated under homogeneous-region sampling
+//!    (its own intra-launch fast-forwarding);
+//! 3. a representative's predicted launch time is `simulated cycles +
+//!    skipped insts / unit IPC`; a non-representative's is
+//!    `its insts / representative's predicted IPC`;
+//! 4. the overall IPC prediction is `total insts / total predicted
+//!    cycles`, compared against the Full simulation for the Fig. 9
+//!    sampling error.
+//!
+//! The same accounting yields the Fig. 10 *total sample size* (simulated
+//! insts / total insts) and the Fig. 11 breakdown of skipped instructions
+//! between the two techniques. Inter- and intra-launch sampling are
+//! orthogonal (the paper's Table IV note); the config can disable either.
+
+use crate::inter::{inter_launch_sample, InterConfig};
+use crate::intra::{build_epochs, identify_regions, IntraConfig};
+use crate::sampling::RegionSampler;
+use serde::{Deserialize, Serialize};
+use tbpoint_cluster::Clustering;
+use tbpoint_emu::RunProfile;
+use tbpoint_ir::KernelRun;
+use tbpoint_sim::{simulate_launch, GpuConfig, NullSampling};
+
+/// Full TBPoint configuration (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TbpointConfig {
+    /// Inter-launch clustering (σ = 0.1).
+    pub inter: InterConfig,
+    /// Intra-launch clustering (σ = 0.2, VF = 0.3).
+    pub intra: IntraConfig,
+    /// Warming convergence threshold (10%).
+    pub warming_threshold: f64,
+    /// Designated-TB lifetimes per sampling unit (scale compensation; see
+    /// `sampling::DEFAULT_UNIT_TB_SPAN`).
+    pub unit_tb_span: u32,
+    /// Trailing units that must agree before fast-forwarding (the paper
+    /// compares 2; see `sampling::WARMING_WINDOW`).
+    pub warming_window: usize,
+    /// Enable inter-launch sampling.
+    pub inter_enabled: bool,
+    /// Enable intra-launch sampling.
+    pub intra_enabled: bool,
+    /// Worker threads for simulating independent representative launches
+    /// (1 = serial; results are identical at any count).
+    pub sim_threads: usize,
+}
+
+impl Default for TbpointConfig {
+    fn default() -> Self {
+        TbpointConfig {
+            inter: InterConfig::default(),
+            intra: IntraConfig::default(),
+            warming_threshold: 0.10,
+            unit_tb_span: crate::sampling::DEFAULT_UNIT_TB_SPAN,
+            warming_window: crate::sampling::WARMING_WINDOW,
+            inter_enabled: true,
+            intra_enabled: true,
+            sim_threads: 1,
+        }
+    }
+}
+
+/// Where the instruction savings came from (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SavingsBreakdown {
+    /// Warp instructions skipped because their whole launch was predicted
+    /// from a cluster representative.
+    pub inter_skipped_warp_insts: u64,
+    /// Warp instructions skipped by fast-forwarding inside simulated
+    /// launches.
+    pub intra_skipped_warp_insts: u64,
+}
+
+impl SavingsBreakdown {
+    /// Total skipped instructions.
+    pub fn total_skipped(&self) -> u64 {
+        self.inter_skipped_warp_insts + self.intra_skipped_warp_insts
+    }
+
+    /// Fraction of the savings attributable to inter-launch sampling
+    /// (the Fig. 11 stacked-bar split). Zero when nothing was skipped.
+    pub fn inter_fraction(&self) -> f64 {
+        let t = self.total_skipped();
+        if t == 0 {
+            0.0
+        } else {
+            self.inter_skipped_warp_insts as f64 / t as f64
+        }
+    }
+}
+
+/// Everything TBPoint produces for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TbpointResult {
+    /// Benchmark name.
+    pub kernel_name: String,
+    /// Predicted overall IPC.
+    pub predicted_ipc: f64,
+    /// Warp instructions actually simulated.
+    pub simulated_warp_insts: u64,
+    /// Total warp instructions in the workload.
+    pub total_warp_insts: u64,
+    /// Predicted total cycles.
+    pub predicted_total_cycles: f64,
+    /// Savings attribution (Fig. 11).
+    pub breakdown: SavingsBreakdown,
+    /// Launches simulated / total.
+    pub num_simulated_launches: usize,
+    /// Total launches.
+    pub num_launches: usize,
+    /// Per-launch predicted cycles (launch order).
+    pub per_launch_predicted_cycles: Vec<f64>,
+    /// The inter-launch clustering (diagnostics).
+    pub inter_clustering: Clustering,
+}
+
+impl TbpointResult {
+    /// Total sample size (Fig. 10): simulated / total warp instructions.
+    pub fn sample_size(&self) -> f64 {
+        if self.total_warp_insts == 0 {
+            0.0
+        } else {
+            self.simulated_warp_insts as f64 / self.total_warp_insts as f64
+        }
+    }
+
+    /// Absolute sampling error in percent against a reference IPC.
+    pub fn error_vs(&self, full_ipc: f64) -> f64 {
+        tbpoint_stats::abs_pct_error(self.predicted_ipc, full_ipc)
+    }
+}
+
+/// Run the full TBPoint pipeline for one benchmark.
+///
+/// `profile` must be the one-time profile of `run` (from
+/// [`tbpoint_emu::profile_run`]); `gpu` is the simulated configuration —
+/// changing it only re-runs clustering and simulation, never profiling.
+pub fn run_tbpoint(
+    run: &KernelRun,
+    profile: &RunProfile,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+) -> TbpointResult {
+    assert_eq!(
+        run.launches.len(),
+        profile.launches.len(),
+        "profile does not match the run"
+    );
+    let n_launches = run.launches.len();
+
+    // Step 1: pick the launches to simulate.
+    let inter = if cfg.inter_enabled {
+        inter_launch_sample(profile, &cfg.inter)
+    } else {
+        // Every launch is its own cluster: all are simulated.
+        crate::inter::InterResult {
+            clustering: Clustering::from_assignments(&(0..n_launches).collect::<Vec<_>>()),
+            representatives: (0..n_launches).collect(),
+            features: vec![],
+        }
+    };
+
+    let occupancy = gpu.system_occupancy(&run.kernel);
+
+    // Step 2: simulate each representative with intra-launch sampling.
+    // Representatives are independent launches, so they fan out over
+    // scoped worker threads (each simulation is internally
+    // single-threaded and deterministic; results land in per-rep slots,
+    // so the outcome is identical at any worker count).
+    let simulate_rep = |rep: usize| -> (u64, u64, f64, f64) {
+        let spec = &run.launches[rep];
+        let launch_profile = &profile.launches[rep];
+        let launch_insts: u64 = launch_profile.warp_insts();
+        let (sim_cycles, issued, skipped_insts, predicted_skip_cycles) = if cfg.intra_enabled {
+            let epochs = build_epochs(launch_profile, occupancy);
+            let table = identify_regions(&epochs, &cfg.intra);
+            let mut sampler = RegionSampler::with_options(
+                &table,
+                launch_profile,
+                cfg.warming_threshold,
+                cfg.unit_tb_span,
+                cfg.warming_window,
+            );
+            let r = simulate_launch(&run.kernel, spec, gpu, &mut sampler, None);
+            let o = sampler.outcome();
+            (
+                r.cycles,
+                r.issued_warp_insts,
+                o.skipped_warp_insts,
+                o.predicted_skipped_cycles,
+            )
+        } else {
+            let r = simulate_launch(&run.kernel, spec, gpu, &mut NullSampling, None);
+            (r.cycles, r.issued_warp_insts, 0, 0.0)
+        };
+        let predicted_cycles = sim_cycles as f64 + predicted_skip_cycles;
+        let predicted_ipc = if predicted_cycles > 0.0 {
+            launch_insts as f64 / predicted_cycles
+        } else {
+            0.0
+        };
+        (issued, skipped_insts, predicted_cycles, predicted_ipc)
+    };
+
+    let workers = cfg
+        .sim_threads
+        .max(1)
+        .min(inter.representatives.len().max(1));
+    let mut rep_results: Vec<Option<(u64, u64, f64, f64)>> =
+        vec![None; inter.representatives.len()];
+    if workers <= 1 {
+        for (slot, &rep) in rep_results.iter_mut().zip(&inter.representatives) {
+            *slot = Some(simulate_rep(rep));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = parking_lot::Mutex::new(&mut rep_results);
+        let reps = &inter.representatives;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= reps.len() {
+                        break;
+                    }
+                    let r = simulate_rep(reps[i]);
+                    slots.lock()[i] = Some(r);
+                });
+            }
+        })
+        .expect("representative-simulation worker panicked");
+    }
+
+    // rep_outcome[launch] = Some((predicted_cycles, predicted_ipc)).
+    let mut rep_outcome: Vec<Option<(f64, f64)>> = vec![None; n_launches];
+    let mut simulated_warp_insts = 0u64;
+    let mut intra_skipped = 0u64;
+    for (&rep, result) in inter.representatives.iter().zip(&rep_results) {
+        let (issued, skipped_insts, predicted_cycles, predicted_ipc) =
+            result.expect("every representative simulated");
+        simulated_warp_insts += issued;
+        intra_skipped += skipped_insts;
+        rep_outcome[rep] = Some((predicted_cycles, predicted_ipc));
+    }
+
+    // Steps 3-4: extend representatives to their clusters and aggregate.
+    let mut per_launch_predicted_cycles = Vec::with_capacity(n_launches);
+    let mut inter_skipped = 0u64;
+    let mut total_insts = 0u64;
+    for i in 0..n_launches {
+        let launch_insts = profile.launches[i].warp_insts();
+        total_insts += launch_insts;
+        let rep = inter.representatives[inter.clustering.assignments[i]];
+        let (rep_cycles, rep_ipc) = rep_outcome[rep].expect("representative simulated");
+        if i == rep {
+            per_launch_predicted_cycles.push(rep_cycles);
+        } else {
+            inter_skipped += launch_insts;
+            let cycles = if rep_ipc > 0.0 {
+                launch_insts as f64 / rep_ipc
+            } else {
+                rep_cycles
+            };
+            per_launch_predicted_cycles.push(cycles);
+        }
+    }
+    let predicted_total_cycles: f64 = per_launch_predicted_cycles.iter().sum();
+    let predicted_ipc = if predicted_total_cycles > 0.0 {
+        total_insts as f64 / predicted_total_cycles
+    } else {
+        0.0
+    };
+
+    TbpointResult {
+        kernel_name: run.kernel.name.clone(),
+        predicted_ipc,
+        simulated_warp_insts,
+        total_warp_insts: total_insts,
+        predicted_total_cycles,
+        breakdown: SavingsBreakdown {
+            inter_skipped_warp_insts: inter_skipped,
+            intra_skipped_warp_insts: intra_skipped,
+        },
+        num_simulated_launches: inter.representatives.len(),
+        num_launches: n_launches,
+        per_launch_predicted_cycles,
+        inter_clustering: inter.clustering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbpoint_emu::profile_run;
+    use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, LaunchId, LaunchSpec, Op, TripCount};
+    use tbpoint_sim::simulate_run;
+
+    fn homogeneous_run(n_launches: u32, blocks_per_launch: u32) -> KernelRun {
+        let mut b = KernelBuilder::new("homog", 31, 128);
+        let body = b.block(&[
+            Op::IAlu,
+            Op::FAlu,
+            Op::LdGlobal(AddrPattern::Coalesced {
+                region: 0,
+                stride: 4,
+            }),
+        ]);
+        let n = b.loop_(TripCount::Const(30), body);
+        let kernel = b.finish(n);
+        KernelRun {
+            kernel,
+            launches: (0..n_launches)
+                .map(|i| LaunchSpec {
+                    launch_id: LaunchId(i),
+                    num_blocks: blocks_per_launch,
+                    work_scale: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tbpoint_on_homogeneous_run_is_accurate_and_cheap() {
+        let run = homogeneous_run(6, 1800);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let full = simulate_run(&run, &gpu, &mut NullSampling, None);
+
+        let result = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu);
+        assert_eq!(
+            result.num_simulated_launches, 1,
+            "6 identical launches -> 1 simulated"
+        );
+        let err = result.error_vs(full.overall_ipc());
+        assert!(err < 10.0, "error {err:.2}% too high");
+        assert!(
+            result.sample_size() < 0.25,
+            "sample size {:.3} should be small",
+            result.sample_size()
+        );
+        // Savings from both techniques.
+        assert!(result.breakdown.inter_skipped_warp_insts > 0);
+        assert!(result.breakdown.intra_skipped_warp_insts > 0);
+        // Conservation: simulated + skipped = total.
+        assert_eq!(
+            result.simulated_warp_insts + result.breakdown.total_skipped(),
+            result.total_warp_insts
+        );
+    }
+
+    #[test]
+    fn disabling_inter_simulates_every_launch() {
+        let run = homogeneous_run(4, 200);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig {
+            inter_enabled: false,
+            ..Default::default()
+        };
+        let result = run_tbpoint(&run, &profile, &cfg, &gpu);
+        assert_eq!(result.num_simulated_launches, 4);
+        assert_eq!(result.breakdown.inter_skipped_warp_insts, 0);
+    }
+
+    #[test]
+    fn disabling_intra_runs_representatives_in_full() {
+        let run = homogeneous_run(4, 200);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig {
+            intra_enabled: false,
+            ..Default::default()
+        };
+        let result = run_tbpoint(&run, &profile, &cfg, &gpu);
+        assert_eq!(result.breakdown.intra_skipped_warp_insts, 0);
+        assert_eq!(result.num_simulated_launches, 1);
+        // The one simulated launch runs in full.
+        let one_launch: u64 = profile.launches[0].warp_insts();
+        assert_eq!(result.simulated_warp_insts, one_launch);
+    }
+
+    #[test]
+    fn disabling_both_is_full_simulation() {
+        let run = homogeneous_run(3, 100);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig {
+            inter_enabled: false,
+            intra_enabled: false,
+            ..Default::default()
+        };
+        let result = run_tbpoint(&run, &profile, &cfg, &gpu);
+        assert_eq!(result.sample_size(), 1.0);
+        let full = simulate_run(&run, &gpu, &mut NullSampling, None);
+        assert!(result.error_vs(full.overall_ipc()) < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_fraction_math() {
+        let b = SavingsBreakdown {
+            inter_skipped_warp_insts: 30,
+            intra_skipped_warp_insts: 10,
+        };
+        assert!((b.inter_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(SavingsBreakdown::default().inter_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile does not match")]
+    fn mismatched_profile_rejected() {
+        let run = homogeneous_run(3, 10);
+        let short_run = homogeneous_run(2, 10);
+        let profile = profile_run(&short_run, 1);
+        run_tbpoint(
+            &run,
+            &profile,
+            &TbpointConfig::default(),
+            &GpuConfig::fermi(),
+        );
+    }
+}

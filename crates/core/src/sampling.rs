@@ -1,0 +1,511 @@
+//! Homogeneous region sampling (Section IV-B2 of the paper): the runtime
+//! half of intra-launch sampling, implemented as a simulator hook.
+//!
+//! State machine per Fig. 7:
+//!
+//! * **Outside** — simulate normally. When every concurrently resident
+//!   thread block maps to the same homogeneous region, *enter* it.
+//! * **Warming** — keep simulating; measure sampling-unit IPCs (a unit is
+//!   the lifetime of a *designated* TB: the first dispatched TB at start,
+//!   then the next dispatched TB each time the current one retires). When
+//!   two consecutive units agree within the warming threshold (10%), the
+//!   cache state is considered stable: start fast-forwarding.
+//! * **Fast-forwarding** — skip every dispatched TB that belongs to the
+//!   region, predicting its cycles as `warp_insts / unit_ipc` with the
+//!   last warm unit's IPC. A dispatch from a different region (or from no
+//!   region) *exits* back to Outside.
+
+use crate::intra::RegionTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tbpoint_emu::LaunchProfile;
+use tbpoint_ir::TbId;
+use tbpoint_sim::{DispatchDecision, SamplingHook};
+
+/// One event in a sampler's optional event log — the full story of a
+/// sampled launch, for diagnostics, visualisation and teaching. Enabled
+/// with [`RegionSampler::with_event_log`]; disabled it costs nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SamplerEvent {
+    /// Entered a homogeneous region (all residents share its id).
+    RegionEntered {
+        /// Region id.
+        region: u32,
+        /// Cycle of entry.
+        cycle: u64,
+    },
+    /// Left the current region (a foreign block was dispatched).
+    RegionExited {
+        /// Cycle of exit.
+        cycle: u64,
+    },
+    /// A sampling unit closed with this IPC.
+    UnitClosed {
+        /// Aggregate IPC over the unit.
+        ipc: f64,
+        /// Cycle the unit ended.
+        cycle: u64,
+    },
+    /// Warming converged; fast-forwarding began at this predicted IPC.
+    FastForwardStarted {
+        /// Region id.
+        region: u32,
+        /// IPC used to price skipped blocks.
+        ipc: f64,
+        /// Cycle fast-forwarding began.
+        cycle: u64,
+    },
+    /// A thread block was skipped during fast-forward.
+    BlockSkipped {
+        /// The block.
+        tb: u32,
+        /// Its profiled warp instructions.
+        warp_insts: u64,
+    },
+}
+
+/// Accounting produced by one sampled launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct IntraOutcome {
+    /// Thread blocks skipped during fast-forward periods.
+    pub skipped_tbs: u32,
+    /// Warp instructions belonging to skipped thread blocks (from the
+    /// profile; they were never issued).
+    pub skipped_warp_insts: u64,
+    /// Predicted cycles those instructions would have taken, from the
+    /// last warm sampling unit's IPC (Table IV's intra-launch term).
+    pub predicted_skipped_cycles: f64,
+    /// Sampling units completed (diagnostic).
+    pub units_observed: u32,
+    /// Regions entered (diagnostic).
+    pub regions_entered: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Outside,
+    Warming(u32),
+    FastForward { region: u32, ipc: f64 },
+}
+
+/// The intra-launch sampling hook. Borrow one region table + profile per
+/// launch; plug into [`tbpoint_sim::simulate_launch`].
+pub struct RegionSampler<'a> {
+    table: &'a RegionTable,
+    profile: &'a LaunchProfile,
+    warming_threshold: f64,
+    unit_tb_span: u32,
+    warming_window: usize,
+    state: State,
+    resident: HashSet<u32>,
+    resident_region: Option<u32>, // cached "all residents in this region"
+    designated: Option<u32>,
+    need_designation: bool,
+    unit_tbs_retired: u32,
+    unit_start_cycle: u64,
+    unit_start_insts: u64,
+    warm_ipcs: Vec<f64>,
+    outcome: IntraOutcome,
+    events: Option<Vec<SamplerEvent>>,
+}
+
+/// Default number of trailing sampling units that must agree pairwise
+/// within the warming threshold before fast-forwarding begins. The paper
+/// compares two consecutive units; see the inline comment in `on_retire`
+/// for why the scaled substrate uses three.
+pub const WARMING_WINDOW: usize = 3;
+
+/// How many consecutive designated-TB lifetimes make one sampling unit.
+///
+/// The paper's unit is a single designated TB. Our workloads scale each
+/// TB's work down by ~3 orders of magnitude (so full simulations finish
+/// in minutes), which makes one TB lifetime shorter than the simulator's
+/// queue/cache warm-up transient — consecutive raw units then agree to
+/// within 10% while still riding the transient, and fast-forwarding locks
+/// in a biased IPC. Spanning a unit over three designated TBs restores
+/// the paper's unit-length-to-warm-up ratio (two lifetimes suffice once
+/// the simulator's dispatch stagger removes the lockstep start).
+/// Recorded in DESIGN.md.
+pub const DEFAULT_UNIT_TB_SPAN: u32 = 2;
+
+impl<'a> RegionSampler<'a> {
+    /// New sampler with the paper's 10% warming threshold.
+    pub fn new(table: &'a RegionTable, profile: &'a LaunchProfile) -> Self {
+        Self::with_threshold(table, profile, 0.10)
+    }
+
+    /// New sampler with an explicit warming threshold (ablation).
+    pub fn with_threshold(
+        table: &'a RegionTable,
+        profile: &'a LaunchProfile,
+        warming_threshold: f64,
+    ) -> Self {
+        Self::with_options(
+            table,
+            profile,
+            warming_threshold,
+            DEFAULT_UNIT_TB_SPAN,
+            WARMING_WINDOW,
+        )
+    }
+
+    /// Fully parameterised constructor (ablation benches).
+    pub fn with_options(
+        table: &'a RegionTable,
+        profile: &'a LaunchProfile,
+        warming_threshold: f64,
+        unit_tb_span: u32,
+        warming_window: usize,
+    ) -> Self {
+        RegionSampler {
+            table,
+            profile,
+            warming_threshold,
+            unit_tb_span: unit_tb_span.max(1),
+            warming_window: warming_window.max(2),
+            state: State::Outside,
+            resident: HashSet::new(),
+            resident_region: None,
+            designated: None,
+            need_designation: true,
+            unit_tbs_retired: 0,
+            unit_start_cycle: 0,
+            unit_start_insts: 0,
+            warm_ipcs: Vec::new(),
+            outcome: IntraOutcome::default(),
+            events: None,
+        }
+    }
+
+    /// The accounting gathered so far (read after simulation).
+    pub fn outcome(&self) -> IntraOutcome {
+        self.outcome
+    }
+
+    /// Enable the event log (see [`SamplerEvent`]).
+    pub fn with_event_log(mut self) -> Self {
+        self.events = Some(Vec::new());
+        self
+    }
+
+    /// The recorded events, if logging was enabled.
+    pub fn events(&self) -> Option<&[SamplerEvent]> {
+        self.events.as_deref()
+    }
+
+    fn log(&mut self, ev: SamplerEvent) {
+        if let Some(log) = &mut self.events {
+            log.push(ev);
+        }
+    }
+
+    fn recompute_resident_region(&mut self) {
+        let mut iter = self.resident.iter();
+        let Some(&first) = iter.next() else {
+            self.resident_region = None;
+            return;
+        };
+        let r0 = self.table.region_of(TbId(first));
+        if r0.is_none() {
+            self.resident_region = None;
+            return;
+        }
+        for &tb in iter {
+            if self.table.region_of(TbId(tb)) != r0 {
+                self.resident_region = None;
+                return;
+            }
+        }
+        self.resident_region = r0;
+    }
+
+    fn maybe_enter(&mut self, cycle: u64) {
+        if self.state != State::Outside {
+            return;
+        }
+        self.recompute_resident_region();
+        if let Some(r) = self.resident_region {
+            self.state = State::Warming(r);
+            self.warm_ipcs.clear();
+            self.outcome.regions_entered += 1;
+            self.log(SamplerEvent::RegionEntered { region: r, cycle });
+        }
+    }
+
+    fn exit_region(&mut self, cycle: u64) {
+        self.state = State::Outside;
+        self.warm_ipcs.clear();
+        self.log(SamplerEvent::RegionExited { cycle });
+    }
+}
+
+impl SamplingHook for RegionSampler<'_> {
+    fn on_dispatch(&mut self, tb: TbId, cycle: u64, issued: u64) -> DispatchDecision {
+        let region = self.table.region_of(tb);
+
+        // Fast-forward: skip in-region blocks outright.
+        if let State::FastForward { region: r, ipc } = self.state {
+            if region == Some(r) {
+                let insts = self.profile.tbs[tb.0 as usize].warp_insts;
+                self.outcome.skipped_tbs += 1;
+                self.outcome.skipped_warp_insts += insts;
+                if ipc > 0.0 {
+                    self.outcome.predicted_skipped_cycles += insts as f64 / ipc;
+                }
+                self.log(SamplerEvent::BlockSkipped {
+                    tb: tb.0,
+                    warp_insts: insts,
+                });
+                return DispatchDecision::Skip;
+            }
+            // A block from elsewhere: the region exits (Fig. 7).
+            self.exit_region(cycle);
+        } else if let State::Warming(r) = self.state {
+            if region != Some(r) {
+                self.exit_region(cycle);
+            }
+        }
+
+        // Simulate the block.
+        self.resident.insert(tb.0);
+        if self.need_designation {
+            self.designated = Some(tb.0);
+            self.need_designation = false;
+            // The unit's clock starts with its first designated TB only;
+            // later designated TBs extend the same unit.
+            if self.unit_tbs_retired == 0 {
+                self.unit_start_cycle = cycle;
+                self.unit_start_insts = issued;
+            }
+        }
+        self.maybe_enter(cycle);
+        DispatchDecision::Simulate
+    }
+
+    fn on_retire(&mut self, tb: TbId, cycle: u64, issued: u64) {
+        self.resident.remove(&tb.0);
+
+        if self.designated == Some(tb.0) {
+            // A designated TB retired; the next simulated dispatch takes
+            // over. The unit closes after `unit_tb_span` such lifetimes.
+            self.designated = None;
+            self.need_designation = true;
+            self.unit_tbs_retired += 1;
+            if self.unit_tbs_retired < self.unit_tb_span {
+                return self.maybe_enter(cycle);
+            }
+            self.unit_tbs_retired = 0;
+            // Close the sampling unit.
+            let cycles = cycle.saturating_sub(self.unit_start_cycle);
+            let insts = issued.saturating_sub(self.unit_start_insts);
+            if cycles > 0 && insts > 0 {
+                let unit_ipc = insts as f64 / cycles as f64;
+                self.outcome.units_observed += 1;
+                self.log(SamplerEvent::UnitClosed {
+                    ipc: unit_ipc,
+                    cycle,
+                });
+                if let State::Warming(r) = self.state {
+                    self.warm_ipcs.push(unit_ipc);
+                    // The paper declares the caches stable when the
+                    // current and previous units agree within the
+                    // threshold. Our scaled substrate drifts monotonically
+                    // in sub-threshold steps during its (relatively much
+                    // longer) queue warm-up, so we additionally require
+                    // the unit BEFORE the pair to agree — i.e. the last
+                    // `WARMING_WINDOW` units must be pairwise within the
+                    // band, which rejects a sustained trend.
+                    let n = self.warm_ipcs.len();
+                    if n >= self.warming_window {
+                        let window = &self.warm_ipcs[n - self.warming_window..];
+                        let lo = window.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let hi = window.iter().cloned().fold(0.0f64, f64::max);
+                        if lo > 0.0 && (hi - lo) / lo < self.warming_threshold {
+                            // Stable: fast-forward, predicting with the
+                            // last warm unit's IPC.
+                            self.state = State::FastForward {
+                                region: r,
+                                ipc: unit_ipc,
+                            };
+                            self.log(SamplerEvent::FastForwardStarted {
+                                region: r,
+                                ipc: unit_ipc,
+                                cycle,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.maybe_enter(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intra::{build_epochs, identify_regions, IntraConfig};
+    use tbpoint_emu::profile_launch;
+    use tbpoint_ir::{AddrPattern, Kernel, KernelBuilder, LaunchId, LaunchSpec, Op, TripCount};
+    use tbpoint_sim::{simulate_launch, GpuConfig, NullSampling};
+
+    /// A perfectly homogeneous kernel: every TB identical.
+    fn homogeneous_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("homog", 31, 128);
+        let body = b.block(&[
+            Op::IAlu,
+            Op::FAlu,
+            Op::LdGlobal(AddrPattern::Coalesced {
+                region: 0,
+                stride: 4,
+            }),
+        ]);
+        let n = b.loop_(TripCount::Const(30), body);
+        b.finish(n)
+    }
+
+    fn spec(n: u32) -> LaunchSpec {
+        LaunchSpec {
+            launch_id: LaunchId(0),
+            num_blocks: n,
+            work_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn homogeneous_launch_gets_fast_forwarded() {
+        let k = homogeneous_kernel();
+        let cfg = GpuConfig::fermi();
+        let sp = spec(3000);
+        let profile = profile_launch(&k, &sp, 2);
+        let occupancy = cfg.system_occupancy(&k);
+        let epochs = build_epochs(&profile, occupancy);
+        let table = identify_regions(&epochs, &IntraConfig::default());
+        assert_eq!(table.regions.len(), 1, "homogeneous kernel -> one region");
+
+        let mut sampler = RegionSampler::new(&table, &profile);
+        let r = simulate_launch(&k, &sp, &cfg, &mut sampler, None);
+        let out = sampler.outcome();
+        assert!(out.skipped_tbs > 0, "fast-forward must engage: {out:?}");
+        assert_eq!(r.skipped_tbs, out.skipped_tbs);
+        assert!(out.units_observed >= 2, "warming needs at least two units");
+        assert_eq!(out.regions_entered, 1);
+        assert!(out.predicted_skipped_cycles > 0.0);
+        // Accounting consistency: skipped + issued = full workload.
+        let total: u64 = profile.tbs.iter().map(|t| t.warp_insts).sum();
+        assert_eq!(out.skipped_warp_insts + r.issued_warp_insts, total);
+    }
+
+    #[test]
+    fn sampled_ipc_close_to_full_ipc() {
+        let k = homogeneous_kernel();
+        let cfg = GpuConfig::fermi();
+        let sp = spec(3000);
+        let profile = profile_launch(&k, &sp, 2);
+        let epochs = build_epochs(&profile, cfg.system_occupancy(&k));
+        let table = identify_regions(&epochs, &IntraConfig::default());
+
+        let full = simulate_launch(&k, &sp, &cfg, &mut NullSampling, None);
+        let mut sampler = RegionSampler::new(&table, &profile);
+        let sampled = simulate_launch(&k, &sp, &cfg, &mut sampler, None);
+        let out = sampler.outcome();
+
+        let full_ipc = full.ipc();
+        let predicted_cycles = sampled.cycles as f64 + out.predicted_skipped_cycles;
+        let total_insts = (sampled.issued_warp_insts + out.skipped_warp_insts) as f64;
+        let predicted_ipc = total_insts / predicted_cycles;
+        let err = ((predicted_ipc - full_ipc) / full_ipc).abs();
+        assert!(
+            err < 0.10,
+            "sampling error {:.2}% too high (pred {predicted_ipc:.3} vs full {full_ipc:.3})",
+            err * 100.0
+        );
+        // And it actually saved work.
+        assert!(sampled.issued_warp_insts < full.issued_warp_insts / 2);
+    }
+
+    #[test]
+    fn empty_region_table_simulates_everything() {
+        let k = homogeneous_kernel();
+        let cfg = GpuConfig::fermi();
+        let sp = spec(300);
+        let profile = profile_launch(&k, &sp, 2);
+        let table = RegionTable::default();
+        let mut sampler = RegionSampler::new(&table, &profile);
+        let r = simulate_launch(&k, &sp, &cfg, &mut sampler, None);
+        assert_eq!(r.skipped_tbs, 0);
+        assert_eq!(sampler.outcome().skipped_tbs, 0);
+        assert_eq!(sampler.outcome().regions_entered, 0);
+    }
+
+    #[test]
+    fn event_log_tells_a_consistent_story() {
+        let k = homogeneous_kernel();
+        let cfg = GpuConfig::fermi();
+        let sp = spec(3000);
+        let profile = profile_launch(&k, &sp, 2);
+        let epochs = build_epochs(&profile, cfg.system_occupancy(&k));
+        let table = identify_regions(&epochs, &IntraConfig::default());
+        let mut sampler = RegionSampler::new(&table, &profile).with_event_log();
+        simulate_launch(&k, &sp, &cfg, &mut sampler, None);
+        let out = sampler.outcome();
+        let events = sampler.events().expect("logging enabled").to_vec();
+        assert!(!events.is_empty());
+        // Counts in the log agree with the outcome counters.
+        let entered = events
+            .iter()
+            .filter(|e| matches!(e, SamplerEvent::RegionEntered { .. }))
+            .count();
+        let skipped = events
+            .iter()
+            .filter(|e| matches!(e, SamplerEvent::BlockSkipped { .. }))
+            .count();
+        let units = events
+            .iter()
+            .filter(|e| matches!(e, SamplerEvent::UnitClosed { .. }))
+            .count();
+        assert_eq!(entered as u32, out.regions_entered);
+        assert_eq!(skipped as u32, out.skipped_tbs);
+        assert_eq!(units as u32, out.units_observed);
+        // Fast-forward must come after the region entry, and the first
+        // skip after the fast-forward start.
+        let i_enter = events
+            .iter()
+            .position(|e| matches!(e, SamplerEvent::RegionEntered { .. }))
+            .unwrap();
+        let i_ff = events
+            .iter()
+            .position(|e| matches!(e, SamplerEvent::FastForwardStarted { .. }))
+            .expect("homogeneous launch must fast-forward");
+        let i_skip = events
+            .iter()
+            .position(|e| matches!(e, SamplerEvent::BlockSkipped { .. }))
+            .unwrap();
+        assert!(i_enter < i_ff && i_ff < i_skip);
+        // Disabled logging costs nothing and returns None.
+        let mut plain = RegionSampler::new(&table, &profile);
+        simulate_launch(&k, &sp, &cfg, &mut plain, None);
+        assert!(plain.events().is_none());
+    }
+
+    #[test]
+    fn tight_threshold_delays_fast_forward() {
+        let k = homogeneous_kernel();
+        let cfg = GpuConfig::fermi();
+        let sp = spec(3000);
+        let profile = profile_launch(&k, &sp, 2);
+        let epochs = build_epochs(&profile, cfg.system_occupancy(&k));
+        let table = identify_regions(&epochs, &IntraConfig::default());
+
+        let mut loose = RegionSampler::with_threshold(&table, &profile, 0.5);
+        simulate_launch(&k, &sp, &cfg, &mut loose, None);
+        let mut tight = RegionSampler::with_threshold(&table, &profile, 1e-6);
+        simulate_launch(&k, &sp, &cfg, &mut tight, None);
+        assert!(
+            tight.outcome().skipped_tbs <= loose.outcome().skipped_tbs,
+            "tighter warming threshold must not skip more: tight {:?} loose {:?}",
+            tight.outcome(),
+            loose.outcome()
+        );
+    }
+}

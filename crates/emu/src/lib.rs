@@ -1,0 +1,36 @@
+//! # tbpoint-emu
+//!
+//! SIMT functional emulator — the reproduction's stand-in for GPUOcelot.
+//!
+//! TBPoint's profiling step (Section II-B of the paper) runs each kernel
+//! once through a *functional* simulator and records, per thread block:
+//! thread instructions, warp instructions, memory requests (after
+//! coalescing) and — for the Ideal-SimPoint baseline — per-basic-block
+//! execution counts. Those counters are **hardware independent**: they
+//! depend only on the program and its input, never on cache sizes, warp
+//! scheduling or SM counts. That is what lets TBPoint profile once and
+//! re-cluster cheaply for any simulated configuration.
+//!
+//! The emulator walks a warp's structured program with an active lane
+//! mask ([`walker`]), from which two consumers are built:
+//!
+//! * [`profile`] — streaming per-TB / per-launch profiles (no trace is
+//!   materialised; counters only), parallelised over thread blocks;
+//! * [`trace`] — materialised per-warp instruction traces that the timing
+//!   simulator replays. Traces store `(op, mask, iter_key)` and recompute
+//!   addresses deterministically, keeping them compact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod profile;
+pub mod trace;
+pub mod walker;
+
+pub use divergence::DivergenceReport;
+pub use profile::{
+    profile_launch, profile_run, InterFeatures, LaunchProfile, RunProfile, TbProfile,
+};
+pub use trace::{trace_warp, TraceInst, WarpTrace};
+pub use walker::{walk_warp, WarpEvent};

@@ -1,0 +1,485 @@
+//! Hardware-independent profiling: the GPUOcelot role.
+//!
+//! Per thread block we collect exactly the counters the paper's two
+//! samplers need (Sections III and IV-B1):
+//!
+//! * `thread_insts` — kernel-launch-size feature, and the per-TB "thread
+//!   block size" that classifies kernels as regular/irregular (Fig. 8);
+//! * `warp_insts` — control-flow-divergence feature, and the denominator
+//!   of the per-TB stall probability;
+//! * `mem_requests` — memory-divergence feature, and the numerator of the
+//!   stall probability `p ≈ mem_requests / warp_insts`;
+//! * `bbv` — per-basic-block warp-instruction counts, used *only* by the
+//!   Ideal-SimPoint baseline (TBPoint itself never needs them).
+//!
+//! Profiling is one-time per kernel/input pair: every downstream artifact
+//! (inter-launch clustering, epoch tables for any occupancy) derives from
+//! these records without re-running the emulator.
+
+use crate::walker::walk_warp;
+use serde::{Deserialize, Serialize};
+use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LatencyClass, LaunchSpec, TbId};
+use tbpoint_stats::cov;
+
+/// Profile of a single thread block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TbProfile {
+    /// The thread block.
+    pub tb_id: TbId,
+    /// Thread instructions executed (sum of active lanes over warp insts).
+    pub thread_insts: u64,
+    /// Warp instructions executed.
+    pub warp_insts: u64,
+    /// Global-memory warp instructions executed.
+    pub mem_insts: u64,
+    /// Global-memory requests after intra-warp coalescing.
+    pub mem_requests: u64,
+    /// Shared-memory accesses (not stall events in the paper's model).
+    pub shared_accesses: u64,
+    /// Barriers executed (per warp).
+    pub barriers: u64,
+    /// Per-basic-block warp-instruction counts (BBV), indexed by block id.
+    pub bbv: Vec<u64>,
+}
+
+impl TbProfile {
+    /// The paper's per-TB stall probability approximation:
+    /// `mem_requests / warp_insts` (Eq. 5). Zero for an empty TB.
+    pub fn stall_probability(&self) -> f64 {
+        if self.warp_insts == 0 {
+            0.0
+        } else {
+            self.mem_requests as f64 / self.warp_insts as f64
+        }
+    }
+
+    /// "Thread block size" in the paper's sense: thread instructions.
+    pub fn size(&self) -> u64 {
+        self.thread_insts
+    }
+}
+
+/// Profile of one kernel launch: per-TB profiles plus launch aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchProfile {
+    /// Which launch this is.
+    pub spec: LaunchSpec,
+    /// Per-thread-block profiles, indexed by TB id.
+    pub tbs: Vec<TbProfile>,
+}
+
+/// The four inter-launch features of Eq. 2, *before* normalisation by the
+/// per-feature averages (normalisation needs all launches, so it happens
+/// in `tbpoint-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterFeatures {
+    /// Kernel launch size: total thread instructions.
+    pub thread_insts: f64,
+    /// Control-flow divergence proxy: total warp instructions.
+    pub warp_insts: f64,
+    /// Memory divergence: total memory requests.
+    pub mem_requests: f64,
+    /// Thread-block variation: CoV of per-TB sizes.
+    pub tb_size_cov: f64,
+}
+
+impl InterFeatures {
+    /// As a clustering point (fixed dimension order).
+    pub fn to_point(self) -> Vec<f64> {
+        vec![
+            self.thread_insts,
+            self.warp_insts,
+            self.mem_requests,
+            self.tb_size_cov,
+        ]
+    }
+}
+
+impl LaunchProfile {
+    /// Total thread instructions in the launch.
+    pub fn thread_insts(&self) -> u64 {
+        self.tbs.iter().map(|t| t.thread_insts).sum()
+    }
+
+    /// Total warp instructions in the launch.
+    pub fn warp_insts(&self) -> u64 {
+        self.tbs.iter().map(|t| t.warp_insts).sum()
+    }
+
+    /// Total memory requests in the launch.
+    pub fn mem_requests(&self) -> u64 {
+        self.tbs.iter().map(|t| t.mem_requests).sum()
+    }
+
+    /// CoV of thread-block sizes (the fourth feature of Eq. 2).
+    pub fn tb_size_cov(&self) -> f64 {
+        let sizes: Vec<f64> = self.tbs.iter().map(|t| t.thread_insts as f64).collect();
+        cov(&sizes)
+    }
+
+    /// Launch-level BBV: per-basic-block warp-instruction counts summed
+    /// over the launch's thread blocks (the paper's footnote-2 extension
+    /// feeds this into the inter-launch feature vector).
+    pub fn bbv(&self) -> Vec<u64> {
+        let dims = self.tbs.first().map_or(0, |t| t.bbv.len());
+        let mut acc = vec![0u64; dims];
+        for tb in &self.tbs {
+            for (a, &c) in acc.iter_mut().zip(&tb.bbv) {
+                *a += c;
+            }
+        }
+        acc
+    }
+
+    /// The raw (unnormalised) inter-launch feature tuple.
+    pub fn inter_features(&self) -> InterFeatures {
+        InterFeatures {
+            thread_insts: self.thread_insts() as f64,
+            warp_insts: self.warp_insts() as f64,
+            mem_requests: self.mem_requests() as f64,
+            tb_size_cov: self.tb_size_cov(),
+        }
+    }
+}
+
+/// Profile of a whole benchmark run (every launch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Kernel name (Table VI abbreviation).
+    pub kernel_name: String,
+    /// Per-launch profiles, in launch order.
+    pub launches: Vec<LaunchProfile>,
+}
+
+impl RunProfile {
+    /// Total warp instructions across every launch (denominator of the
+    /// total-sample-size metric, Fig. 10).
+    pub fn total_warp_insts(&self) -> u64 {
+        self.launches.iter().map(|l| l.warp_insts()).sum()
+    }
+
+    /// Total thread instructions across every launch.
+    pub fn total_thread_insts(&self) -> u64 {
+        self.launches.iter().map(|l| l.thread_insts()).sum()
+    }
+
+    /// Persist the profile as JSON — the one-time-profiling workflow:
+    /// profile once, save, and feed any number of simulated
+    /// configurations from the file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, serde_json::to_vec(self)?)
+    }
+
+    /// Load a profile saved with [`RunProfile::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<RunProfile> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+/// Profile one thread block (single-threaded, streaming).
+pub fn profile_tb(kernel: &Kernel, ctx: &ExecCtx, tb_id: TbId) -> TbProfile {
+    let mut p = TbProfile {
+        tb_id,
+        thread_insts: 0,
+        warp_insts: 0,
+        mem_insts: 0,
+        mem_requests: 0,
+        shared_accesses: 0,
+        barriers: 0,
+        bbv: vec![0; kernel.num_basic_blocks as usize],
+    };
+    for warp in 0..kernel.warps_per_block() {
+        let gtid_base = ctx.block_id as u64 * kernel.threads_per_block as u64 + warp as u64 * 32;
+        walk_warp(kernel, ctx, warp, &mut |ev| {
+            p.warp_insts += 1;
+            p.thread_insts += ev.mask.count_ones() as u64;
+            p.bbv[ev.bb.0 as usize] += 1;
+            match ev.inst.op.latency_class() {
+                LatencyClass::GlobalMem => {
+                    p.mem_insts += 1;
+                    let pat = ev.inst.op.addr_pattern().expect("global op has pattern");
+                    p.mem_requests += pat
+                        .coalesced_lines(ctx, gtid_base, ev.mask, ev.iter_key, ev.inst.site)
+                        .len() as u64;
+                }
+                LatencyClass::SharedMem => p.shared_accesses += 1,
+                LatencyClass::Barrier => p.barriers += 1,
+                _ => {}
+            }
+        });
+    }
+    p
+}
+
+/// Profile every thread block of a launch, fanning TBs out over `threads`
+/// crossbeam workers. Output order is by TB id regardless of thread count.
+pub fn profile_launch(kernel: &Kernel, spec: &LaunchSpec, threads: usize) -> LaunchProfile {
+    let n = spec.num_blocks as usize;
+    let mut tbs: Vec<TbProfile> = Vec::with_capacity(n);
+    let make_ctx = |block_id: u32| ExecCtx {
+        kernel_seed: kernel.seed,
+        launch_id: spec.launch_id,
+        block_id,
+        num_blocks: spec.num_blocks,
+        work_scale: spec.work_scale,
+    };
+    let threads = threads.max(1);
+    if threads == 1 || n < 64 {
+        for b in 0..n {
+            tbs.push(profile_tb(kernel, &make_ctx(b as u32), TbId(b as u32)));
+        }
+    } else {
+        let mut slots: Vec<Option<TbProfile>> = vec![None; n];
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, slice) in slots.chunks_mut(chunk).enumerate() {
+                let base = t * chunk;
+                scope.spawn(move |_| {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let b = (base + off) as u32;
+                        *slot = Some(profile_tb(kernel, &make_ctx(b), TbId(b)));
+                    }
+                });
+            }
+        })
+        .expect("profiling worker panicked");
+        tbs.extend(slots.into_iter().map(|s| s.expect("all TBs profiled")));
+    }
+    LaunchProfile { spec: *spec, tbs }
+}
+
+/// Profile a whole benchmark run (all launches).
+pub fn profile_run(run: &KernelRun, threads: usize) -> RunProfile {
+    RunProfile {
+        kernel_name: run.kernel.name.clone(),
+        launches: run
+            .launches
+            .iter()
+            .map(|spec| profile_launch(&run.kernel, spec, threads))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbpoint_ir::{AddrPattern, Cond, Dist, KernelBuilder, LaunchId, Op, TripCount};
+
+    fn launch(n_blocks: u32) -> LaunchSpec {
+        LaunchSpec {
+            launch_id: LaunchId(0),
+            num_blocks: n_blocks,
+            work_scale: 1.0,
+        }
+    }
+
+    fn simple_kernel(tpb: u32) -> Kernel {
+        let mut b = KernelBuilder::new("t", 5, tpb);
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Coalesced {
+                region: 0,
+                stride: 4,
+            }),
+        ]);
+        let n = b.loop_(TripCount::Const(4), body);
+        b.finish(n)
+    }
+
+    #[test]
+    fn counts_straight_line_kernel() {
+        let k = simple_kernel(64); // 2 warps
+        let ctx = ExecCtx {
+            kernel_seed: 5,
+            launch_id: LaunchId(0),
+            block_id: 0,
+            num_blocks: 1,
+            work_scale: 1.0,
+        };
+        let p = profile_tb(&k, &ctx, TbId(0));
+        // 2 warps * 4 iterations * 2 insts = 16 warp insts.
+        assert_eq!(p.warp_insts, 16);
+        assert_eq!(p.thread_insts, 16 * 32);
+        // 1 coalesced load per iteration per warp = 8 requests (32 lanes x
+        // 4B = 1 line each).
+        assert_eq!(p.mem_requests, 8);
+        assert_eq!(p.bbv.len(), 1);
+        assert_eq!(p.bbv[0], 16);
+        assert!((p.stall_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_reduces_thread_insts_not_warp_insts() {
+        let mut b = KernelBuilder::new("t", 5, 32);
+        let t = b.block(&[Op::IAlu]);
+        let n = b.if_(Cond::LaneLt(8), t, None);
+        let k = b.finish(n);
+        let ctx = ExecCtx {
+            kernel_seed: 5,
+            launch_id: LaunchId(0),
+            block_id: 0,
+            num_blocks: 1,
+            work_scale: 1.0,
+        };
+        let p = profile_tb(&k, &ctx, TbId(0));
+        assert_eq!(p.warp_insts, 1);
+        assert_eq!(p.thread_insts, 8);
+    }
+
+    #[test]
+    fn strided_loads_inflate_mem_requests() {
+        let mut b = KernelBuilder::new("t", 5, 32);
+        let n = b.block(&[Op::LdGlobal(AddrPattern::Strided {
+            region: 0,
+            stride: 128,
+        })]);
+        let k = b.finish(n);
+        let ctx = ExecCtx {
+            kernel_seed: 5,
+            launch_id: LaunchId(0),
+            block_id: 0,
+            num_blocks: 1,
+            work_scale: 1.0,
+        };
+        let p = profile_tb(&k, &ctx, TbId(0));
+        assert_eq!(p.warp_insts, 1);
+        assert_eq!(p.mem_requests, 32);
+        assert_eq!(p.stall_probability(), 32.0);
+    }
+
+    #[test]
+    fn launch_aggregates_sum_tbs() {
+        let k = simple_kernel(64);
+        let lp = profile_launch(&k, &launch(10), 1);
+        assert_eq!(lp.tbs.len(), 10);
+        assert_eq!(lp.thread_insts(), 10 * 16 * 32);
+        assert_eq!(lp.warp_insts(), 160);
+        let f = lp.inter_features();
+        assert_eq!(f.thread_insts, (10 * 16 * 32) as f64);
+        // Homogeneous TBs: CoV must be 0.
+        assert_eq!(f.tb_size_cov, 0.0);
+    }
+
+    #[test]
+    fn parallel_profile_matches_serial() {
+        let mut b = KernelBuilder::new("t", 5, 64);
+        let site = b.fresh_site();
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Random {
+                region: 0,
+                bytes: 1 << 20,
+            }),
+        ]);
+        let n = b.loop_(
+            TripCount::PerThread {
+                base: 1,
+                spread: 9,
+                dist: Dist::PowerLaw { alpha: 2.0 },
+                site,
+            },
+            body,
+        );
+        let k = b.finish(n);
+        let serial = profile_launch(&k, &launch(200), 1);
+        let parallel = profile_launch(&k, &launch(200), 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn heterogeneous_blocks_have_nonzero_cov() {
+        let mut b = KernelBuilder::new("t", 5, 32);
+        let site = b.fresh_site();
+        let body = b.block(&[Op::IAlu]);
+        let n = b.loop_(
+            TripCount::PerBlock {
+                base: 1,
+                spread: 50,
+                dist: Dist::Uniform,
+                site,
+            },
+            body,
+        );
+        let k = b.finish(n);
+        let lp = profile_launch(&k, &launch(50), 1);
+        assert!(lp.tb_size_cov() > 0.1, "cov = {}", lp.tb_size_cov());
+    }
+
+    #[test]
+    fn empty_tb_stall_probability_is_zero() {
+        let p = TbProfile {
+            tb_id: TbId(0),
+            thread_insts: 0,
+            warp_insts: 0,
+            mem_insts: 0,
+            mem_requests: 0,
+            shared_accesses: 0,
+            barriers: 0,
+            bbv: vec![],
+        };
+        assert_eq!(p.stall_probability(), 0.0);
+    }
+
+    #[test]
+    fn run_profile_totals() {
+        let k = simple_kernel(32);
+        let run = KernelRun {
+            kernel: k,
+            launches: vec![
+                LaunchSpec {
+                    launch_id: LaunchId(0),
+                    num_blocks: 2,
+                    work_scale: 1.0,
+                },
+                LaunchSpec {
+                    launch_id: LaunchId(1),
+                    num_blocks: 3,
+                    work_scale: 1.0,
+                },
+            ],
+        };
+        let rp = profile_run(&run, 1);
+        assert_eq!(rp.launches.len(), 2);
+        // 1 warp * 4 iters * 2 insts = 8 warp insts per TB; 5 TBs total.
+        assert_eq!(rp.total_warp_insts(), 40);
+    }
+
+    #[test]
+    fn profile_save_load_roundtrip() {
+        let k = simple_kernel(64);
+        let run = KernelRun {
+            kernel: k,
+            launches: vec![LaunchSpec {
+                launch_id: LaunchId(0),
+                num_blocks: 5,
+                work_scale: 1.0,
+            }],
+        };
+        let rp = profile_run(&run, 1);
+        let path = std::env::temp_dir().join("tbpoint_profile_roundtrip.json");
+        rp.save(&path).unwrap();
+        let back = RunProfile::load(&path).unwrap();
+        assert_eq!(rp, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn work_scale_changes_launch_size() {
+        let k = simple_kernel(32);
+        let small = profile_launch(&k, &launch(4), 1);
+        let big = profile_launch(
+            &k,
+            &LaunchSpec {
+                launch_id: LaunchId(0),
+                num_blocks: 4,
+                work_scale: 3.0,
+            },
+            1,
+        );
+        assert_eq!(big.warp_insts(), 3 * small.warp_insts());
+    }
+}

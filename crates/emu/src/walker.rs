@@ -1,0 +1,299 @@
+//! The SIMT warp walker: executes one warp's structured program with an
+//! active lane mask, invoking a callback per warp instruction.
+//!
+//! Both the profiler and the tracer are thin sinks over this walker, so
+//! they see byte-identical instruction streams — the property that makes
+//! profiling results transferable to the timing simulator.
+
+use tbpoint_ir::{Cond, ExecCtx, Inst, Kernel, Node, TripCount, WARP_SIZE};
+
+/// One dynamic warp instruction, as seen by a walker sink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarpEvent<'a> {
+    /// The static instruction.
+    pub inst: &'a Inst,
+    /// Active lane mask (bit `l` = lane `l` executes).
+    pub mask: u32,
+    /// Basic block this instruction belongs to.
+    pub bb: tbpoint_ir::BasicBlockId,
+    /// Mixed key of the enclosing loop iteration indices; feeds address
+    /// generation so different iterations touch different data.
+    pub iter_key: u32,
+}
+
+/// Execute warp `warp_id` of thread block `ctx.block_id` and call `sink`
+/// once per dynamic warp instruction (in program order).
+///
+/// The initial active mask covers lanes whose thread id is within
+/// `threads_per_block`; divergence then only ever narrows it, and sibling
+/// paths of an `if` reconverge at the join point (structured control
+/// flow — see the crate docs for why this is a faithful substitution).
+pub fn walk_warp(
+    kernel: &Kernel,
+    ctx: &ExecCtx,
+    warp_id: u32,
+    sink: &mut impl FnMut(WarpEvent<'_>),
+) {
+    let first_thread = warp_id * WARP_SIZE;
+    if first_thread >= kernel.threads_per_block {
+        return; // warp entirely out of range
+    }
+    let live_lanes = (kernel.threads_per_block - first_thread).min(WARP_SIZE);
+    let initial_mask = if live_lanes == 32 {
+        u32::MAX
+    } else {
+        (1u32 << live_lanes) - 1
+    };
+    // Global thread id of lane 0: unique across blocks of the launch.
+    let gtid_base = ctx.block_id as u64 * kernel.threads_per_block as u64 + first_thread as u64;
+    walk_node(&kernel.program, ctx, gtid_base, initial_mask, 0, sink);
+}
+
+fn walk_node(
+    node: &Node,
+    ctx: &ExecCtx,
+    gtid_base: u64,
+    mask: u32,
+    iter_key: u32,
+    sink: &mut impl FnMut(WarpEvent<'_>),
+) {
+    if mask == 0 {
+        return;
+    }
+    match node {
+        Node::Block { id, insts } => {
+            for inst in insts {
+                sink(WarpEvent {
+                    inst,
+                    mask,
+                    bb: *id,
+                    iter_key,
+                });
+            }
+        }
+        Node::Seq(nodes) => {
+            for n in nodes {
+                walk_node(n, ctx, gtid_base, mask, iter_key, sink);
+            }
+        }
+        Node::If { cond, then_, else_ } => {
+            let taken = eval_cond_mask(cond, ctx, gtid_base, mask);
+            walk_node(then_, ctx, gtid_base, taken, iter_key, sink);
+            if let Some(e) = else_ {
+                walk_node(e, ctx, gtid_base, mask & !taken, iter_key, sink);
+            }
+            // Implicit reconvergence: callers continue with `mask`.
+        }
+        Node::Loop { trips, body } => {
+            // Per-lane trip counts; the warp iterates until every active
+            // lane has exhausted its count, with the mask shrinking as
+            // lanes finish (SIMT loop divergence).
+            let mut counts = [0u32; WARP_SIZE as usize];
+            let mut max_trips = 0;
+            for lane in 0..WARP_SIZE {
+                if mask & (1 << lane) != 0 {
+                    let c = trips.eval(ctx, gtid_base + lane as u64);
+                    counts[lane as usize] = c;
+                    max_trips = max_trips.max(c);
+                }
+            }
+            for iter in 0..max_trips {
+                let mut m = 0u32;
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 && counts[lane as usize] > iter {
+                        m |= 1 << lane;
+                    }
+                }
+                if m == 0 {
+                    break;
+                }
+                // Mix this loop's iteration into the key; the constant is
+                // an odd multiplier so nested loops decorrelate.
+                let key = iter_key.wrapping_mul(0x9E37_79B9).wrapping_add(iter + 1);
+                walk_node(body, ctx, gtid_base, m, key, sink);
+            }
+        }
+    }
+}
+
+fn eval_cond_mask(cond: &Cond, ctx: &ExecCtx, gtid_base: u64, mask: u32) -> u32 {
+    // Warp-uniform conditions evaluate once (cheap and, for BlockProb,
+    // required: all lanes must agree by construction).
+    if cond.is_warp_uniform() {
+        return if cond.eval(ctx, gtid_base, 0) {
+            mask
+        } else {
+            0
+        };
+    }
+    let mut taken = 0u32;
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) != 0 && cond.eval(ctx, gtid_base + lane as u64, lane) {
+            taken |= 1 << lane;
+        }
+    }
+    taken
+}
+
+/// Is `trips` guaranteed warp-uniform? (Re-exported convenience used by
+/// tests; the walker itself handles both cases.)
+pub fn trips_warp_uniform(trips: &TripCount) -> bool {
+    trips.is_warp_uniform()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbpoint_ir::{AddrPattern, Dist, KernelBuilder, LaunchId, Op};
+
+    fn ctx(block: u32) -> ExecCtx {
+        ExecCtx {
+            kernel_seed: 3,
+            launch_id: LaunchId(0),
+            block_id: block,
+            num_blocks: 64,
+            work_scale: 1.0,
+        }
+    }
+
+    fn collect(kernel: &Kernel, ctx: &ExecCtx, warp: u32) -> Vec<(u32, u16)> {
+        let mut out = vec![];
+        walk_warp(kernel, ctx, warp, &mut |ev| out.push((ev.mask, ev.bb.0)));
+        out
+    }
+
+    #[test]
+    fn straight_line_full_mask() {
+        let mut b = KernelBuilder::new("t", 1, 64);
+        let n = b.block(&[Op::IAlu, Op::FAlu]);
+        let k = b.finish(n);
+        let evs = collect(&k, &ctx(0), 0);
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|&(m, _)| m == u32::MAX));
+    }
+
+    #[test]
+    fn partial_last_warp_mask() {
+        // 40 threads: warp 1 has only 8 live lanes.
+        let mut b = KernelBuilder::new("t", 1, 40);
+        let n = b.block(&[Op::IAlu]);
+        let k = b.finish(n);
+        let evs = collect(&k, &ctx(0), 1);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].0, 0xFF);
+        // Warp 2 does not exist.
+        assert!(collect(&k, &ctx(0), 2).is_empty());
+    }
+
+    #[test]
+    fn const_loop_repeats_body() {
+        let mut b = KernelBuilder::new("t", 1, 32);
+        let body = b.block(&[Op::IAlu, Op::IAlu]);
+        let n = b.loop_(tbpoint_ir::TripCount::Const(5), body);
+        let k = b.finish(n);
+        let evs = collect(&k, &ctx(0), 0);
+        assert_eq!(evs.len(), 10);
+    }
+
+    #[test]
+    fn lane_lt_if_splits_mask() {
+        let mut b = KernelBuilder::new("t", 1, 32);
+        let t = b.block(&[Op::IAlu]);
+        let e = b.block(&[Op::FAlu]);
+        let n = b.if_(Cond::LaneLt(4), t, Some(e));
+        let k = b.finish(n);
+        let evs = collect(&k, &ctx(0), 0);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].0, 0b1111);
+        assert_eq!(evs[1].0, !0b1111);
+    }
+
+    #[test]
+    fn never_taken_branch_emits_nothing() {
+        let mut b = KernelBuilder::new("t", 1, 32);
+        let t = b.block(&[Op::IAlu]);
+        let n = b.if_(Cond::Never, t, None);
+        let k = b.finish(n);
+        assert!(collect(&k, &ctx(0), 0).is_empty());
+    }
+
+    #[test]
+    fn divergent_loop_shrinks_mask() {
+        let mut b = KernelBuilder::new("t", 1, 32);
+        let site = b.fresh_site();
+        let body = b.block(&[Op::IAlu]);
+        let n = b.loop_(
+            tbpoint_ir::TripCount::PerThread {
+                base: 0,
+                spread: 8,
+                dist: Dist::Uniform,
+                site,
+            },
+            body,
+        );
+        let k = b.finish(n);
+        let evs = collect(&k, &ctx(0), 0);
+        assert!(!evs.is_empty());
+        // Masks must be non-increasing in popcount across iterations.
+        let pops: Vec<u32> = evs.iter().map(|&(m, _)| m.count_ones()).collect();
+        for w in pops.windows(2) {
+            assert!(w[1] <= w[0], "mask grew inside a loop: {pops:?}");
+        }
+        // And the first iteration must not already be empty.
+        assert!(pops[0] > 0);
+    }
+
+    #[test]
+    fn iter_keys_distinguish_iterations() {
+        let mut b = KernelBuilder::new("t", 1, 32);
+        let body = b.block(&[Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        })]);
+        let n = b.loop_(tbpoint_ir::TripCount::Const(3), body);
+        let k = b.finish(n);
+        let mut keys = vec![];
+        walk_warp(&k, &ctx(0), 0, &mut |ev| keys.push(ev.iter_key));
+        assert_eq!(keys.len(), 3);
+        keys.dedup();
+        assert_eq!(keys.len(), 3, "iteration keys must differ");
+    }
+
+    #[test]
+    fn different_blocks_see_different_divergence() {
+        let mut b = KernelBuilder::new("t", 1, 32);
+        let site = b.fresh_site();
+        let t = b.block(&[Op::IAlu]);
+        let n = b.if_(Cond::ThreadProb { p: 0.5, site }, t, None);
+        let k = b.finish(n);
+        let m0 = collect(&k, &ctx(0), 0);
+        let m1 = collect(&k, &ctx(1), 0);
+        // Same program, different blocks: taken masks should differ
+        // (probability of coincidence is 2^-32).
+        assert_ne!(m0, m1);
+    }
+
+    #[test]
+    fn walker_is_deterministic() {
+        let mut b = KernelBuilder::new("t", 9, 64);
+        let site = b.fresh_site();
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Random {
+                region: 1,
+                bytes: 1 << 16,
+            }),
+        ]);
+        let n = b.loop_(
+            tbpoint_ir::TripCount::PerThread {
+                base: 1,
+                spread: 5,
+                dist: Dist::Uniform,
+                site,
+            },
+            body,
+        );
+        let k = b.finish(n);
+        assert_eq!(collect(&k, &ctx(7), 1), collect(&k, &ctx(7), 1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Human-readable rendering of kernel programs, used by `tbpoint
+//! inspect` and handy in test failure output.
+
+use crate::inst::{AddrPattern, Op};
+use crate::program::{Cond, Dist, Node, TripCount};
+
+fn op_str(op: &Op) -> String {
+    match op {
+        Op::IAlu => "ialu".into(),
+        Op::FAlu => "falu".into(),
+        Op::Sfu => "sfu".into(),
+        Op::LdGlobal(p) => format!("ld.global {}", pattern_str(p)),
+        Op::StGlobal(p) => format!("st.global {}", pattern_str(p)),
+        Op::LdShared => "ld.shared".into(),
+        Op::StShared => "st.shared".into(),
+        Op::Barrier => "bar.sync".into(),
+    }
+}
+
+fn pattern_str(p: &AddrPattern) -> String {
+    match p {
+        AddrPattern::Coalesced { region, stride } => format!("coalesced[r{region} +{stride}B]"),
+        AddrPattern::Strided { region, stride } => format!("strided[r{region} +{stride}B]"),
+        AddrPattern::Random { region, bytes } => {
+            format!("random[r{region} {}KiB]", bytes / 1024)
+        }
+        AddrPattern::Broadcast { region } => format!("broadcast[r{region}]"),
+    }
+}
+
+fn dist_str(d: &Dist) -> String {
+    match d {
+        Dist::Uniform => "uniform".into(),
+        Dist::PowerLaw { alpha } => format!("powerlaw(a={alpha})"),
+        Dist::Bimodal { p_heavy } => format!("bimodal(p={p_heavy})"),
+    }
+}
+
+fn trips_str(t: &TripCount) -> String {
+    match t {
+        TripCount::Const(n) => format!("x{n}"),
+        TripCount::PerBlock {
+            base, spread, dist, ..
+        } => {
+            format!("x[{base}..{}] per-block {}", base + spread, dist_str(dist))
+        }
+        TripCount::PerThread {
+            base, spread, dist, ..
+        } => {
+            format!("x[{base}..{}] per-thread {}", base + spread, dist_str(dist))
+        }
+        TripCount::PerBlockPhase {
+            base,
+            spread,
+            phase_len,
+            dist,
+            ..
+        } => {
+            format!(
+                "x[{base}..{}] per-{phase_len}-block-phase {}",
+                base + spread,
+                dist_str(dist)
+            )
+        }
+    }
+}
+
+fn cond_str(c: &Cond) -> String {
+    match c {
+        Cond::Always => "always".into(),
+        Cond::Never => "never".into(),
+        Cond::ThreadProb { p, .. } => format!("per-thread p={p}"),
+        Cond::BlockProb { p, .. } => format!("per-block p={p}"),
+        Cond::LaneLt(k) => format!("lane < {k}"),
+    }
+}
+
+/// Render a program tree with 2-space indentation.
+pub fn render_program(node: &Node) -> String {
+    let mut out = String::new();
+    render(node, 0, &mut out);
+    out
+}
+
+fn render(node: &Node, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match node {
+        Node::Block { id, insts } => {
+            out.push_str(&format!("{pad}bb{}:\n", id.0));
+            for i in insts {
+                out.push_str(&format!("{pad}  {}\n", op_str(&i.op)));
+            }
+        }
+        Node::Seq(ns) => {
+            for n in ns {
+                render(n, depth, out);
+            }
+        }
+        Node::If { cond, then_, else_ } => {
+            out.push_str(&format!("{pad}if {} {{\n", cond_str(cond)));
+            render(then_, depth + 1, out);
+            if let Some(e) = else_ {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render(e, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Node::Loop { trips, body } => {
+            out.push_str(&format!("{pad}loop {} {{\n", trips_str(trips)));
+            render(body, depth + 1, out);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::types::WARP_SIZE;
+
+    #[test]
+    fn renders_nested_structure() {
+        let mut b = KernelBuilder::new("t", 1, WARP_SIZE);
+        let site = b.fresh_site();
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Random {
+                region: 2,
+                bytes: 4096 * 1024,
+            }),
+        ]);
+        let iffy = b.if_(Cond::LaneLt(8), body, None);
+        let program = b.loop_(
+            TripCount::PerThread {
+                base: 1,
+                spread: 7,
+                dist: Dist::Uniform,
+                site,
+            },
+            iffy,
+        );
+        let k = b.finish(program);
+        let s = render_program(&k.program);
+        assert!(s.contains("loop x[1..8] per-thread uniform {"), "{s}");
+        assert!(s.contains("if lane < 8 {"), "{s}");
+        assert!(s.contains("ld.global random[r2 4096KiB]"), "{s}");
+        assert!(s.contains("bb0:"), "{s}");
+        // Balanced braces.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn renders_every_op_kind() {
+        for op in [
+            Op::IAlu,
+            Op::FAlu,
+            Op::Sfu,
+            Op::LdGlobal(AddrPattern::Coalesced {
+                region: 0,
+                stride: 4,
+            }),
+            Op::StGlobal(AddrPattern::Strided {
+                region: 1,
+                stride: 128,
+            }),
+            Op::LdShared,
+            Op::StShared,
+            Op::Barrier,
+        ] {
+            assert!(!op_str(&op).is_empty());
+        }
+        assert_eq!(op_str(&Op::Barrier), "bar.sync");
+        assert_eq!(
+            op_str(&Op::LdGlobal(AddrPattern::Broadcast { region: 3 })),
+            "ld.global broadcast[r3]"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! Instructions and memory-address patterns.
+//!
+//! The timing model needs to know three things about an instruction: its
+//! functional-unit class (for latency), whether it touches memory (for the
+//! stall-probability feature, Eq. 5 of the paper), and — for global memory —
+//! which per-lane addresses it generates (for coalescing, which determines
+//! *memory divergence*, one of the four inter-launch features, Eq. 2).
+
+use crate::program::ExecCtx;
+use crate::types::WARP_SIZE;
+use serde::{Deserialize, Serialize};
+use tbpoint_stats::rng;
+
+/// Cache-line size in bytes (Fermi: 128 B, Table V of the paper).
+pub const LINE_BYTES: u64 = 128;
+
+/// Coarse latency class of an operation, consumed by the timing simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// Integer / single-precision ALU op.
+    Alu,
+    /// Special-function unit op (transcendentals) — longer pipeline.
+    Sfu,
+    /// Global/local memory access — variable latency, the paper's stall
+    /// events ("M" in the Markov model).
+    GlobalMem,
+    /// Software-managed shared memory access — short fixed latency.
+    SharedMem,
+    /// Block-wide barrier.
+    Barrier,
+}
+
+/// How a global-memory instruction computes its 32 per-lane addresses.
+///
+/// Patterns are *deterministic* functions of the executing context, so the
+/// profiler and the timing simulator agree on every address.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// `addr(lane) = region_base + (global_tid * stride + iter * row) `
+    /// with a small stride: consecutive lanes fall in the same 128-B lines.
+    /// One or two memory requests per warp instruction.
+    Coalesced {
+        /// Memory-region id (distinct arrays live in distinct regions).
+        region: u32,
+        /// Per-thread element stride in bytes (4 or 8 for fully coalesced).
+        stride: u32,
+    },
+    /// Large-stride accesses: every lane touches a different line.
+    /// Generates up to 32 requests per warp instruction.
+    Strided {
+        /// Memory-region id.
+        region: u32,
+        /// Per-thread stride in bytes (>= 128 defeats coalescing).
+        stride: u32,
+    },
+    /// Data-dependent gather (graph workloads): each lane addresses a
+    /// pseudo-random line in the region — the worst case for coalescing
+    /// and for cache locality.
+    Random {
+        /// Memory-region id.
+        region: u32,
+        /// Region size in bytes; addresses are drawn uniformly from it.
+        bytes: u64,
+    },
+    /// All lanes read the same address (lookup tables, kernel arguments).
+    /// Always exactly one request per warp instruction.
+    Broadcast {
+        /// Memory-region id.
+        region: u32,
+    },
+}
+
+impl AddrPattern {
+    /// Byte address for `lane` of the warp whose first thread has global
+    /// thread id `gtid_base`, at loop iteration `iter` of program site
+    /// `site`.
+    pub fn lane_addr(&self, ctx: &ExecCtx, gtid_base: u64, lane: u32, iter: u32, site: u32) -> u64 {
+        let gtid = gtid_base + lane as u64;
+        // `iter` is a *mixed* iteration key (hash-like, full u32 range);
+        // fold it into a bounded slab index so every pattern stays inside
+        // its region (regions are 16 GiB apart) with a realistic
+        // footprint: loop iterations address different slabs of the same
+        // array, not an unbounded address space.
+        let slab = (iter % 4096) as u64;
+        match *self {
+            AddrPattern::Coalesced { region, stride } => {
+                // One 256 KiB slab per iteration (a row of a 2-D array).
+                region_base(region) + gtid * stride as u64 + slab * (256 << 10)
+            }
+            AddrPattern::Strided { region, stride } => {
+                region_base(region) + gtid * stride as u64 + slab * LINE_BYTES
+            }
+            AddrPattern::Random { region, bytes } => {
+                let r = rng::hash_coords(&[
+                    ctx.kernel_seed,
+                    ctx.launch_id.0 as u64,
+                    gtid,
+                    iter as u64,
+                    site as u64,
+                ]);
+                region_base(region) + r % bytes.max(LINE_BYTES)
+            }
+            AddrPattern::Broadcast { region } => region_base(region) + slab * LINE_BYTES,
+        }
+    }
+
+    /// Number of distinct 128-byte lines touched by the active lanes —
+    /// i.e. the number of memory requests this warp instruction issues
+    /// after coalescing. This is the quantity the profiler counts for the
+    /// *memory divergence* feature and the stall probability `p`.
+    pub fn coalesced_lines(
+        &self,
+        ctx: &ExecCtx,
+        gtid_base: u64,
+        active_mask: u32,
+        iter: u32,
+        site: u32,
+    ) -> CoalescedLines {
+        let mut lines = CoalescedLines::default();
+        for lane in 0..WARP_SIZE {
+            if active_mask & (1 << lane) != 0 {
+                let addr = self.lane_addr(ctx, gtid_base, lane, iter, site);
+                lines.push(addr / LINE_BYTES * LINE_BYTES);
+            }
+        }
+        lines
+    }
+}
+
+/// Small fixed-capacity set of distinct line addresses (max one per lane).
+///
+/// Avoids a `HashSet` allocation on the hottest path in both the profiler
+/// and the simulator (per the perf-book guidance on allocation in hot
+/// loops).
+#[derive(Debug, Clone, Default)]
+pub struct CoalescedLines {
+    lines: [u64; WARP_SIZE as usize],
+    len: u8,
+}
+
+impl CoalescedLines {
+    /// Insert a line address if not already present.
+    pub fn push(&mut self, line_addr: u64) {
+        for i in 0..self.len as usize {
+            if self.lines[i] == line_addr {
+                return;
+            }
+        }
+        self.lines[self.len as usize] = line_addr;
+        self.len += 1;
+    }
+
+    /// Number of distinct lines.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no active lane produced an address.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the distinct line addresses.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines[..self.len as usize].iter().copied()
+    }
+}
+
+/// A single static instruction in a kernel program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Integer ALU operation.
+    IAlu,
+    /// Floating-point ALU operation.
+    FAlu,
+    /// Special-function-unit operation (rsqrt, sin, ...).
+    Sfu,
+    /// Global-memory load with the given address pattern.
+    LdGlobal(AddrPattern),
+    /// Global-memory store with the given address pattern.
+    StGlobal(AddrPattern),
+    /// Shared-memory load.
+    LdShared,
+    /// Shared-memory store.
+    StShared,
+    /// `__syncthreads()` — block-wide barrier.
+    Barrier,
+}
+
+impl Op {
+    /// Latency class for the timing model.
+    pub fn latency_class(&self) -> LatencyClass {
+        match self {
+            Op::IAlu | Op::FAlu => LatencyClass::Alu,
+            Op::Sfu => LatencyClass::Sfu,
+            Op::LdGlobal(_) | Op::StGlobal(_) => LatencyClass::GlobalMem,
+            Op::LdShared | Op::StShared => LatencyClass::SharedMem,
+            Op::Barrier => LatencyClass::Barrier,
+        }
+    }
+
+    /// True for global/local memory accesses — the paper's definition of a
+    /// potential stall event when computing the stall probability `p`.
+    pub fn is_global_mem(&self) -> bool {
+        matches!(self, Op::LdGlobal(_) | Op::StGlobal(_))
+    }
+
+    /// The address pattern, if this is a global access.
+    pub fn addr_pattern(&self) -> Option<&AddrPattern> {
+        match self {
+            Op::LdGlobal(p) | Op::StGlobal(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// An instruction instance inside a basic block.
+///
+/// `site` is a unique-within-kernel static id used to decorrelate the
+/// pseudo-random address streams of different instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// Operation kind.
+    pub op: Op,
+    /// Unique static site id (assigned by the kernel builder).
+    pub site: u32,
+}
+
+/// Base byte address of a memory region. Regions are 16 GiB apart so no two
+/// regions ever share a cache line.
+pub fn region_base(region: u32) -> u64 {
+    (region as u64) << 34
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ExecCtx;
+    use crate::types::LaunchId;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx {
+            kernel_seed: 7,
+            launch_id: LaunchId(0),
+            block_id: 0,
+            num_blocks: 64,
+            work_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn coalesced_pattern_touches_few_lines() {
+        let p = AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        };
+        let lines = p.coalesced_lines(&ctx(), 0, u32::MAX, 0, 0);
+        // 32 lanes * 4 bytes = 128 bytes = exactly one line.
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn strided_pattern_defeats_coalescing() {
+        let p = AddrPattern::Strided {
+            region: 0,
+            stride: 128,
+        };
+        let lines = p.coalesced_lines(&ctx(), 0, u32::MAX, 0, 0);
+        assert_eq!(lines.len(), 32);
+    }
+
+    #[test]
+    fn broadcast_is_single_request() {
+        let p = AddrPattern::Broadcast { region: 1 };
+        let lines = p.coalesced_lines(&ctx(), 0, u32::MAX, 0, 0);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn random_pattern_is_deterministic() {
+        let p = AddrPattern::Random {
+            region: 2,
+            bytes: 1 << 20,
+        };
+        let a = p.lane_addr(&ctx(), 64, 3, 1, 9);
+        let b = p.lane_addr(&ctx(), 64, 3, 1, 9);
+        assert_eq!(a, b);
+        // Different site must decorrelate.
+        let c = p.lane_addr(&ctx(), 64, 3, 1, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inactive_lanes_generate_no_requests() {
+        let p = AddrPattern::Strided {
+            region: 0,
+            stride: 128,
+        };
+        let lines = p.coalesced_lines(&ctx(), 0, 0b1111, 0, 0);
+        assert_eq!(lines.len(), 4);
+        let none = p.coalesced_lines(&ctx(), 0, 0, 0, 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Largest per-region offset we generate is well under 16 GiB.
+        assert!(region_base(1) - region_base(0) >= (1 << 34));
+        let p0 = AddrPattern::Coalesced {
+            region: 0,
+            stride: 8,
+        };
+        let p1 = AddrPattern::Coalesced {
+            region: 1,
+            stride: 8,
+        };
+        let a0 = p0.lane_addr(&ctx(), 1_000_000, 31, 100, 0);
+        assert!(a0 < region_base(1));
+        assert!(p1.lane_addr(&ctx(), 0, 0, 0, 0) >= region_base(1));
+    }
+
+    #[test]
+    fn coalesced_lines_dedups() {
+        let mut cl = CoalescedLines::default();
+        cl.push(0);
+        cl.push(128);
+        cl.push(0);
+        assert_eq!(cl.len(), 2);
+        let v: Vec<u64> = cl.iter().collect();
+        assert_eq!(v, vec![0, 128]);
+    }
+
+    #[test]
+    fn latency_classes() {
+        assert_eq!(Op::IAlu.latency_class(), LatencyClass::Alu);
+        assert_eq!(Op::Sfu.latency_class(), LatencyClass::Sfu);
+        assert_eq!(
+            Op::LdGlobal(AddrPattern::Broadcast { region: 0 }).latency_class(),
+            LatencyClass::GlobalMem
+        );
+        assert_eq!(Op::LdShared.latency_class(), LatencyClass::SharedMem);
+        assert_eq!(Op::Barrier.latency_class(), LatencyClass::Barrier);
+        assert!(Op::StGlobal(AddrPattern::Broadcast { region: 0 }).is_global_mem());
+        assert!(!Op::LdShared.is_global_mem());
+    }
+}

@@ -1,0 +1,490 @@
+//! Structured thread programs: the control-flow skeleton of a kernel.
+//!
+//! Real PTX has arbitrary CFGs; SIMT hardware handles divergence with a
+//! reconvergence stack. We restrict programs to *structured* control flow
+//! (sequences, `if`s, counted loops), which (a) every benchmark in the
+//! paper's Table VI fits naturally, and (b) lets the emulator implement
+//! divergence with simple mask intersection instead of IPDOM analysis.
+//! DESIGN.md records this as part of the GPUOcelot substitution.
+
+use crate::inst::Inst;
+use crate::types::LaunchId;
+use serde::{Deserialize, Serialize};
+use tbpoint_stats::rng;
+
+/// Everything a deterministic control-flow decision may depend on, short of
+/// the thread id (passed separately at each evaluation site).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecCtx {
+    /// Kernel-wide seed (decorrelates different benchmarks).
+    pub kernel_seed: u64,
+    /// The launch being executed.
+    pub launch_id: LaunchId,
+    /// The thread block being executed.
+    pub block_id: u32,
+    /// Grid size of the launch (blocks); lets trip counts depend on the
+    /// block's *position* in the grid (phase-structured irregularity).
+    pub num_blocks: u32,
+    /// Per-launch work multiplier (frontier growth/shrink across launches).
+    pub work_scale: f64,
+}
+
+/// Distribution family for data-dependent trip counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Uniform over `[base, base + spread]`.
+    Uniform,
+    /// Discrete power-law-ish: most values near `base`, a heavy tail up to
+    /// `base + spread`. `alpha` > 0 controls tail weight (larger = lighter
+    /// tail). Models graph-degree distributions (bfs, sssp).
+    PowerLaw {
+        /// Tail exponent; larger means lighter tail.
+        alpha: f64,
+    },
+    /// Two-point mixture: with probability `p_heavy`, the value is
+    /// `base + spread` ("outlier" thread blocks — mst); otherwise `base`.
+    Bimodal {
+        /// Probability of drawing the heavy value.
+        p_heavy: f64,
+    },
+}
+
+impl Dist {
+    /// Draw a value in `[base, base + spread]` from coordinates `coords`.
+    pub fn sample(&self, base: u32, spread: u32, coords: &[u64]) -> u32 {
+        if spread == 0 {
+            return base;
+        }
+        let u = rng::unit_f64(coords);
+        match *self {
+            Dist::Uniform => base + (u * (spread as f64 + 1.0)) as u32,
+            Dist::PowerLaw { alpha } => {
+                // u^alpha concentrates mass near `base` and leaves a heavy
+                // tail reaching `base + spread` — graph-degree shaped.
+                base + (u.powf(alpha.max(1e-3)) * spread as f64).round() as u32
+            }
+            Dist::Bimodal { p_heavy } => {
+                if u < p_heavy {
+                    base + spread
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+/// Where a quantity varies: per thread (divergent), per block (warp-uniform
+/// within the launch), or fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TripCount {
+    /// Same count for every thread in every block.
+    Const(u32),
+    /// Varies per thread block (all threads of a block agree — no
+    /// divergence, but block-to-block size variation; this is what
+    /// produces "irregular" kernels in Fig. 8).
+    PerBlock {
+        /// Minimum trips.
+        base: u32,
+        /// Maximum additional trips.
+        spread: u32,
+        /// Distribution of the additional trips.
+        dist: Dist,
+        /// Static site id (decorrelates multiple loops).
+        site: u32,
+    },
+    /// Varies per thread — the source of intra-warp control-flow
+    /// divergence.
+    PerThread {
+        /// Minimum trips.
+        base: u32,
+        /// Maximum additional trips.
+        spread: u32,
+        /// Distribution of the additional trips.
+        dist: Dist,
+        /// Static site id.
+        site: u32,
+    },
+    /// Constant within contiguous `phase_len`-block *slices of the
+    /// grid*, varying across slices. This is the phase-structured
+    /// irregularity of real irregular kernels (Fig. 8's Type I scatter):
+    /// thread blocks with nearby ids do similar work, but the workload
+    /// shifts as the grid progresses — exactly the structure homogeneous
+    /// regions exploit. (Pure per-block white noise would instead trip
+    /// the variation factor in every epoch.) The slice length is in
+    /// blocks, independent of grid size, so launches smaller than one
+    /// slice are uniform.
+    PerBlockPhase {
+        /// Minimum trips.
+        base: u32,
+        /// Maximum additional trips.
+        spread: u32,
+        /// Blocks per contiguous phase slice.
+        phase_len: u32,
+        /// Distribution of the per-phase draw.
+        dist: Dist,
+        /// Static site id.
+        site: u32,
+    },
+}
+
+impl TripCount {
+    /// Trip count for a specific thread. Scaled by `ctx.work_scale`
+    /// (rounded, minimum of `base` and at least 0).
+    pub fn eval(&self, ctx: &ExecCtx, thread_global: u64) -> u32 {
+        let raw = match *self {
+            TripCount::Const(n) => n,
+            TripCount::PerBlock {
+                base,
+                spread,
+                dist,
+                site,
+            } => dist.sample(
+                base,
+                spread,
+                &[
+                    ctx.kernel_seed,
+                    ctx.launch_id.0 as u64,
+                    ctx.block_id as u64,
+                    site as u64,
+                ],
+            ),
+            TripCount::PerThread {
+                base,
+                spread,
+                dist,
+                site,
+            } => dist.sample(
+                base,
+                spread,
+                &[
+                    ctx.kernel_seed,
+                    ctx.launch_id.0 as u64,
+                    ctx.block_id as u64,
+                    thread_global,
+                    site as u64,
+                ],
+            ),
+            TripCount::PerBlockPhase {
+                base,
+                spread,
+                phase_len,
+                dist,
+                site,
+            } => {
+                // Deliberately independent of the launch id: the spatial
+                // work distribution is a property of the *input data*
+                // (graph communities, matrix bands, k-space density), so
+                // launches over the same data see the same phases. This is
+                // what lets inter-launch clustering merge equally-sized
+                // launches of irregular kernels.
+                let phase = (ctx.block_id / phase_len.max(1)) as u64;
+                dist.sample(base, spread, &[ctx.kernel_seed, phase, site as u64])
+            }
+        };
+        if (ctx.work_scale - 1.0).abs() < f64::EPSILON {
+            raw
+        } else {
+            (raw as f64 * ctx.work_scale).round().max(0.0) as u32
+        }
+    }
+
+    /// True when all threads of a warp necessarily agree on the count.
+    pub fn is_warp_uniform(&self) -> bool {
+        !matches!(self, TripCount::PerThread { .. })
+    }
+}
+
+/// Branch condition for `if` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Taken by every thread.
+    Always,
+    /// Taken by no thread.
+    Never,
+    /// Taken independently per thread with probability `p` (divergent).
+    ThreadProb {
+        /// Probability of taking the branch.
+        p: f64,
+        /// Static site id.
+        site: u32,
+    },
+    /// All threads of a block agree; blocks decide independently with
+    /// probability `p` (no divergence).
+    BlockProb {
+        /// Probability of taking the branch.
+        p: f64,
+        /// Static site id.
+        site: u32,
+    },
+    /// Taken by lanes with `lane < k` (structured, deterministic
+    /// divergence — boundary handling in stencil codes).
+    LaneLt(
+        /// Lane threshold.
+        u32,
+    ),
+}
+
+impl Cond {
+    /// Does `thread_global` (with warp lane `lane`) take the branch?
+    pub fn eval(&self, ctx: &ExecCtx, thread_global: u64, lane: u32) -> bool {
+        match *self {
+            Cond::Always => true,
+            Cond::Never => false,
+            Cond::ThreadProb { p, site } => {
+                rng::unit_f64(&[
+                    ctx.kernel_seed,
+                    ctx.launch_id.0 as u64,
+                    ctx.block_id as u64,
+                    thread_global,
+                    site as u64,
+                ]) < p
+            }
+            Cond::BlockProb { p, site } => {
+                rng::unit_f64(&[
+                    ctx.kernel_seed,
+                    ctx.launch_id.0 as u64,
+                    ctx.block_id as u64,
+                    site as u64,
+                ]) < p
+            }
+            Cond::LaneLt(k) => lane < k,
+        }
+    }
+
+    /// True when all threads of a warp necessarily agree.
+    pub fn is_warp_uniform(&self) -> bool {
+        matches!(self, Cond::Always | Cond::Never | Cond::BlockProb { .. })
+    }
+}
+
+/// A node of the structured program tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Straight-line code: one basic block.
+    Block {
+        /// BBV dimension this block contributes to.
+        id: crate::types::BasicBlockId,
+        /// The instructions.
+        insts: Vec<Inst>,
+    },
+    /// Sequential composition.
+    Seq(Vec<Node>),
+    /// Two-way branch. Threads failing `cond` execute `else_` (if any).
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken path.
+        then_: Box<Node>,
+        /// Not-taken path.
+        else_: Option<Box<Node>>,
+    },
+    /// Counted loop; each thread runs `trips` iterations of `body`.
+    Loop {
+        /// Per-thread trip count.
+        trips: TripCount,
+        /// Loop body.
+        body: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Number of `Block` nodes in the subtree (= BBV dimensions it spans).
+    pub fn count_blocks(&self) -> usize {
+        match self {
+            Node::Block { .. } => 1,
+            Node::Seq(ns) => ns.iter().map(Node::count_blocks).sum(),
+            Node::If { then_, else_, .. } => {
+                then_.count_blocks() + else_.as_ref().map_or(0, |e| e.count_blocks())
+            }
+            Node::Loop { body, .. } => body.count_blocks(),
+        }
+    }
+
+    /// Total static instruction count in the subtree.
+    pub fn count_static_insts(&self) -> usize {
+        match self {
+            Node::Block { insts, .. } => insts.len(),
+            Node::Seq(ns) => ns.iter().map(Node::count_static_insts).sum(),
+            Node::If { then_, else_, .. } => {
+                then_.count_static_insts() + else_.as_ref().map_or(0, |e| e.count_static_insts())
+            }
+            Node::Loop { body, .. } => body.count_static_insts(),
+        }
+    }
+
+    /// True if the subtree contains a barrier.
+    pub fn contains_barrier(&self) -> bool {
+        match self {
+            Node::Block { insts, .. } => insts
+                .iter()
+                .any(|i| matches!(i.op, crate::inst::Op::Barrier)),
+            Node::Seq(ns) => ns.iter().any(Node::contains_barrier),
+            Node::If { then_, else_, .. } => {
+                then_.contains_barrier() || else_.as_ref().is_some_and(|e| e.contains_barrier())
+            }
+            Node::Loop { body, .. } => body.contains_barrier(),
+        }
+    }
+
+    /// Visit every node in the subtree (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        f(self);
+        match self {
+            Node::Block { .. } => {}
+            Node::Seq(ns) => {
+                for n in ns {
+                    n.visit(f);
+                }
+            }
+            Node::If { then_, else_, .. } => {
+                then_.visit(f);
+                if let Some(e) = else_ {
+                    e.visit(f);
+                }
+            }
+            Node::Loop { body, .. } => body.visit(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+    use crate::types::BasicBlockId;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx {
+            kernel_seed: 11,
+            launch_id: LaunchId(2),
+            block_id: 5,
+            num_blocks: 64,
+            work_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn const_trip_count() {
+        assert_eq!(TripCount::Const(7).eval(&ctx(), 0), 7);
+        assert_eq!(TripCount::Const(7).eval(&ctx(), 999), 7);
+        assert!(TripCount::Const(7).is_warp_uniform());
+    }
+
+    #[test]
+    fn per_block_trips_agree_within_block() {
+        let t = TripCount::PerBlock {
+            base: 10,
+            spread: 20,
+            dist: Dist::Uniform,
+            site: 1,
+        };
+        let a = t.eval(&ctx(), 0);
+        let b = t.eval(&ctx(), 12345);
+        assert_eq!(a, b, "PerBlock must not depend on the thread");
+        assert!((10..=30).contains(&a));
+        assert!(t.is_warp_uniform());
+    }
+
+    #[test]
+    fn per_thread_trips_diverge() {
+        let t = TripCount::PerThread {
+            base: 0,
+            spread: 100,
+            dist: Dist::Uniform,
+            site: 2,
+        };
+        let counts: Vec<u32> = (0..64).map(|tid| t.eval(&ctx(), tid)).collect();
+        let all_same = counts.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same, "PerThread with spread should diverge");
+        assert!(counts.iter().all(|&c| c <= 100));
+        assert!(!t.is_warp_uniform());
+    }
+
+    #[test]
+    fn work_scale_scales_trips() {
+        let mut c = ctx();
+        c.work_scale = 2.0;
+        assert_eq!(TripCount::Const(7).eval(&c, 0), 14);
+        c.work_scale = 0.5;
+        assert_eq!(TripCount::Const(7).eval(&c, 0), 4); // rounds .5 away from zero
+    }
+
+    #[test]
+    fn dist_bimodal_is_two_point() {
+        let d = Dist::Bimodal { p_heavy: 0.25 };
+        let mut heavy = 0;
+        for i in 0..1000u64 {
+            let v = d.sample(10, 90, &[i]);
+            assert!(v == 10 || v == 100);
+            if v == 100 {
+                heavy += 1;
+            }
+        }
+        assert!((150..=350).contains(&heavy), "heavy = {heavy}");
+    }
+
+    #[test]
+    fn dist_power_law_skews_low() {
+        let d = Dist::PowerLaw { alpha: 3.0 };
+        let vals: Vec<u32> = (0..2000u64).map(|i| d.sample(0, 100, &[i, 7])).collect();
+        let mean = vals.iter().sum::<u32>() as f64 / vals.len() as f64;
+        assert!(mean < 40.0, "power law should skew low, mean = {mean}");
+        assert!(vals.iter().any(|&v| v > 70), "tail should exist");
+    }
+
+    #[test]
+    fn cond_eval_uniformity() {
+        assert!(Cond::Always.eval(&ctx(), 0, 0));
+        assert!(!Cond::Never.eval(&ctx(), 0, 0));
+        assert!(Cond::LaneLt(4).eval(&ctx(), 100, 3));
+        assert!(!Cond::LaneLt(4).eval(&ctx(), 100, 4));
+        assert!(Cond::BlockProb { p: 0.5, site: 0 }.is_warp_uniform());
+        assert!(!Cond::ThreadProb { p: 0.5, site: 0 }.is_warp_uniform());
+        assert!(!Cond::LaneLt(4).is_warp_uniform());
+    }
+
+    #[test]
+    fn thread_prob_rate_close_to_p() {
+        let c = Cond::ThreadProb { p: 0.3, site: 9 };
+        let taken = (0..10_000u64)
+            .filter(|&t| c.eval(&ctx(), t, (t % 32) as u32))
+            .count();
+        assert!((2_700..=3_300).contains(&taken), "taken = {taken}");
+    }
+
+    #[test]
+    fn node_counting() {
+        let n = Node::Seq(vec![
+            Node::Block {
+                id: BasicBlockId(0),
+                insts: vec![Inst {
+                    op: Op::IAlu,
+                    site: 0,
+                }],
+            },
+            Node::Loop {
+                trips: TripCount::Const(3),
+                body: Box::new(Node::Block {
+                    id: BasicBlockId(1),
+                    insts: vec![
+                        Inst {
+                            op: Op::FAlu,
+                            site: 1,
+                        },
+                        Inst {
+                            op: Op::Barrier,
+                            site: 2,
+                        },
+                    ],
+                }),
+            },
+        ]);
+        assert_eq!(n.count_blocks(), 2);
+        assert_eq!(n.count_static_insts(), 3);
+        assert!(n.contains_barrier());
+        let mut visited = 0;
+        n.visit(&mut |_| visited += 1);
+        assert_eq!(visited, 4); // Seq, Block, Loop, Block
+    }
+}

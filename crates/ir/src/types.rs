@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers shared across the workspace.
+//!
+//! Thread-block ids, launch ids etc. are all plain `u32`s underneath; the
+//! newtypes keep the sampling code honest about *which* id space a number
+//! lives in (mixing up a TB id and an epoch index is exactly the kind of
+//! bug a reproduction cannot afford).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of threads per warp (NVIDIA terminology; a "wavefront" on AMD).
+pub const WARP_SIZE: u32 = 32;
+
+/// Identifier of a kernel launch within one benchmark run.
+///
+/// Launches are ordered: all thread blocks of launch *n* retire before
+/// launch *n + 1* begins (Section II-A of the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LaunchId(pub u32);
+
+/// Identifier of a thread block within one kernel launch.
+///
+/// The global thread-block scheduler dispatches TBs **in id order, greedily**
+/// (Section II-A) — an assumption intra-launch sampling leans on when it
+/// groups nearby ids into epochs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TbId(pub u32);
+
+/// Identifier of a thread within a thread block (`0..threads_per_block`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a warp within a thread block.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct WarpId(pub u32);
+
+/// Identifier of a basic block within a kernel program (BBV dimension).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BasicBlockId(pub u16);
+
+impl ThreadId {
+    /// The warp this thread belongs to.
+    pub fn warp(self) -> WarpId {
+        WarpId(self.0 / WARP_SIZE)
+    }
+
+    /// Lane index within the warp (`0..WARP_SIZE`).
+    pub fn lane(self) -> u32 {
+        self.0 % WARP_SIZE
+    }
+}
+
+impl std::fmt::Display for LaunchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl std::fmt::Display for TbId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TB{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_warp_lane() {
+        assert_eq!(ThreadId(0).warp(), WarpId(0));
+        assert_eq!(ThreadId(31).warp(), WarpId(0));
+        assert_eq!(ThreadId(32).warp(), WarpId(1));
+        assert_eq!(ThreadId(33).lane(), 1);
+        assert_eq!(ThreadId(95).warp(), WarpId(2));
+        assert_eq!(ThreadId(95).lane(), 31);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LaunchId(3).to_string(), "L3");
+        assert_eq!(TbId(17).to_string(), "TB17");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(TbId(1) < TbId(2));
+        assert!(LaunchId(0) < LaunchId(10));
+    }
+}

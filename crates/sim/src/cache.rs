@@ -1,0 +1,221 @@
+//! Set-associative LRU cache model.
+//!
+//! Tag-only (no data), true-LRU replacement via a monotone access stamp.
+//! Used for both the per-SM L1s and the shared L2. Stores are modelled as
+//! write-through no-allocate: they probe the cache (updating LRU on hit)
+//! but never install lines, which is how Fermi's L1 treats global stores.
+
+use crate::config::CacheConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+}
+
+/// A set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Line>, // num_sets * assoc, row-major by set
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = (cfg.num_sets() as usize) * cfg.assoc as usize;
+        Cache {
+            cfg,
+            sets: vec![Line::default(); n],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_range(&self, line_addr: u64) -> (usize, u64) {
+        let set_idx = (line_addr / self.cfg.line_bytes) % self.cfg.num_sets();
+        let tag = line_addr / self.cfg.line_bytes / self.cfg.num_sets();
+        (set_idx as usize * self.cfg.assoc as usize, tag)
+    }
+
+    /// Probe-and-fill for a load: returns `true` on hit; on miss the line
+    /// is installed, evicting the LRU way.
+    pub fn access_load(&mut self, line_addr: u64) -> bool {
+        self.tick += 1;
+        let (base, tag) = self.set_range(line_addr);
+        let assoc = self.cfg.assoc as usize;
+        // Hit path.
+        for w in 0..assoc {
+            let l = &mut self.sets[base + w];
+            if l.valid && l.tag == tag {
+                l.stamp = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: fill LRU way.
+        self.misses += 1;
+        let victim = (0..assoc)
+            .min_by_key(|&w| {
+                let l = &self.sets[base + w];
+                if l.valid {
+                    l.stamp
+                } else {
+                    0
+                }
+            })
+            .expect("assoc >= 1");
+        self.sets[base + victim] = Line {
+            tag,
+            valid: true,
+            stamp: self.tick,
+        };
+        false
+    }
+
+    /// Probe for a store (write-through no-allocate): returns `true` on
+    /// hit (LRU refreshed); a miss leaves the cache unchanged.
+    pub fn access_store(&mut self, line_addr: u64) -> bool {
+        self.tick += 1;
+        let (base, tag) = self.set_range(line_addr);
+        for w in 0..self.cfg.assoc as usize {
+            let l = &mut self.sets[base + w];
+            if l.valid && l.tag == tag {
+                l.stamp = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Invalidate everything (between launches; kernels share no data in
+    /// our workloads, and flushing makes runs independent).
+    pub fn flush(&mut self) {
+        for l in &mut self.sets {
+            l.valid = false;
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in [0, 1]; 0 when untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 128B lines = 1 KiB.
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 128,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access_load(0));
+        assert!(c.access_load(0));
+        assert!(c.access_load(64)); // same 128B line
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        assert!(!c.access_load(0)); // set 0
+        assert!(!c.access_load(128)); // set 1
+        assert!(c.access_load(0));
+        assert!(c.access_load(128));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (stride = 4 sets * 128B = 512B).
+        c.access_load(0);
+        c.access_load(512);
+        c.access_load(1024); // evicts line 0 (LRU)
+        assert!(!c.access_load(0), "line 0 must have been evicted");
+        assert!(c.access_load(1024));
+    }
+
+    #[test]
+    fn lru_refresh_on_hit_changes_victim() {
+        let mut c = tiny();
+        c.access_load(0);
+        c.access_load(512);
+        c.access_load(0); // refresh line 0; 512 is now LRU
+        c.access_load(1024); // evicts 512
+        assert!(c.access_load(0));
+        assert!(!c.access_load(512));
+    }
+
+    #[test]
+    fn store_does_not_allocate() {
+        let mut c = tiny();
+        assert!(!c.access_store(0));
+        assert!(!c.access_load(0), "store miss must not install the line");
+        // But a store hit refreshes LRU.
+        c.access_load(512); // set 0 now has {0(load-installed), 512}
+        assert!(c.access_store(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access_load(0);
+        c.flush();
+        assert!(!c.access_load(0));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = tiny();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access_load(0);
+        c.access_load(0);
+        c.access_load(0);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 8 lines capacity
+                            // 64 distinct lines, two passes: second pass still mostly misses.
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                let hit = c.access_load(i * 128);
+                if pass == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert!(
+            misses > hits,
+            "streaming working set must thrash: {hits} hits {misses} misses"
+        );
+    }
+}

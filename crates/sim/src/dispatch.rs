@@ -1,0 +1,76 @@
+//! The sampling hook: how a sampler plugs into the thread-block
+//! dispatcher.
+//!
+//! The paper's homogeneous-region sampling operates entirely at TB
+//! dispatch/retire granularity (Section IV-B2): *entering* a region is
+//! detected from the region ids of concurrently resident TBs, *warming*
+//! measures per-sampling-unit IPC, and *fast-forwarding* skips dispatched
+//! TBs outright. All of that is expressible through two callbacks, which
+//! keeps the simulator core ignorant of sampling policy.
+
+use tbpoint_ir::TbId;
+
+/// What to do with a thread block that is about to be dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchDecision {
+    /// Simulate the block normally.
+    Simulate,
+    /// Skip it: the block retires instantly, consuming no SM resources
+    /// and issuing no instructions (the fast-forward period).
+    Skip,
+}
+
+/// Observer/controller of the dispatch stream.
+///
+/// `cycle` is the current simulation cycle and `issued_warp_insts` the
+/// total warp instructions issued so far across all SMs — together they
+/// let a hook compute sampling-unit IPCs without touching simulator
+/// internals.
+pub trait SamplingHook {
+    /// Called once per thread block immediately before dispatch.
+    fn on_dispatch(&mut self, tb: TbId, cycle: u64, issued_warp_insts: u64) -> DispatchDecision;
+
+    /// Called when a *simulated* thread block retires. Skipped blocks do
+    /// not generate retire events (the hook already knows it skipped
+    /// them).
+    fn on_retire(&mut self, tb: TbId, cycle: u64, issued_warp_insts: u64);
+}
+
+/// The "Full" configuration: simulate everything, observe nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSampling;
+
+impl SamplingHook for NullSampling {
+    fn on_dispatch(&mut self, _tb: TbId, _cycle: u64, _issued: u64) -> DispatchDecision {
+        DispatchDecision::Simulate
+    }
+
+    fn on_retire(&mut self, _tb: TbId, _cycle: u64, _issued: u64) {}
+}
+
+/// Test helper: skip an explicit set of TB ids (used by simulator tests;
+/// real policies live in `tbpoint-core`).
+#[derive(Debug, Clone, Default)]
+pub struct SkipList {
+    /// TB ids to skip.
+    pub skip: std::collections::HashSet<u32>,
+    /// Dispatch events observed, in order.
+    pub dispatched: Vec<u32>,
+    /// Retire events observed, in order.
+    pub retired: Vec<u32>,
+}
+
+impl SamplingHook for SkipList {
+    fn on_dispatch(&mut self, tb: TbId, _cycle: u64, _issued: u64) -> DispatchDecision {
+        self.dispatched.push(tb.0);
+        if self.skip.contains(&tb.0) {
+            DispatchDecision::Skip
+        } else {
+            DispatchDecision::Simulate
+        }
+    }
+
+    fn on_retire(&mut self, tb: TbId, _cycle: u64, _issued: u64) {
+        self.retired.push(tb.0);
+    }
+}

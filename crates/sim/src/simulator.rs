@@ -1,0 +1,544 @@
+//! Top-level launch/run simulation: the global thread-block dispatcher,
+//! the cycle loop, and result aggregation.
+
+use crate::config::GpuConfig;
+use crate::dispatch::{DispatchDecision, SamplingHook};
+use crate::memory::MemorySystem;
+use crate::sm::SmCore;
+use crate::units::{UnitCollector, UnitRecord, UnitsConfig};
+use serde::{Deserialize, Serialize};
+use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LaunchSpec, TbId};
+
+/// Result of simulating one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchSimResult {
+    /// Which launch.
+    pub launch_id: tbpoint_ir::LaunchId,
+    /// Total cycles from first dispatch to last retirement.
+    pub cycles: u64,
+    /// Warp instructions actually issued (skipped blocks excluded).
+    pub issued_warp_insts: u64,
+    /// Thread instructions actually issued.
+    pub issued_thread_insts: u64,
+    /// Thread blocks simulated.
+    pub simulated_tbs: u32,
+    /// Thread blocks skipped by the sampling hook.
+    pub skipped_tbs: u32,
+    /// Aggregate L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// DRAM row-buffer hit rate.
+    pub dram_row_hit_rate: f64,
+    /// Mean DRAM wait per access (cycles) — the empirical "M".
+    pub dram_avg_wait: f64,
+    /// Fixed-size sampling units (only when requested).
+    pub units: Vec<UnitRecord>,
+    /// Per-SM statistics (mix, residency, retirements).
+    pub sm_stats: Vec<crate::stats::SmStats>,
+}
+
+impl LaunchSimResult {
+    /// Aggregate IPC over the simulated portion: issued warp instructions
+    /// per cycle, summed across SMs (the paper's Fig. 9 definition
+    /// collapses to this because every SM spans the same cycle count).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued_warp_insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Result of simulating a whole benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSimResult {
+    /// Kernel name.
+    pub kernel_name: String,
+    /// Per-launch results in launch order.
+    pub launches: Vec<LaunchSimResult>,
+}
+
+impl RunSimResult {
+    /// Total cycles across launches.
+    pub fn total_cycles(&self) -> u64 {
+        self.launches.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total issued warp instructions across launches.
+    pub fn total_issued_warp_insts(&self) -> u64 {
+        self.launches.iter().map(|l| l.issued_warp_insts).sum()
+    }
+
+    /// Overall IPC: total issued warp instructions / total cycles.
+    pub fn overall_ipc(&self) -> f64 {
+        let c = self.total_cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.total_issued_warp_insts() as f64 / c as f64
+        }
+    }
+}
+
+/// Simulate one launch of `kernel` under `cfg`, with `hook` controlling
+/// thread-block skipping and `units` optionally collecting fixed-size
+/// sampling units (pass `None` for normal runs).
+pub fn simulate_launch(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+) -> LaunchSimResult {
+    let occupancy = cfg.sm_occupancy(kernel);
+    let mut sms: Vec<SmCore> = (0..cfg.num_sms)
+        .map(|i| SmCore::new(i as usize, occupancy, cfg))
+        .collect();
+    let mut mem = MemorySystem::new(cfg);
+    let mut collector = units.map(|u| UnitCollector::new(u, kernel.num_basic_blocks as usize));
+
+    let total_tbs = spec.num_blocks;
+    let mut next_tb: u32 = 0;
+    let mut outstanding: u32 = 0; // dispatched-and-simulating TBs
+    let mut simulated_tbs: u32 = 0;
+    let mut skipped_tbs: u32 = 0;
+    let mut cycle: u64 = 0;
+    let mut issued_total: u64 = 0;
+
+    let make_ctx = |block_id: u32| ExecCtx {
+        kernel_seed: kernel.seed,
+        launch_id: spec.launch_id,
+        block_id,
+        num_blocks: spec.num_blocks,
+        work_scale: spec.work_scale,
+    };
+    let stagger = cfg.dispatch_stagger_cycles as u64;
+
+    // Greedy dispatch: fill every free slot, consulting the hook per TB.
+    // Round-robin over SMs so that consecutive TB ids spread across SMs —
+    // the behaviour the paper's epoch construction assumes ("thread blocks
+    // having closer thread block IDs are likely to be running
+    // concurrently").
+    let fill = |sms: &mut Vec<SmCore>,
+                next_tb: &mut u32,
+                outstanding: &mut u32,
+                simulated: &mut u32,
+                skipped: &mut u32,
+                hook: &mut dyn SamplingHook,
+                cycle: u64,
+                issued_total: u64| {
+        loop {
+            if *next_tb >= total_tbs {
+                return;
+            }
+            // Find the SM with a free slot that currently hosts the fewest
+            // blocks (breadth-first fill).
+            let target = sms
+                .iter()
+                .enumerate()
+                .filter(|(_, sm)| sm.free_slot().is_some())
+                .min_by_key(|(_, sm)| sm.resident_blocks())
+                .map(|(i, _)| i);
+            let Some(sm_idx) = target else { return };
+            let tb = TbId(*next_tb);
+            *next_tb += 1;
+            match hook.on_dispatch(tb, cycle, issued_total) {
+                DispatchDecision::Skip => {
+                    *skipped += 1;
+                    // Skipped blocks vanish: no resources, no events.
+                    continue;
+                }
+                DispatchDecision::Simulate => {
+                    *simulated += 1;
+                    let slot = sms[sm_idx].free_slot().expect("target has a free slot");
+                    // Serial dispatch: during the initial fill every block
+                    // starts `stagger` cycles after the previous one.
+                    // Mid-launch refills inherit natural staggering from
+                    // retirement times, so no extra delay is added there.
+                    let start = if cycle == 0 {
+                        *simulated as u64 * stagger
+                    } else {
+                        cycle
+                    };
+                    let insta_retire =
+                        sms[sm_idx].dispatch(slot, kernel, make_ctx(tb.0), tb, cycle, start);
+                    if let Some(rtb) = insta_retire {
+                        hook.on_retire(rtb, cycle, issued_total);
+                    } else {
+                        *outstanding += 1;
+                    }
+                }
+            }
+        }
+    };
+
+    fill(
+        &mut sms,
+        &mut next_tb,
+        &mut outstanding,
+        &mut simulated_tbs,
+        &mut skipped_tbs,
+        hook,
+        cycle,
+        issued_total,
+    );
+
+    while outstanding > 0 || next_tb < total_tbs {
+        let mut any_issued = false;
+        let mut any_retired = false;
+        for sm in &mut sms {
+            let r = sm.try_issue(cycle, &mut mem);
+            if let Some(bb) = r.issued_bb {
+                any_issued = true;
+                issued_total += 1;
+                if let Some(c) = collector.as_mut() {
+                    c.on_issue(cycle, bb);
+                }
+            }
+            if let Some(tb) = r.retired {
+                outstanding -= 1;
+                any_retired = true;
+                hook.on_retire(tb, cycle, issued_total);
+            }
+        }
+        if any_retired {
+            fill(
+                &mut sms,
+                &mut next_tb,
+                &mut outstanding,
+                &mut simulated_tbs,
+                &mut skipped_tbs,
+                hook,
+                cycle,
+                issued_total,
+            );
+        }
+        if outstanding == 0 && next_tb >= total_tbs {
+            break;
+        }
+        if any_issued {
+            for sm in &mut sms {
+                sm.credit_resident_cycles(1);
+            }
+            cycle += 1;
+        } else {
+            // Nothing issueable this cycle: jump to the next wake-up.
+            let next = sms.iter().filter_map(SmCore::next_ready).min();
+            match next {
+                Some(t) if t > cycle => {
+                    for sm in &mut sms {
+                        sm.credit_resident_cycles(t - cycle);
+                    }
+                    cycle = t;
+                }
+                Some(_) => {
+                    for sm in &mut sms {
+                        sm.credit_resident_cycles(1);
+                    }
+                    cycle += 1;
+                }
+                None => {
+                    // No warp can ever become ready: only legal when all
+                    // remaining TBs are skippable (outstanding == 0 was
+                    // handled above), so this is a deadlock.
+                    panic!(
+                        "simulator deadlock at cycle {cycle}: outstanding={outstanding}, \
+                         next_tb={next_tb}/{total_tbs}"
+                    );
+                }
+            }
+        }
+    }
+
+    let issued_warp_insts: u64 = sms.iter().map(|s| s.issued_warp_insts).sum();
+    let issued_thread_insts: u64 = sms.iter().map(|s| s.issued_thread_insts).sum();
+    LaunchSimResult {
+        launch_id: spec.launch_id,
+        cycles: cycle,
+        issued_warp_insts,
+        issued_thread_insts,
+        simulated_tbs,
+        skipped_tbs,
+        l1_hit_rate: mem.l1_hit_rate(),
+        l2_hit_rate: mem.l2_hit_rate(),
+        dram_row_hit_rate: mem.dram_row_hit_rate(),
+        dram_avg_wait: mem.dram_avg_wait(),
+        units: collector.map(|c| c.finish(cycle)).unwrap_or_default(),
+        sm_stats: sms.iter().map(|s| s.stats).collect(),
+    }
+}
+
+/// Simulate every launch of a run with the same hook (e.g. Full
+/// simulation with `NullSampling`).
+pub fn simulate_run(
+    run: &KernelRun,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+) -> RunSimResult {
+    RunSimResult {
+        kernel_name: run.kernel.name.clone(),
+        launches: run
+            .launches
+            .iter()
+            .map(|spec| simulate_launch(&run.kernel, spec, cfg, hook, units))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{NullSampling, SkipList};
+    use tbpoint_ir::{AddrPattern, Cond, Dist, KernelBuilder, LaunchId, Op, TripCount};
+
+    fn launch(n: u32) -> LaunchSpec {
+        LaunchSpec {
+            launch_id: LaunchId(0),
+            num_blocks: n,
+            work_scale: 1.0,
+        }
+    }
+
+    fn compute_kernel() -> Kernel {
+        // Long enough that the staggered initial dispatch (which trades a
+        // little startup utilisation for realistic desynchronisation) is
+        // amortised away.
+        let mut b = KernelBuilder::new("compute", 7, 128);
+        let body = b.block(&[Op::IAlu, Op::FAlu, Op::IAlu, Op::FAlu]);
+        let n = b.loop_(TripCount::Const(100), body);
+        b.finish(n)
+    }
+
+    fn memory_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("membound", 7, 128);
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Random {
+                region: 0,
+                bytes: 64 << 20,
+            }),
+        ]);
+        let n = b.loop_(TripCount::Const(20), body);
+        b.finish(n)
+    }
+
+    #[test]
+    fn all_blocks_retire() {
+        let k = compute_kernel();
+        let r = simulate_launch(
+            &k,
+            &launch(30),
+            &GpuConfig::fermi(),
+            &mut NullSampling,
+            None,
+        );
+        assert_eq!(r.simulated_tbs, 30);
+        assert_eq!(r.skipped_tbs, 0);
+        assert!(r.cycles > 0);
+        // 30 TBs * 4 warps * 100 iters * 4 insts.
+        assert_eq!(r.issued_warp_insts, 30 * 4 * 100 * 4);
+        assert_eq!(r.issued_thread_insts, r.issued_warp_insts * 32);
+    }
+
+    #[test]
+    fn compute_kernel_reaches_decent_ipc() {
+        let k = compute_kernel();
+        let cfg = GpuConfig::fermi();
+        let r = simulate_launch(&k, &launch(cfg.num_sms * 8), &cfg, &mut NullSampling, None);
+        // Pure-ALU with many warps: latency fully hidden, IPC ~ num_sms.
+        let per_sm = r.ipc() / cfg.num_sms as f64;
+        assert!(
+            per_sm > 0.8,
+            "per-SM IPC {per_sm} too low for compute-bound"
+        );
+    }
+
+    #[test]
+    fn memory_kernel_is_slower_than_compute() {
+        let cfg = GpuConfig::fermi();
+        let rc = simulate_launch(
+            &compute_kernel(),
+            &launch(28),
+            &cfg,
+            &mut NullSampling,
+            None,
+        );
+        let rm = simulate_launch(&memory_kernel(), &launch(28), &cfg, &mut NullSampling, None);
+        assert!(
+            rm.ipc() < rc.ipc() * 0.8,
+            "memory-bound IPC {} should trail compute-bound {}",
+            rm.ipc(),
+            rc.ipc()
+        );
+        assert!(rm.dram_avg_wait > 0.0);
+    }
+
+    #[test]
+    fn skipping_blocks_reduces_work() {
+        let k = compute_kernel();
+        let mut hook = SkipList::default();
+        for i in 10..30 {
+            hook.skip.insert(i);
+        }
+        let r = simulate_launch(&k, &launch(30), &GpuConfig::fermi(), &mut hook, None);
+        assert_eq!(r.simulated_tbs, 10);
+        assert_eq!(r.skipped_tbs, 20);
+        assert_eq!(r.issued_warp_insts, 10 * 4 * 100 * 4);
+        assert_eq!(hook.dispatched.len(), 30);
+        assert_eq!(hook.retired.len(), 10);
+    }
+
+    #[test]
+    fn skip_everything_is_legal() {
+        let k = compute_kernel();
+        let mut hook = SkipList::default();
+        for i in 0..10 {
+            hook.skip.insert(i);
+        }
+        let r = simulate_launch(&k, &launch(10), &GpuConfig::fermi(), &mut hook, None);
+        assert_eq!(r.simulated_tbs, 0);
+        assert_eq!(r.issued_warp_insts, 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let k = memory_kernel();
+        let cfg = GpuConfig::fermi();
+        let a = simulate_launch(&k, &launch(40), &cfg, &mut NullSampling, None);
+        let b = simulate_launch(&k, &launch(40), &cfg, &mut NullSampling, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barrier_kernel_completes() {
+        let mut b = KernelBuilder::new("bar", 7, 128);
+        let pre = b.block(&[Op::IAlu, Op::StShared, Op::Barrier]);
+        let post = b.block(&[Op::LdShared, Op::IAlu]);
+        let n = b.seq(vec![pre, post]);
+        let k = b.finish(n);
+        k.validate().unwrap();
+        let r = simulate_launch(&k, &launch(8), &GpuConfig::fermi(), &mut NullSampling, None);
+        assert_eq!(r.simulated_tbs, 8);
+        assert_eq!(r.issued_warp_insts, 8 * 4 * 5);
+    }
+
+    #[test]
+    fn divergent_kernel_completes() {
+        let mut b = KernelBuilder::new("div", 7, 64);
+        let s1 = b.fresh_site();
+        let s2 = b.fresh_site();
+        let heavy = b.block(&[Op::IAlu, Op::IAlu, Op::IAlu]);
+        let light = b.block(&[Op::IAlu]);
+        let iffy = b.if_(Cond::ThreadProb { p: 0.3, site: s1 }, heavy, Some(light));
+        let n = b.loop_(
+            TripCount::PerThread {
+                base: 1,
+                spread: 6,
+                dist: Dist::Uniform,
+                site: s2,
+            },
+            iffy,
+        );
+        let k = b.finish(n);
+        let r = simulate_launch(
+            &k,
+            &launch(20),
+            &GpuConfig::fermi(),
+            &mut NullSampling,
+            None,
+        );
+        assert_eq!(r.simulated_tbs, 20);
+        assert!(r.issued_warp_insts > 0);
+        // Divergence: thread insts strictly below lanes * warp insts.
+        assert!(r.issued_thread_insts < r.issued_warp_insts * 32);
+    }
+
+    #[test]
+    fn unit_collection_covers_all_issues() {
+        let k = compute_kernel();
+        let r = simulate_launch(
+            &k,
+            &launch(20),
+            &GpuConfig::fermi(),
+            &mut NullSampling,
+            Some(UnitsConfig {
+                unit_warp_insts: 5000,
+                collect_bbv: true,
+            }),
+        );
+        let unit_insts: u64 = r.units.iter().map(|u| u.warp_insts).sum();
+        assert_eq!(unit_insts, r.issued_warp_insts);
+        // BBVs sum to the same total.
+        let bbv_insts: u64 = r.units.iter().flat_map(|u| u.bbv.iter()).sum();
+        assert_eq!(bbv_insts, r.issued_warp_insts);
+        // 20 TBs * 4 warps * 400 insts = 32000 -> 6 full units + 1 partial.
+        assert_eq!(r.units.len(), 7);
+    }
+
+    #[test]
+    fn gto_and_rr_both_complete_with_similar_totals() {
+        let k = memory_kernel();
+        let mut cfg = GpuConfig::fermi();
+        let rr = simulate_launch(&k, &launch(28), &cfg, &mut NullSampling, None);
+        cfg.sched = crate::config::SchedPolicy::Gto;
+        let gto = simulate_launch(&k, &launch(28), &cfg, &mut NullSampling, None);
+        assert_eq!(rr.issued_warp_insts, gto.issued_warp_insts);
+        assert!(gto.cycles > 0);
+    }
+
+    #[test]
+    fn more_sms_speed_up_the_launch() {
+        let k = compute_kernel();
+        let slow = simulate_launch(
+            &k,
+            &launch(56),
+            &GpuConfig::with_occupancy(48, 2),
+            &mut NullSampling,
+            None,
+        );
+        let fast = simulate_launch(
+            &k,
+            &launch(56),
+            &GpuConfig::with_occupancy(48, 14),
+            &mut NullSampling,
+            None,
+        );
+        assert!(
+            fast.cycles * 3 < slow.cycles,
+            "14 SMs ({}) should be much faster than 2 ({})",
+            fast.cycles,
+            slow.cycles
+        );
+    }
+
+    #[test]
+    fn run_simulation_aggregates_launches() {
+        let k = compute_kernel();
+        let run = KernelRun {
+            kernel: k,
+            launches: vec![
+                LaunchSpec {
+                    launch_id: LaunchId(0),
+                    num_blocks: 10,
+                    work_scale: 1.0,
+                },
+                LaunchSpec {
+                    launch_id: LaunchId(1),
+                    num_blocks: 10,
+                    work_scale: 2.0,
+                },
+            ],
+        };
+        let r = simulate_run(&run, &GpuConfig::fermi(), &mut NullSampling, None);
+        assert_eq!(r.launches.len(), 2);
+        assert!(r.launches[1].issued_warp_insts > r.launches[0].issued_warp_insts);
+        assert_eq!(
+            r.total_issued_warp_insts(),
+            r.launches[0].issued_warp_insts + r.launches[1].issued_warp_insts
+        );
+        assert!(r.overall_ipc() > 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! One streaming multiprocessor: resident blocks, warp scheduling, issue.
+
+use crate::config::{GpuConfig, SchedPolicy};
+use crate::memory::MemorySystem;
+use crate::stats::SmStats;
+use tbpoint_emu::{trace_warp, WarpTrace};
+use tbpoint_ir::{ExecCtx, Kernel, LatencyClass, Op, TbId};
+
+/// Runtime state of one resident warp.
+#[derive(Debug)]
+struct WarpRt {
+    trace: WarpTrace,
+    pc: usize,
+    ready_at: u64,
+    at_barrier: bool,
+    done: bool,
+    gtid_base: u64,
+    birth: u64,
+}
+
+/// A thread block resident on the SM.
+#[derive(Debug)]
+struct ResidentBlock {
+    tb_id: TbId,
+    ctx: ExecCtx,
+    warps: Vec<WarpRt>,
+    live: u32,
+    at_barrier: u32,
+}
+
+/// Outcome of one issue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueResult {
+    /// Basic block of the issued instruction, if one issued.
+    pub issued_bb: Option<u16>,
+    /// Active-lane count of the issued instruction (thread instructions).
+    pub issued_lanes: u32,
+    /// A thread block that retired as a result of this issue.
+    pub retired: Option<TbId>,
+}
+
+/// One SM core.
+pub struct SmCore {
+    /// This SM's index (selects its L1/MSHRs in the memory system).
+    pub id: usize,
+    slots: Vec<Option<ResidentBlock>>,
+    rr_cursor: usize,
+    gto_current: Option<(usize, usize)>,
+    sched: SchedPolicy,
+    alu_latency: u64,
+    sfu_latency: u64,
+    smem_latency: u64,
+    /// Warp instructions issued by this SM.
+    pub issued_warp_insts: u64,
+    /// Thread instructions issued by this SM.
+    pub issued_thread_insts: u64,
+    /// Full per-SM statistics (mix, residency, retirements).
+    pub stats: SmStats,
+}
+
+impl SmCore {
+    /// An empty SM with `occupancy` block slots.
+    pub fn new(id: usize, occupancy: u32, cfg: &GpuConfig) -> Self {
+        SmCore {
+            id,
+            slots: (0..occupancy).map(|_| None).collect(),
+            rr_cursor: 0,
+            gto_current: None,
+            sched: cfg.sched,
+            alu_latency: cfg.alu_latency as u64,
+            sfu_latency: cfg.sfu_latency as u64,
+            smem_latency: cfg.smem_latency as u64,
+            issued_warp_insts: 0,
+            issued_thread_insts: 0,
+            stats: SmStats::default(),
+        }
+    }
+
+    /// Index of a free block slot, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_none)
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Materialise traces for `tb_id` and install it in `slot`; the
+    /// block's warps first become ready at `start` (>= now), letting the
+    /// dispatcher stagger the initial fill.
+    ///
+    /// Returns `Some(tb_id)` immediately if every warp's trace is empty
+    /// (the block retires without issuing anything).
+    pub fn dispatch(
+        &mut self,
+        slot: usize,
+        kernel: &Kernel,
+        ctx: ExecCtx,
+        tb_id: TbId,
+        now: u64,
+        start: u64,
+    ) -> Option<TbId> {
+        assert!(self.slots[slot].is_none(), "dispatch into occupied slot");
+        let mut warps = Vec::with_capacity(kernel.warps_per_block() as usize);
+        for w in 0..kernel.warps_per_block() {
+            let trace = trace_warp(kernel, &ctx, w);
+            let done = trace.is_empty();
+            warps.push(WarpRt {
+                trace,
+                pc: 0,
+                ready_at: now.max(start),
+                at_barrier: false,
+                done,
+                gtid_base: ctx.block_id as u64 * kernel.threads_per_block as u64 + w as u64 * 32,
+                birth: now,
+            });
+        }
+        let live = warps.iter().filter(|w| !w.done).count() as u32;
+        if live == 0 {
+            return Some(tb_id); // degenerate block, retires instantly
+        }
+        self.slots[slot] = Some(ResidentBlock {
+            tb_id,
+            ctx,
+            warps,
+            live,
+            at_barrier: 0,
+        });
+        None
+    }
+
+    fn pick_warp(&mut self, now: u64) -> Option<(usize, usize)> {
+        let ready = |w: &WarpRt| !w.done && !w.at_barrier && w.ready_at <= now;
+        // Flatten candidates as (slot, warp) pairs.
+        match self.sched {
+            SchedPolicy::RoundRobin => {
+                // Walk (slot, warp) pairs starting from the cursor; the
+                // cursor advances past each issued warp, giving loose
+                // round-robin. Fixed-capacity scratch avoids allocating on
+                // the issue path (resident warps <= max_warps_per_sm).
+                let mut order = [(0u16, 0u16); 128];
+                let mut len = 0usize;
+                for (s, blk) in self.slots.iter().enumerate() {
+                    if let Some(b) = blk {
+                        for w in 0..b.warps.len() {
+                            if len < order.len() {
+                                order[len] = (s as u16, w as u16);
+                                len += 1;
+                            }
+                        }
+                    }
+                }
+                if len == 0 {
+                    return None;
+                }
+                let start = self.rr_cursor % len;
+                for k in 0..len {
+                    let (s, w) = order[(start + k) % len];
+                    let (s, w) = (s as usize, w as usize);
+                    let b = self.slots[s].as_ref().unwrap();
+                    if ready(&b.warps[w]) {
+                        self.rr_cursor = (start + k + 1) % len;
+                        return Some((s, w));
+                    }
+                }
+                None
+            }
+            SchedPolicy::Gto => {
+                // Stick with the current warp while it is ready.
+                if let Some((s, w)) = self.gto_current {
+                    if let Some(b) = self.slots[s].as_ref() {
+                        if w < b.warps.len() && ready(&b.warps[w]) {
+                            return Some((s, w));
+                        }
+                    }
+                }
+                // Otherwise the oldest ready warp.
+                let mut best: Option<(u64, usize, usize)> = None;
+                for (s, blk) in self.slots.iter().enumerate() {
+                    if let Some(b) = blk {
+                        for (w, warp) in b.warps.iter().enumerate() {
+                            if ready(warp) && best.is_none_or(|(bb, _, _)| warp.birth < bb) {
+                                best = Some((warp.birth, s, w));
+                            }
+                        }
+                    }
+                }
+                let pick = best.map(|(_, s, w)| (s, w));
+                self.gto_current = pick;
+                pick
+            }
+        }
+    }
+
+    /// Attempt to issue one warp instruction at cycle `now`.
+    pub fn try_issue(&mut self, now: u64, mem: &mut MemorySystem) -> IssueResult {
+        let Some((s, w)) = self.pick_warp(now) else {
+            return IssueResult {
+                issued_bb: None,
+                issued_lanes: 0,
+                retired: None,
+            };
+        };
+        let block = self.slots[s].as_mut().expect("picked slot is occupied");
+        let ctx = block.ctx;
+        let warp = &mut block.warps[w];
+        let inst = warp.trace[warp.pc];
+        warp.pc += 1;
+        self.issued_warp_insts += 1;
+        let lanes = inst.mask.count_ones();
+        self.issued_thread_insts += lanes as u64;
+        self.stats.issued_warp_insts += 1;
+        self.stats.issued_thread_insts += lanes as u64;
+        self.stats.mix.record(inst.op.latency_class());
+
+        match inst.op.latency_class() {
+            LatencyClass::Alu => warp.ready_at = now + self.alu_latency,
+            LatencyClass::Sfu => warp.ready_at = now + self.sfu_latency,
+            LatencyClass::SharedMem => warp.ready_at = now + self.smem_latency,
+            LatencyClass::GlobalMem => {
+                let pat = inst.op.addr_pattern().expect("global op has pattern");
+                let lines =
+                    pat.coalesced_lines(&ctx, warp.gtid_base, inst.mask, inst.iter_key, inst.site);
+                let is_store = matches!(inst.op, Op::StGlobal(_));
+                if is_store {
+                    for line in lines.iter() {
+                        mem.store(self.id, line, now);
+                    }
+                    // Fire-and-forget: the warp only pays issue latency.
+                    warp.ready_at = now + self.alu_latency;
+                } else {
+                    let mut done_at = now + self.alu_latency;
+                    for line in lines.iter() {
+                        done_at = done_at.max(mem.load(self.id, line, now));
+                    }
+                    warp.ready_at = done_at;
+                    self.stats.load_latency_sum += done_at - now;
+                    self.stats.loads_waited += 1;
+                }
+            }
+            LatencyClass::Barrier => {
+                warp.at_barrier = true;
+                warp.ready_at = now + 1;
+                block.at_barrier += 1;
+            }
+        }
+
+        // Trace exhausted?
+        let mut retired = None;
+        if warp.pc >= warp.trace.len() {
+            warp.done = true;
+            // A warp cannot end on an unreleased barrier (validated IR),
+            // but guard the accounting anyway.
+            if warp.at_barrier {
+                warp.at_barrier = false;
+                block.at_barrier -= 1;
+            }
+            block.live -= 1;
+            if block.live == 0 {
+                retired = Some(block.tb_id);
+                self.stats.blocks_retired += 1;
+                self.slots[s] = None;
+                if self.gto_current == Some((s, w)) {
+                    self.gto_current = None;
+                }
+            }
+        }
+
+        // Barrier release: all live warps arrived.
+        if let Some(b) = self.slots[s].as_mut() {
+            if b.at_barrier > 0 && b.at_barrier == b.live {
+                for warp in &mut b.warps {
+                    if warp.at_barrier {
+                        warp.at_barrier = false;
+                        warp.ready_at = warp.ready_at.max(now + 1);
+                    }
+                }
+                b.at_barrier = 0;
+            }
+        }
+
+        IssueResult {
+            issued_bb: Some(inst.bb),
+            issued_lanes: lanes,
+            retired,
+        }
+    }
+
+    /// The earliest cycle at which some warp could issue, or `None` when
+    /// the SM has nothing issueable (empty, or everything at a barrier
+    /// that cannot release without external progress — impossible for
+    /// validated kernels).
+    pub fn next_ready(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for blk in self.slots.iter().flatten() {
+            for w in &blk.warps {
+                if !w.done && !w.at_barrier {
+                    best = Some(best.map_or(w.ready_at, |b: u64| b.min(w.ready_at)));
+                }
+            }
+        }
+        best
+    }
+
+    /// True when no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Credit `delta` cycles of residency if any block is resident
+    /// (called by the simulator's cycle loop, including over skipped
+    /// idle spans).
+    pub fn credit_resident_cycles(&mut self, delta: u64) {
+        if !self.is_empty() {
+            self.stats.resident_cycles += delta;
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-SM and per-launch statistics beyond the headline IPC.
+//!
+//! A cycle-level simulator earns its keep through the statistics it
+//! exposes; these are the counters an architect would actually read when
+//! deciding whether a kernel is latency-, bandwidth- or sync-bound — and
+//! they feed the `tbpoint inspect` characterisation tool.
+
+use serde::{Deserialize, Serialize};
+use tbpoint_ir::LatencyClass;
+
+/// Issued-instruction mix by functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct InstMix {
+    /// Integer/FP ALU instructions.
+    pub alu: u64,
+    /// Special-function-unit instructions.
+    pub sfu: u64,
+    /// Global-memory instructions.
+    pub global_mem: u64,
+    /// Shared-memory instructions.
+    pub shared_mem: u64,
+    /// Barriers.
+    pub barrier: u64,
+}
+
+impl InstMix {
+    /// Record one issued instruction.
+    pub fn record(&mut self, class: LatencyClass) {
+        match class {
+            LatencyClass::Alu => self.alu += 1,
+            LatencyClass::Sfu => self.sfu += 1,
+            LatencyClass::GlobalMem => self.global_mem += 1,
+            LatencyClass::SharedMem => self.shared_mem += 1,
+            LatencyClass::Barrier => self.barrier += 1,
+        }
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.alu + self.sfu + self.global_mem + self.shared_mem + self.barrier
+    }
+
+    /// Fraction of instructions that touch global memory — the static
+    /// analogue of the paper's stall probability.
+    pub fn global_mem_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.global_mem as f64 / t as f64
+        }
+    }
+
+    /// Merge another mix into this one.
+    pub fn merge(&mut self, other: &InstMix) {
+        self.alu += other.alu;
+        self.sfu += other.sfu;
+        self.global_mem += other.global_mem;
+        self.shared_mem += other.shared_mem;
+        self.barrier += other.barrier;
+    }
+}
+
+/// Counters for one SM over one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SmStats {
+    /// Warp instructions issued.
+    pub issued_warp_insts: u64,
+    /// Thread instructions issued (active lanes).
+    pub issued_thread_insts: u64,
+    /// Cycles with at least one resident thread block.
+    pub resident_cycles: u64,
+    /// Issued-instruction mix.
+    pub mix: InstMix,
+    /// Thread blocks this SM retired.
+    pub blocks_retired: u64,
+    /// Sum of load completion latencies (cycles), for the empirical mean
+    /// stall duration "M" of the paper's Markov model.
+    pub load_latency_sum: u64,
+    /// Number of load instructions that waited on memory.
+    pub loads_waited: u64,
+}
+
+impl SmStats {
+    /// This SM's IPC over its resident cycles.
+    pub fn ipc(&self) -> f64 {
+        if self.resident_cycles == 0 {
+            0.0
+        } else {
+            self.issued_warp_insts as f64 / self.resident_cycles as f64
+        }
+    }
+
+    /// Fraction of resident cycles with no issue (latency/barrier
+    /// stalls; the complement of utilisation).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.resident_cycles == 0 {
+            0.0
+        } else {
+            1.0 - (self.issued_warp_insts as f64 / self.resident_cycles as f64).min(1.0)
+        }
+    }
+
+    /// SIMD efficiency: active lanes per issued warp instruction,
+    /// normalised by the warp width (1.0 = no divergence losses).
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.issued_warp_insts == 0 {
+            0.0
+        } else {
+            self.issued_thread_insts as f64 / (self.issued_warp_insts as f64 * 32.0)
+        }
+    }
+
+    /// Empirical mean stall duration of a load — the "M" of the paper's
+    /// Markov model (Fig. 4), measured instead of assumed.
+    pub fn mean_load_latency(&self) -> f64 {
+        if self.loads_waited == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.loads_waited as f64
+        }
+    }
+
+    /// Empirical stall probability: fraction of issued instructions that
+    /// wait on global memory — the "p" of the Markov model.
+    pub fn stall_probability(&self) -> f64 {
+        if self.issued_warp_insts == 0 {
+            0.0
+        } else {
+            self.loads_waited as f64 / self.issued_warp_insts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_records_and_totals() {
+        let mut m = InstMix::default();
+        m.record(LatencyClass::Alu);
+        m.record(LatencyClass::Alu);
+        m.record(LatencyClass::GlobalMem);
+        m.record(LatencyClass::SharedMem);
+        m.record(LatencyClass::Sfu);
+        m.record(LatencyClass::Barrier);
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.alu, 2);
+        assert!((m.global_mem_fraction() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_merge_adds() {
+        let mut a = InstMix {
+            alu: 1,
+            sfu: 2,
+            global_mem: 3,
+            shared_mem: 4,
+            barrier: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 30);
+    }
+
+    #[test]
+    fn sm_stats_derived_metrics() {
+        let s = SmStats {
+            issued_warp_insts: 500,
+            issued_thread_insts: 500 * 24,
+            resident_cycles: 1000,
+            mix: InstMix::default(),
+            blocks_retired: 7,
+            load_latency_sum: 3000,
+            loads_waited: 10,
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.stall_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.simd_efficiency() - 0.75).abs() < 1e-12);
+        assert!((s.mean_load_latency() - 300.0).abs() < 1e-12);
+        assert!((s.stall_probability() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sm_stats_are_zero() {
+        let s = SmStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.stall_fraction(), 0.0);
+        assert_eq!(s.simd_efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Confidence intervals and weighted statistics.
+//!
+//! The Monte-Carlo experiment (Fig. 5) and the bench harness report means
+//! of noisy samples; a mean without an interval is a guess. Normal-theory
+//! intervals are adequate at the sample counts involved (>= hundreds).
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Does the interval contain `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+/// z-value for a two-sided confidence level (supported: 0.90, 0.95,
+/// 0.99; anything else falls back to 0.95's 1.96).
+fn z_for(level: f64) -> f64 {
+    if (level - 0.90).abs() < 1e-9 {
+        1.6449
+    } else if (level - 0.99).abs() < 1e-9 {
+        2.5758
+    } else {
+        1.96
+    }
+}
+
+/// Normal-approximation confidence interval for the mean of `xs`.
+///
+/// Returns a zero-width interval for fewer than two samples.
+pub fn mean_ci(xs: &[f64], level: f64) -> ConfidenceInterval {
+    let m = crate::descriptive::mean(xs);
+    if xs.len() < 2 {
+        return ConfidenceInterval {
+            mean: m,
+            half_width: 0.0,
+        };
+    }
+    // Sample (n-1) variance for the standard error.
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0);
+    let se = (var / xs.len() as f64).sqrt();
+    ConfidenceInterval {
+        mean: m,
+        half_width: z_for(level) * se,
+    }
+}
+
+/// Weighted arithmetic mean. Returns 0 when the weights sum to zero.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ws.len(), "weights must match samples");
+    let wsum: f64 = ws.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum
+}
+
+/// Weighted harmonic mean — the right way to combine per-phase IPCs into
+/// an overall IPC when weights are instruction counts.
+///
+/// Non-positive rates are skipped (they carry no time).
+pub fn weighted_harmonic_mean(rates: &[f64], ws: &[f64]) -> f64 {
+    assert_eq!(rates.len(), ws.len(), "weights must match samples");
+    let mut wsum = 0.0;
+    let mut denom = 0.0;
+    for (&r, &w) in rates.iter().zip(ws) {
+        if r > 0.0 && w > 0.0 {
+            wsum += w;
+            denom += w / r;
+        }
+    }
+    if denom == 0.0 {
+        0.0
+    } else {
+        wsum / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 5) as f64).collect();
+        let big: Vec<f64> = (0..2000).map(|i| (i % 5) as f64).collect();
+        let ci_small = mean_ci(&small, 0.95);
+        let ci_big = mean_ci(&big, 0.95);
+        assert!(ci_big.half_width < ci_small.half_width);
+        assert!(ci_big.contains(2.0));
+    }
+
+    #[test]
+    fn ci_levels_order() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let c90 = mean_ci(&xs, 0.90).half_width;
+        let c95 = mean_ci(&xs, 0.95).half_width;
+        let c99 = mean_ci(&xs, 0.99).half_width;
+        assert!(c90 < c95 && c95 < c99);
+    }
+
+    #[test]
+    fn ci_degenerate_inputs() {
+        assert_eq!(mean_ci(&[], 0.95).half_width, 0.0);
+        assert_eq!(mean_ci(&[3.0], 0.95).half_width, 0.0);
+        assert_eq!(mean_ci(&[3.0], 0.95).mean, 3.0);
+    }
+
+    #[test]
+    fn weighted_mean_basics() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[3.0, 1.0]), 1.5);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_is_ipc_combination() {
+        // Phase A: 1000 insts at IPC 2; phase B: 1000 insts at IPC 0.5.
+        // Cycles = 500 + 2000 -> overall IPC = 2000/2500 = 0.8.
+        let ipc = weighted_harmonic_mean(&[2.0, 0.5], &[1000.0, 1000.0]);
+        assert!((ipc - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_skips_zero_rates() {
+        let ipc = weighted_harmonic_mean(&[0.0, 1.0], &[100.0, 100.0]);
+        assert!((ipc - 1.0).abs() < 1e-12);
+        assert_eq!(weighted_harmonic_mean(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must match")]
+    fn mismatched_weights_rejected() {
+        weighted_mean(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Batch descriptive statistics over `f64` slices.
+//!
+//! All functions define their value on the empty slice explicitly (usually
+//! `0.0`) instead of panicking: the sampling pipeline frequently produces
+//! empty epochs / clusters at small scales and must degrade gracefully.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`, not `n - 1`).
+///
+/// The paper's CoV (Eq. 5) characterises a *complete* epoch — every thread
+/// block in the epoch is observed — so the population form is the right one.
+/// Returns `0.0` for slices with fewer than two elements.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    population_variance(xs).sqrt()
+}
+
+/// Coefficient of variation: `std_dev / mean`.
+///
+/// Returns `0.0` when the mean is zero (an epoch of all-empty thread blocks
+/// is perfectly homogeneous, not infinitely variable).
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(xs) / m
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// Zero or negative entries are clamped to `GEOMEAN_FLOOR` so that a single
+/// perfect (0% error) benchmark does not collapse the summary to zero — the
+/// same convention SimPoint-style papers use when reporting error geomeans.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    /// Clamp floor for non-positive inputs to [`geometric_mean`].
+    pub const GEOMEAN_FLOOR: f64 = 1e-6;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(GEOMEAN_FLOOR).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Maximum of a slice, `0.0` when empty. Ignores NaN-ordering subtleties by
+/// treating NaN as smaller than everything (NaNs never win).
+pub fn max_f64(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter()
+        .copied()
+        .fold(f64::MIN, |a, b| if b > a { b } else { a })
+}
+
+/// Minimum of a slice, `0.0` when empty.
+pub fn min_f64(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter()
+        .copied()
+        .fold(f64::MAX, |a, b| if b < a { b } else { a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn variance_basic() {
+        // Var([2,4,4,4,5,5,7,9]) = 4 (classic textbook example).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn variance_degenerate() {
+        assert_eq!(population_variance(&[]), 0.0);
+        assert_eq!(population_variance(&[3.0]), 0.0);
+        assert_eq!(population_variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((cov(&xs) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_zero_mean_is_zero() {
+        assert_eq!(cov(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(cov(&[]), 0.0);
+    }
+
+    #[test]
+    fn cov_homogeneous_epoch_is_zero() {
+        assert_eq!(cov(&[7.0; 16]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geometric_mean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_clamps_zero() {
+        // A single 0% error must not zero the summary.
+        let g = geometric_mean(&[0.0, 0.1, 0.1]);
+        assert!(g > 0.0);
+        assert!(g < 0.1);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.0, 2.0];
+        assert_eq!(max_f64(&xs), 7.0);
+        assert_eq!(min_f64(&xs), -1.0);
+        assert_eq!(min_f64(&[]), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! `bfs` — breadth-first search (lonestar). Irregular, Type I.
+//!
+//! Signature reproduced: 13 frontier-shaped launches totalling 10,619
+//! thread blocks; per-thread work follows the graph's power-law degree
+//! distribution (heavy intra-warp divergence); neighbour visits are
+//! data-dependent gathers over a multi-megabyte edge array (memory
+//! divergent and cache sensitive — the paper calls bfs out as needing a
+//! long warming period at low occupancy); per-block frontier density
+//! varies, giving the irregular Fig. 8 scatter.
+
+use super::{bell_weights, distribute_launches};
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, Cond, Dist, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 13 launches, 10,619 thread blocks.
+pub const LAUNCHES: u32 = 13;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 10_619;
+
+/// Build the bfs benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("bfs", 0xB_F5, 256);
+    b.regs(24);
+
+    let density_site = b.fresh_site();
+    let degree_site = b.fresh_site();
+    let update_site = b.fresh_site();
+
+    // Fixed per-node overhead: read the frontier entry, bookkeeping
+    // arithmetic (this part does NOT scale with frontier density, which
+    // is what makes the stall probability differ across phases).
+    let read_frontier = b.block(&[
+        Op::IAlu,
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::IAlu,
+        Op::IAlu,
+        Op::IAlu,
+    ]);
+    // Visit one neighbour: gather from the edge array, maybe update the
+    // visited set.
+    let visit = b.block(&[
+        Op::LdGlobal(AddrPattern::Random {
+            region: 1,
+            bytes: 8 << 20,
+        }),
+        Op::IAlu,
+    ]);
+    let update = b.block(&[
+        Op::StGlobal(AddrPattern::Random {
+            region: 2,
+            bytes: 2 << 20,
+        }),
+        Op::IAlu,
+    ]);
+    let maybe_update = b.if_(
+        Cond::ThreadProb {
+            p: 0.3,
+            site: update_site,
+        },
+        update,
+        None,
+    );
+    let neighbour_loop = {
+        let body = b.seq(vec![visit, maybe_update]);
+        b.loop_(
+            TripCount::PerThread {
+                base: 1,
+                spread: 24,
+                dist: Dist::PowerLaw { alpha: 2.5 },
+                site: degree_site,
+            },
+            body,
+        )
+    };
+    // Frontier density is *phase-structured* across the grid (graph
+    // communities occupy contiguous worklist ranges): blocks in a dense
+    // phase traverse the gather loop more often, raising that phase's
+    // memory-to-instruction ratio — consecutive epochs within one phase
+    // are homogeneous, phase boundaries change the stall probability.
+    let dense_region = b.loop_(
+        TripCount::PerBlockPhase {
+            base: 1,
+            spread: 3,
+            phase_len: 210,
+            dist: Dist::Uniform,
+            site: density_site,
+        },
+        neighbour_loop,
+    );
+    let write_out = b.block(&[
+        Op::IAlu,
+        Op::StGlobal(AddrPattern::Coalesced {
+            region: 3,
+            stride: 4,
+        }),
+    ]);
+
+    let program = b.seq(vec![read_frontier, dense_region, write_out]);
+    let kernel = b.finish(program);
+    // Sharpen the frontier bell: real BFS frontiers start and end with a
+    // handful of nodes, so the first/last launches have FEWER thread
+    // blocks than the GPU has slots — they run at partial occupancy with
+    // much lower IPC. Random sampling tends to miss those launches; this
+    // is exactly where the paper reports its "much higher error rate ...
+    // especially for the irregular kernels".
+    let weights: Vec<f64> = bell_weights(LAUNCHES as usize)
+        .into_iter()
+        .map(|w| w.powf(2.5))
+        .collect();
+    KernelRun {
+        kernel,
+        launches: distribute_launches(TOTAL_TBS, &weights, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 13);
+        assert_eq!(r.total_blocks(), 10_619);
+        r.kernel.validate().unwrap();
+    }
+
+    #[test]
+    fn launches_are_frontier_shaped() {
+        let r = run(Scale::Full);
+        let sizes: Vec<u32> = r.launches.iter().map(|l| l.num_blocks).collect();
+        let peak = *sizes.iter().max().unwrap();
+        assert!(
+            sizes[0] < peak / 3,
+            "first launch should be small: {sizes:?}"
+        );
+        assert!(
+            sizes[12] < peak / 3,
+            "last launch should be small: {sizes:?}"
+        );
+    }
+}

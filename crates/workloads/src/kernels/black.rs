@@ -1,0 +1,60 @@
+//! `black` — BlackScholes option pricing (CUDA SDK). Regular, Type II.
+//!
+//! One launch of 41,760 uniform TBs: coalesced loads of option
+//! parameters, SFU-heavy math (exp, log, sqrt via the CND polynomial),
+//! coalesced stores. One launch means every saving is intra-launch
+//! (Fig. 11 groups it with hotspot on that account).
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 1 launch, 41,760 thread blocks.
+pub const LAUNCHES: u32 = 1;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 41_760;
+
+/// Build the black benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("black", 0xB1AC, 128);
+    b.regs(20);
+
+    let price = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 1,
+            stride: 4,
+        }),
+        Op::Sfu,
+        Op::Sfu,
+        Op::FAlu,
+        Op::FAlu,
+        Op::FAlu,
+        Op::StGlobal(AddrPattern::Coalesced {
+            region: 2,
+            stride: 4,
+        }),
+    ]);
+    let program = b.loop_(TripCount::Const(2), price);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 1);
+        assert_eq!(r.total_blocks(), 41_760);
+        r.kernel.validate().unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! `cfd` — computational fluid dynamics solver (rodinia). Regular,
+//! Type II.
+//!
+//! 100 identical time-step launches of 506 TBs each: uniform flux
+//! computation with coalesced cell data plus strided neighbour accesses.
+//! Inter-launch sampling collapses the 100 launches to one (the dominant
+//! savings for regular kernels in Fig. 11).
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 100 launches, 50,600 thread blocks.
+pub const LAUNCHES: u32 = 100;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 50_600;
+
+/// Build the cfd benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("cfd", 0xCFD, 128);
+    b.regs(48);
+
+    let flux = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::LdGlobal(AddrPattern::Strided {
+            region: 1,
+            stride: 128,
+        }),
+        Op::FAlu,
+        Op::FAlu,
+        Op::FAlu,
+        Op::StGlobal(AddrPattern::Coalesced {
+            region: 2,
+            stride: 4,
+        }),
+    ]);
+    let program = b.loop_(TripCount::Const(3), flux);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 100);
+        assert_eq!(r.total_blocks(), 50_600);
+        r.kernel.validate().unwrap();
+    }
+}

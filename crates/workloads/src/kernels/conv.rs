@@ -1,0 +1,54 @@
+//! `conv` — convolutionSeparable (CUDA SDK). Regular, Type II.
+//!
+//! The roster's biggest grid: 202,752 TBs over 16 launches (row/column
+//! passes over a batch of images). A textbook shared-memory tile kernel;
+//! launches are homogeneous, blocks are uniform.
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 16 launches, 202,752 thread blocks.
+pub const LAUNCHES: u32 = 16;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 202_752;
+
+/// Build the conv benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("conv", 0xC0F, 64);
+    b.regs(16).smem(4 * 1024);
+
+    let load_tile = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::StShared,
+        Op::Barrier,
+    ]);
+    let tap = b.block(&[Op::LdShared, Op::FAlu]);
+    let taps = b.loop_(TripCount::Const(2), tap);
+    let store = b.block(&[Op::StGlobal(AddrPattern::Coalesced {
+        region: 1,
+        stride: 4,
+    })]);
+    let program = b.seq(vec![load_tile, taps, store]);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 16);
+        assert_eq!(r.total_blocks(), 202_752);
+        r.kernel.validate().unwrap();
+    }
+}

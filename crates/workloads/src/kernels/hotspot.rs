@@ -1,0 +1,73 @@
+//! `hotspot` — thermal simulation stencil (rodinia). Regular, Type II.
+//!
+//! One launch of 1,849 TBs (a 43x43 grid of tiles): the classic
+//! shared-memory pyramid — load a tile into shared memory, barrier,
+//! iterate the stencil in shared memory, barrier, write back. The paper
+//! singles hotspot out (with binomial/black) as a one-launch regular
+//! kernel whose savings are all intra-launch.
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 1 launch, 1,849 thread blocks.
+pub const LAUNCHES: u32 = 1;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 1_849;
+
+/// Build the hotspot benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("hotspot", 0x407, 256);
+    b.regs(26).smem(12 * 1024);
+
+    let load_tile = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::StShared,
+        Op::Barrier,
+    ]);
+    let stencil = b.block(&[
+        Op::LdShared,
+        Op::LdShared,
+        Op::FAlu,
+        Op::FAlu,
+        Op::FAlu,
+        Op::Barrier,
+    ]);
+    let iters = b.loop_(TripCount::Const(48), stencil);
+    let write_back = b.block(&[
+        Op::FAlu,
+        Op::StGlobal(AddrPattern::Coalesced {
+            region: 1,
+            stride: 4,
+        }),
+    ]);
+    let program = b.seq(vec![load_tile, iters, write_back]);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 1);
+        assert_eq!(r.total_blocks(), 1_849);
+        r.kernel.validate().unwrap();
+    }
+
+    #[test]
+    fn uses_shared_memory_and_barriers() {
+        let r = run(Scale::Tiny);
+        assert!(r.kernel.program.contains_barrier());
+        assert!(r.kernel.smem_per_block > 0);
+    }
+}

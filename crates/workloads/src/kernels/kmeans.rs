@@ -1,0 +1,55 @@
+//! `kmeans` — k-means clustering (rodinia). Regular, Type II.
+//!
+//! 30 identical iteration launches of 1,936 TBs: each thread computes
+//! distances from its point to the centroid table (broadcast reads) —
+//! compute-heavy, uniform blocks.
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 30 launches, 58,080 thread blocks.
+pub const LAUNCHES: u32 = 30;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 58_080;
+
+/// Build the kmeans benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("kmeans", 0x3A15, 256);
+    b.regs(18);
+
+    let distance = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::LdGlobal(AddrPattern::Broadcast { region: 1 }),
+        Op::FAlu,
+        Op::FAlu,
+        Op::IAlu,
+    ]);
+    let body = b.loop_(TripCount::Const(4), distance);
+    let assign = b.block(&[Op::StGlobal(AddrPattern::Coalesced {
+        region: 2,
+        stride: 4,
+    })]);
+    let program = b.seq(vec![body, assign]);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 30);
+        assert_eq!(r.total_blocks(), 58_080);
+        r.kernel.validate().unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! `lbm` — lattice-Boltzmann method (parboil). Regular, Type II.
+//!
+//! One enormous, perfectly uniform launch (108,000 TBs): a streaming
+//! stencil that reads and writes multi-hundred-megabyte distribution
+//! arrays with fully coalesced accesses. Every thread block is identical,
+//! so the whole launch is one homogeneous region — the intra-launch
+//! fast-forward does almost all the work.
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 1 launch, 108,000 thread blocks.
+pub const LAUNCHES: u32 = 1;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 108_000;
+
+/// Build the lbm benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("lbm", 0x1B3, 128);
+    b.regs(40);
+
+    let stream_collide = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 1,
+            stride: 4,
+        }),
+        Op::FAlu,
+        Op::FAlu,
+        Op::FAlu,
+        Op::StGlobal(AddrPattern::Coalesced {
+            region: 2,
+            stride: 4,
+        }),
+    ]);
+    let program = b.loop_(TripCount::Const(2), stream_collide);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 1);
+        assert_eq!(r.total_blocks(), 108_000);
+        r.kernel.validate().unwrap();
+    }
+}

@@ -1,0 +1,82 @@
+//! `mri` — MRI-Gridding (parboil). Irregular, Type I.
+//!
+//! One huge launch (18,158 TBs): each block grids the k-space samples of
+//! one bin; bin densities follow a power law, so block work varies widely
+//! within the single launch — all sampling savings must come from
+//! intra-launch sampling.
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, Dist, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 1 launch, 18,158 thread blocks.
+pub const LAUNCHES: u32 = 1;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 18_158;
+
+/// Build the mri benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("mri", 0x309, 128);
+    b.regs(30).smem(2048);
+
+    let density_site = b.fresh_site();
+
+    let load_bin = b.block(&[
+        Op::IAlu,
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 8,
+        }),
+        Op::FAlu,
+        Op::FAlu,
+        Op::IAlu,
+    ]);
+    let grid_sample = b.block(&[
+        Op::LdGlobal(AddrPattern::Random {
+            region: 1,
+            bytes: 2 << 20,
+        }),
+        Op::FAlu,
+        Op::FAlu,
+        Op::Sfu,
+        Op::FAlu,
+    ]);
+    // Sample density sweeps across k-space: bins with nearby ids share a
+    // density (phases), the dense centre doing ~20x the work of the
+    // sparse edges — irregular in Fig. 8's sense, but with long
+    // homogeneous stretches the intra sampler can exploit.
+    let density_loop = b.loop_(
+        TripCount::PerBlockPhase {
+            base: 2,
+            spread: 40,
+            phase_len: 672,
+            dist: Dist::PowerLaw { alpha: 1.8 },
+            site: density_site,
+        },
+        grid_sample,
+    );
+    let store = b.block(&[Op::StGlobal(AddrPattern::Coalesced {
+        region: 2,
+        stride: 8,
+    })]);
+
+    let program = b.seq(vec![load_bin, density_loop, store]);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 1);
+        assert_eq!(r.total_blocks(), 18_158);
+        r.kernel.validate().unwrap();
+    }
+}

@@ -1,0 +1,79 @@
+//! `mst` — minimum spanning tree (lonestar). Irregular, Type I.
+//!
+//! The paper's hardest case: component-contraction launches of
+//! geometrically shrinking size, and **outlier thread blocks** whose
+//! instruction counts dwarf their neighbours' (large components being
+//! merged). Those outliers are invisible to BBVs — they execute the same
+//! code, just far more of it — which is why Ideal-SimPoint posts its
+//! worst error (8.5%) on mst, while TBPoint's variation factor isolates
+//! the affected epochs and pays for it with a larger sample (55%).
+
+use super::distribute_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, Dist, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 10 launches, 2,331 thread blocks.
+pub const LAUNCHES: u32 = 10;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 2_331;
+
+/// Build the mst benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("mst", 0x357, 256);
+    b.regs(32);
+
+    let component_site = b.fresh_site();
+
+    let find_min_edge = b.block(&[
+        Op::LdGlobal(AddrPattern::Random {
+            region: 0,
+            bytes: 4 << 20,
+        }),
+        Op::IAlu,
+        Op::IAlu,
+    ]);
+    // Component size is bimodal: ~0.2% of blocks contract a huge
+    // component (40x the work) — sparse *outlier TBs*. At Fermi occupancy
+    // (~56-TB epochs) roughly a tenth of the epochs contain one, so the
+    // variation factor isolates about half the launch — reproducing mst's
+    // outsized 55% sample size (Fig. 10) and the BBV blindness that gives
+    // Ideal-SimPoint its worst error (Fig. 9).
+    let program = b.loop_(
+        TripCount::PerBlock {
+            base: 20,
+            spread: 780,
+            dist: Dist::Bimodal { p_heavy: 0.002 },
+            site: component_site,
+        },
+        find_min_edge,
+    );
+    let kernel = b.finish(program);
+
+    // Contraction halves the component count each round (geometric).
+    let weights: Vec<f64> = (0..LAUNCHES).map(|i| 0.62f64.powi(i as i32)).collect();
+    KernelRun {
+        kernel,
+        launches: distribute_launches(TOTAL_TBS, &weights, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 10);
+        assert_eq!(r.total_blocks(), 2_331);
+        r.kernel.validate().unwrap();
+    }
+
+    #[test]
+    fn launches_shrink_geometrically() {
+        let r = run(Scale::Full);
+        let sizes: Vec<u32> = r.launches.iter().map(|l| l.num_blocks).collect();
+        assert!(sizes[0] > sizes[4], "{sizes:?}");
+        assert!(sizes[4] > sizes[9], "{sizes:?}");
+    }
+}

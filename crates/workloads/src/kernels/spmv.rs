@@ -1,0 +1,101 @@
+//! `spmv` — sparse matrix-vector product (parboil). Irregular, Type I.
+//!
+//! Fifty identical launches (the solver iterates on the same matrix), so
+//! inter-launch sampling collapses them to one; inside a launch, row
+//! lengths follow a power law and the source-vector gather is
+//! data-dependent, with heavy-row block clusters (matrix band structure)
+//! driving stall-probability changes across epochs — the case where the
+//! intra feature beats BBVs on sample size (Fig. 10's irregular half).
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, Dist, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 50 launches, 38,250 thread blocks.
+pub const LAUNCHES: u32 = 50;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 38_250;
+
+/// Build the spmv benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("spmv", 0x59D7, 128);
+    b.regs(20);
+
+    let band_site = b.fresh_site();
+    let row_site = b.fresh_site();
+
+    let row_ptr = b.block(&[
+        Op::IAlu,
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::IAlu,
+        Op::IAlu,
+    ]);
+    let nnz = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 1,
+            stride: 8,
+        }),
+        Op::LdGlobal(AddrPattern::Random {
+            region: 2,
+            bytes: 4 << 20,
+        }),
+        Op::FAlu,
+    ]);
+    let row_loop = b.loop_(
+        TripCount::PerThread {
+            base: 1,
+            spread: 11,
+            dist: Dist::PowerLaw { alpha: 2.0 },
+            site: row_site,
+        },
+        nnz,
+    );
+    // Band structure: contiguous row ranges (= contiguous TB id ranges)
+    // form dense bands doing ~3x the rows — phase-structured, so epochs
+    // inside a band are homogeneous while band boundaries shift the
+    // stall probability.
+    let band = b.loop_(
+        TripCount::PerBlockPhase {
+            base: 1,
+            spread: 2,
+            phase_len: 336,
+            dist: Dist::Bimodal { p_heavy: 0.33 },
+            site: band_site,
+        },
+        row_loop,
+    );
+    let store = b.block(&[Op::StGlobal(AddrPattern::Coalesced {
+        region: 3,
+        stride: 8,
+    })]);
+
+    let program = b.seq(vec![row_ptr, band, store]);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 50);
+        assert_eq!(r.total_blocks(), 38_250);
+        r.kernel.validate().unwrap();
+    }
+
+    #[test]
+    fn launches_are_identical() {
+        let r = run(Scale::Full);
+        let first = r.launches[0].num_blocks;
+        assert!(r.launches.iter().all(|l| l.num_blocks.abs_diff(first) <= 1));
+    }
+}

@@ -1,0 +1,123 @@
+//! `sssp` — single-source shortest paths (lonestar). Irregular, Type I.
+//!
+//! Like bfs but with many more, smaller launches (49 worklist iterations
+//! totalling 12,691 TBs), an extra relaxation step per edge, and a
+//! slightly lighter degree tail. Cache sensitive like bfs (Section V-C
+//! names both as needing longer warming at low occupancy).
+
+use super::{bell_weights, distribute_launches};
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, Cond, Dist, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 49 launches, 12,691 thread blocks.
+pub const LAUNCHES: u32 = 49;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 12_691;
+
+/// Build the sssp benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("sssp", 0x5559, 256);
+    b.regs(28);
+
+    let density_site = b.fresh_site();
+    let degree_site = b.fresh_site();
+    let relax_site = b.fresh_site();
+
+    let read_worklist = b.block(&[
+        Op::IAlu,
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::IAlu,
+        Op::IAlu,
+        Op::IAlu,
+    ]);
+    let edge_visit = b.block(&[
+        Op::LdGlobal(AddrPattern::Random {
+            region: 1,
+            bytes: 6 << 20,
+        }),
+        Op::IAlu,
+        Op::LdGlobal(AddrPattern::Random {
+            region: 2,
+            bytes: 2 << 20,
+        }),
+    ]);
+    let relax = b.block(&[
+        Op::IAlu,
+        Op::StGlobal(AddrPattern::Random {
+            region: 2,
+            bytes: 2 << 20,
+        }),
+        Op::IAlu,
+    ]);
+    let maybe_relax = b.if_(
+        Cond::ThreadProb {
+            p: 0.25,
+            site: relax_site,
+        },
+        relax,
+        None,
+    );
+    let edges = {
+        let body = b.seq(vec![edge_visit, maybe_relax]);
+        b.loop_(
+            TripCount::PerThread {
+                base: 1,
+                spread: 14,
+                dist: Dist::PowerLaw { alpha: 2.0 },
+                site: degree_site,
+            },
+            body,
+        )
+    };
+    // Worklist density varies in contiguous phases (graph community
+    // structure), shifting the memory-to-instruction ratio per phase.
+    let dense = b.loop_(
+        TripCount::PerBlockPhase {
+            base: 1,
+            spread: 2,
+            phase_len: 168,
+            dist: Dist::Uniform,
+            site: density_site,
+        },
+        edges,
+    );
+    let push = b.block(&[
+        Op::IAlu,
+        Op::StGlobal(AddrPattern::Coalesced {
+            region: 3,
+            stride: 4,
+        }),
+    ]);
+
+    let program = b.seq(vec![read_worklist, dense, push]);
+    let kernel = b.finish(program);
+    // Worklist algorithms plateau: after the initial ramp, iterations
+    // process similar-sized worklists for a long stretch before tapering
+    // (a clipped bell). The many equal-sized mid launches are what
+    // inter-launch sampling merges.
+    let mut weights = bell_weights(LAUNCHES as usize);
+    let cap = 0.55 * weights.iter().cloned().fold(f64::MIN, f64::max);
+    for w in &mut weights {
+        *w = w.min(cap);
+    }
+    KernelRun {
+        kernel,
+        launches: distribute_launches(TOTAL_TBS, &weights, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 49);
+        assert_eq!(r.total_blocks(), 12_691);
+        r.kernel.validate().unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! `stream` — StreamCluster (rodinia). Irregular roster slot, but its
+//! defining property is **hundreds of homogeneous launches**: the paper
+//! notes that for stream "hundreds of homogeneous kernel launches cause
+//! the most savings to come from inter-launch sampling" (Fig. 11).
+//!
+//! 211 launches of ~13 TBs each (2,688 total): per-launch grids are tiny,
+//! so intra-launch sampling has little to skip — inter-launch does the
+//! heavy lifting.
+
+use super::uniform_launches;
+use crate::Scale;
+use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, Op, TripCount};
+
+/// Table VI row: 211 launches, 2,688 thread blocks.
+pub const LAUNCHES: u32 = 211;
+/// Total thread blocks at full scale.
+pub const TOTAL_TBS: u32 = 2_688;
+
+/// Build the stream benchmark at the given scale.
+pub fn run(scale: Scale) -> KernelRun {
+    let mut b = KernelBuilder::new("stream", 0x57E4, 512);
+    b.regs(22);
+
+    let gain = b.block(&[
+        Op::LdGlobal(AddrPattern::Coalesced {
+            region: 0,
+            stride: 4,
+        }),
+        Op::FAlu,
+        Op::FAlu,
+        Op::Sfu,
+        Op::IAlu,
+    ]);
+    let body = b.loop_(TripCount::Const(8), gain);
+    let write = b.block(&[Op::StGlobal(AddrPattern::Coalesced {
+        region: 1,
+        stride: 4,
+    })]);
+    let program = b.seq(vec![body, write]);
+    let kernel = b.finish(program);
+    KernelRun {
+        kernel,
+        launches: uniform_launches(TOTAL_TBS, LAUNCHES, scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_vi() {
+        let r = run(Scale::Full);
+        assert_eq!(r.num_launches(), 211);
+        assert_eq!(r.total_blocks(), 2_688);
+        r.kernel.validate().unwrap();
+    }
+
+    #[test]
+    fn launches_are_tiny_and_homogeneous() {
+        let r = run(Scale::Full);
+        assert!(r.launches.iter().all(|l| l.num_blocks <= 13));
+    }
+}

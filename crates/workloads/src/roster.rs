@@ -1,0 +1,197 @@
+//! The Table VI roster: all twelve benchmarks with their metadata.
+
+use crate::kernels;
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use tbpoint_ir::KernelRun;
+
+/// Benchmark suite of origin (Table VI's "Suite" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Suite {
+    /// LonestarGPU (irregular graph algorithms).
+    Lonestar,
+    /// Parboil.
+    Parboil,
+    /// Rodinia.
+    Rodinia,
+    /// CUDA SDK samples.
+    Sdk,
+}
+
+/// Kernel type per the paper's Fig. 8 classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Type I: irregular thread-block sizes.
+    Irregular,
+    /// Type II: regular (patterned) thread-block sizes.
+    Regular,
+}
+
+/// One roster entry: metadata plus the generated workload.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Table VI abbreviation (bfs, sssp, ...).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Regular or irregular (Type II / Type I).
+    pub kind: KernelKind,
+    /// The workload itself.
+    pub run: KernelRun,
+}
+
+/// Build the full 12-benchmark roster at the given scale, in Table VI
+/// order.
+pub fn all_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "bfs",
+            suite: Suite::Lonestar,
+            kind: KernelKind::Irregular,
+            run: kernels::bfs::run(scale),
+        },
+        Benchmark {
+            name: "sssp",
+            suite: Suite::Lonestar,
+            kind: KernelKind::Irregular,
+            run: kernels::sssp::run(scale),
+        },
+        Benchmark {
+            name: "mst",
+            suite: Suite::Lonestar,
+            kind: KernelKind::Irregular,
+            run: kernels::mst::run(scale),
+        },
+        Benchmark {
+            name: "mri",
+            suite: Suite::Parboil,
+            kind: KernelKind::Irregular,
+            run: kernels::mri::run(scale),
+        },
+        Benchmark {
+            name: "spmv",
+            suite: Suite::Parboil,
+            kind: KernelKind::Irregular,
+            run: kernels::spmv::run(scale),
+        },
+        Benchmark {
+            name: "lbm",
+            suite: Suite::Parboil,
+            kind: KernelKind::Regular,
+            run: kernels::lbm::run(scale),
+        },
+        Benchmark {
+            name: "cfd",
+            suite: Suite::Rodinia,
+            kind: KernelKind::Regular,
+            run: kernels::cfd::run(scale),
+        },
+        Benchmark {
+            name: "kmeans",
+            suite: Suite::Rodinia,
+            kind: KernelKind::Regular,
+            run: kernels::kmeans::run(scale),
+        },
+        Benchmark {
+            name: "hotspot",
+            suite: Suite::Rodinia,
+            kind: KernelKind::Regular,
+            run: kernels::hotspot::run(scale),
+        },
+        Benchmark {
+            name: "stream",
+            suite: Suite::Rodinia,
+            kind: KernelKind::Irregular,
+            run: kernels::stream::run(scale),
+        },
+        Benchmark {
+            name: "black",
+            suite: Suite::Sdk,
+            kind: KernelKind::Regular,
+            run: kernels::black::run(scale),
+        },
+        Benchmark {
+            name: "conv",
+            suite: Suite::Sdk,
+            kind: KernelKind::Regular,
+            run: kernels::conv::run(scale),
+        },
+    ]
+}
+
+/// Look up a single benchmark by its Table VI abbreviation.
+pub fn benchmark_by_name(name: &str, scale: Scale) -> Option<Benchmark> {
+    all_benchmarks(scale).into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table VI ground truth: (name, launches, thread blocks).
+    const TABLE_VI: [(&str, usize, u64); 12] = [
+        ("bfs", 13, 10_619),
+        ("sssp", 49, 12_691),
+        ("mst", 10, 2_331),
+        ("mri", 1, 18_158),
+        ("spmv", 50, 38_250),
+        ("lbm", 1, 108_000),
+        ("cfd", 100, 50_600),
+        ("kmeans", 30, 58_080),
+        ("hotspot", 1, 1_849),
+        ("stream", 211, 2_688),
+        ("black", 1, 41_760),
+        ("conv", 16, 202_752),
+    ];
+
+    #[test]
+    fn roster_matches_table_vi_exactly() {
+        let roster = all_benchmarks(Scale::Full);
+        assert_eq!(roster.len(), 12);
+        for (bench, &(name, launches, tbs)) in roster.iter().zip(TABLE_VI.iter()) {
+            assert_eq!(bench.name, name);
+            assert_eq!(bench.run.num_launches(), launches, "{name} launch count");
+            assert_eq!(bench.run.total_blocks(), tbs, "{name} TB count");
+        }
+    }
+
+    #[test]
+    fn every_kernel_validates() {
+        for bench in all_benchmarks(Scale::Tiny) {
+            bench
+                .run
+                .kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        }
+    }
+
+    #[test]
+    fn six_irregular_six_regular() {
+        let roster = all_benchmarks(Scale::Tiny);
+        let irregular = roster
+            .iter()
+            .filter(|b| b.kind == KernelKind::Irregular)
+            .count();
+        assert_eq!(irregular, 6);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("mst", Scale::Tiny).is_some());
+        assert!(benchmark_by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn names_and_seeds_are_unique() {
+        let roster = all_benchmarks(Scale::Tiny);
+        let mut names: Vec<&str> = roster.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        let mut seeds: Vec<u64> = roster.iter().map(|b| b.run.kernel.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "kernel seeds must differ");
+    }
+}

@@ -1,0 +1,56 @@
+//! Workload scaling: full paper-size grids vs. cheaper development sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// How much to shrink each launch's grid relative to Table VI.
+///
+/// Launch *counts* are never scaled (inter-launch sampling depends on
+/// them); only thread blocks per launch shrink, with a floor so epochs
+/// and regions still form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Exact Table VI thread-block counts (the benchmark harness).
+    Full,
+    /// 1/8 of the blocks (integration tests, quick experiments).
+    Dev,
+    /// 1/64 of the blocks (unit tests).
+    Tiny,
+}
+
+impl Scale {
+    /// Grid divisor.
+    pub fn divisor(self) -> u32 {
+        match self {
+            Scale::Full => 1,
+            Scale::Dev => 8,
+            Scale::Tiny => 64,
+        }
+    }
+
+    /// Scale a per-launch block count, keeping at least `floor` blocks.
+    pub fn blocks(self, full: u32, floor: u32) -> u32 {
+        (full / self.divisor()).max(floor.min(full.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_is_identity() {
+        assert_eq!(Scale::Full.blocks(1000, 4), 1000);
+    }
+
+    #[test]
+    fn dev_divides_by_eight() {
+        assert_eq!(Scale::Dev.blocks(1000, 4), 125);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        assert_eq!(Scale::Tiny.blocks(100, 8), 8);
+        // But the floor never exceeds the full count.
+        assert_eq!(Scale::Tiny.blocks(3, 8), 3);
+    }
+}

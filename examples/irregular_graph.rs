@@ -1,0 +1,105 @@
+//! Inside intra-launch sampling on an irregular graph workload.
+//!
+//! Uses the roster's bfs benchmark (13 frontier-shaped launches,
+//! power-law degrees, phase-structured density) and walks through what
+//! TBPoint actually computes: inter-launch clusters, epochs, the
+//! homogeneous region table, and the fast-forward accounting of one
+//! sampled launch.
+//!
+//! ```text
+//! cargo run --release --example irregular_graph   # ~1 minute: simulates a
+//!                                                 # full-scale bfs launch twice
+//! ```
+
+use tbpoint::core::inter::{inter_launch_sample, InterConfig};
+use tbpoint::core::intra::{build_epochs, identify_regions, IntraConfig};
+use tbpoint::core::sampling::RegionSampler;
+use tbpoint::emu::profile_run;
+use tbpoint::sim::{simulate_launch, GpuConfig, NullSampling};
+use tbpoint::workloads::{benchmark_by_name, Scale};
+
+fn main() {
+    // Full scale: launches are big enough for fast-forwarding to engage
+    // (at Scale::Dev the grids shrink below the warming cost and the
+    // sampler correctly refuses to skip anything).
+    let bench = benchmark_by_name("bfs", Scale::Full).expect("bfs is in the roster");
+    let gpu = GpuConfig::fermi();
+
+    // One-time profile.
+    let profile = profile_run(&bench.run, 4);
+
+    // Inter-launch sampling: which launches are homogeneous?
+    let inter = inter_launch_sample(&profile, &InterConfig::default());
+    println!(
+        "bfs: {} launches -> {} clusters (simulate one per cluster)",
+        bench.run.num_launches(),
+        inter.num_simulated()
+    );
+    for (i, f) in inter.features.iter().enumerate() {
+        println!(
+            "  launch {i:>2}: size {:>7.3}  cfd {:>7.3}  memdiv {:>7.3}  tbvar {:>7.3}  -> cluster {}{}",
+            f[0],
+            f[1],
+            f[2],
+            f[3],
+            inter.clustering.assignments[i],
+            if inter.is_representative(i) { "  [simulation point]" } else { "" }
+        );
+    }
+
+    // Intra-launch sampling on the biggest representative.
+    let rep = *inter
+        .representatives
+        .iter()
+        .max_by_key(|&&r| profile.launches[r].tbs.len())
+        .unwrap();
+    let launch_profile = &profile.launches[rep];
+    let occupancy = gpu.system_occupancy(&bench.run.kernel);
+    let epochs = build_epochs(launch_profile, occupancy);
+    let table = identify_regions(&epochs, &IntraConfig::default());
+    println!();
+    println!(
+        "launch {rep}: {} thread blocks, epoch size = system occupancy = {occupancy}, {} epochs",
+        launch_profile.tbs.len(),
+        epochs.len()
+    );
+    println!("homogeneous region table (Table III):");
+    for r in &table.regions {
+        println!(
+            "  region {:>2}: TB {:>5} .. {:>5}  ({} thread blocks)",
+            r.region_id,
+            r.start_tb,
+            r.end_tb - 1,
+            r.end_tb - r.start_tb
+        );
+    }
+
+    // Simulate the launch with homogeneous-region sampling.
+    let spec = &bench.run.launches[rep];
+    let full = simulate_launch(&bench.run.kernel, spec, &gpu, &mut NullSampling, None);
+    let mut sampler = RegionSampler::new(&table, launch_profile);
+    let sampled = simulate_launch(&bench.run.kernel, spec, &gpu, &mut sampler, None);
+    let out = sampler.outcome();
+
+    let predicted_cycles = sampled.cycles as f64 + out.predicted_skipped_cycles;
+    let total_insts = (sampled.issued_warp_insts + out.skipped_warp_insts) as f64;
+    let predicted_ipc = total_insts / predicted_cycles;
+    println!();
+    println!("sampling one launch:");
+    println!(
+        "  full:     IPC {:.4}  ({} warp insts simulated)",
+        full.ipc(),
+        full.issued_warp_insts
+    );
+    println!(
+        "  sampled:  IPC {predicted_ipc:.4}  ({} simulated + {} skipped, {} TBs fast-forwarded)",
+        sampled.issued_warp_insts, out.skipped_warp_insts, out.skipped_tbs
+    );
+    println!(
+        "  error {:.2}%  |  launch sample size {:.1}%  |  {} sampling units, {} region entries",
+        ((predicted_ipc - full.ipc()) / full.ipc()).abs() * 100.0,
+        sampled.issued_warp_insts as f64 / total_insts * 100.0,
+        out.units_observed,
+        out.regions_entered
+    );
+}

@@ -1,0 +1,33 @@
+//! # tbpoint — facade crate
+//!
+//! Re-exports the whole TBPoint workspace behind one dependency, so examples
+//! and downstream users can write `use tbpoint::...` without tracking the
+//! individual sub-crates.
+//!
+//! TBPoint (Huang, Nai, Kim, Lee — IPDPS 2014) reduces cycle-level GPGPU
+//! simulation time by sampling at two levels:
+//!
+//! * **inter-launch**: cluster kernel launches by a 4-feature vector and
+//!   simulate one representative per cluster ([`core::inter`]);
+//! * **intra-launch**: identify *homogeneous regions* of thread blocks from
+//!   a hardware-independent profile and fast-forward through them once the
+//!   measured IPC stabilises ([`core::intra`], [`core::sampling`]).
+//!
+//! The workspace also contains everything the paper's evaluation needs:
+//! a SIMT functional profiler ([`emu`]), a cycle-level GPU timing simulator
+//! ([`sim`]), clustering algorithms ([`cluster`]), the Markov-chain warp
+//! interleaving model ([`model`]), the Table-VI benchmark roster
+//! ([`workloads`]) and the Random / Ideal-SimPoint baselines
+//! ([`baselines`]).
+
+#![forbid(unsafe_code)]
+
+pub use tbpoint_baselines as baselines;
+pub use tbpoint_cluster as cluster;
+pub use tbpoint_core as core;
+pub use tbpoint_emu as emu;
+pub use tbpoint_ir as ir;
+pub use tbpoint_model as model;
+pub use tbpoint_sim as sim;
+pub use tbpoint_stats as stats;
+pub use tbpoint_workloads as workloads;
