@@ -1,3 +1,13 @@
+// Tests assert by panicking and compare exact floats on purpose.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 //! # tbpoint-baselines
 //!
 //! The two comparison points of the paper's evaluation (Section V-A):

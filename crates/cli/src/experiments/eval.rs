@@ -195,19 +195,20 @@ pub fn eval(cfg: &EvalConfig) -> EvalResult {
         // indices from a shared atomic counter rather than pre-chunking.
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut results);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..cfg.threads.min(benches.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= benches.len() {
                         break;
                     }
                     let r = eval_one(&benches[i], cfg, &gpu);
-                    slots.lock().unwrap()[i] = Some(r);
+                    slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
                 });
             }
-        })
-        .expect("eval worker panicked");
+        });
     }
 
     EvalResult {

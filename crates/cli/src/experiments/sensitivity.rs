@@ -110,9 +110,9 @@ pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out = std::sync::Mutex::new(&mut cells);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1).min(tasks.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= tasks.len() {
                     break;
@@ -126,18 +126,19 @@ pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
                     &TbpointConfig::default(),
                     &gpu,
                 );
-                out.lock().unwrap().push(SensitivityCell {
-                    bench: benches[bi].name.to_string(),
-                    warps: w,
-                    sms: s,
-                    error_pct: tbp.error_vs(full.overall_ipc()),
-                    sample_size: tbp.sample_size(),
-                    occupancy: gpu.system_occupancy(&benches[bi].run.kernel),
-                });
+                out.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(SensitivityCell {
+                        bench: benches[bi].name.to_string(),
+                        warps: w,
+                        sms: s,
+                        error_pct: tbp.error_vs(full.overall_ipc()),
+                        sample_size: tbp.sample_size(),
+                        occupancy: gpu.system_occupancy(&benches[bi].run.kernel),
+                    });
             });
         }
-    })
-    .expect("sensitivity worker panicked");
+    });
 
     // Deterministic order: benchmark-major, then config order.
     cells.sort_by_key(|c| {

@@ -71,16 +71,13 @@ pub fn kmeans(points: &[Point], k: usize, seed: u64, max_iters: usize) -> KMeans
             } else {
                 // Re-seed an empty cluster at the point farthest from its
                 // centroid, the standard fix-up.
+                let cur = c.clone();
                 let far = points
                     .iter()
                     .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        let da = euclidean(a, &c.clone());
-                        let db = euclidean(b, &c.clone());
-                        da.partial_cmp(&db).unwrap()
-                    })
+                    .max_by(|(_, a), (_, b)| euclidean(a, &cur).total_cmp(&euclidean(b, &cur)))
                     .map(|(i, _)| i)
-                    .unwrap();
+                    .unwrap_or(0);
                 *c = points[far].clone();
             }
         }
@@ -124,6 +121,8 @@ fn nearest_centroid(p: &Point, centroids: &[Point]) -> usize {
 fn seed_plus_plus(points: &[Point], k: usize, rng: &mut SplitMix64) -> Vec<Point> {
     let n = points.len();
     let mut centroids = Vec::with_capacity(k);
+    // next_index(n) < n <= usize::MAX, so the u64 round-trip is exact.
+    #[allow(clippy::cast_possible_truncation)]
     centroids.push(points[rng.next_index(n as u64) as usize].clone());
     let mut d2: Vec<f64> = points
         .iter()
@@ -136,7 +135,10 @@ fn seed_plus_plus(points: &[Point], k: usize, rng: &mut SplitMix64) -> Vec<Point
         let total: f64 = d2.iter().sum();
         let pick = if total <= 0.0 {
             // All points identical to a centroid; any index works.
-            rng.next_index(n as u64) as usize
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                rng.next_index(n as u64) as usize
+            }
         } else {
             let mut target = rng.next_f64() * total;
             let mut chosen = n - 1;
@@ -149,11 +151,12 @@ fn seed_plus_plus(points: &[Point], k: usize, rng: &mut SplitMix64) -> Vec<Point
             }
             chosen
         };
-        centroids.push(points[pick].clone());
+        let newest = points[pick].clone();
         for (i, p) in points.iter().enumerate() {
-            let d = euclidean(p, centroids.last().unwrap());
+            let d = euclidean(p, &newest);
             d2[i] = d2[i].min(d * d);
         }
+        centroids.push(newest);
     }
     centroids
 }
@@ -217,9 +220,15 @@ pub fn kmeans_best_bic(points: &[Point], max_k: usize, seed: u64, quality: f64) 
     } else {
         worst + quality.clamp(0.0, 1.0) * (best - worst)
     };
-    runs.into_iter()
-        .find(|r| r.bic >= cutoff)
-        .expect("at least the best run passes its own cutoff")
+    // The best run always passes its own cutoff; the fallback arm is only
+    // reachable if every BIC is NaN, in which case the largest k (the last
+    // run) is the least-wrong answer.
+    let mut runs = runs;
+    let idx = runs
+        .iter()
+        .position(|r| r.bic >= cutoff)
+        .unwrap_or(runs.len() - 1);
+    runs.swap_remove(idx)
 }
 
 #[cfg(test)]
@@ -278,6 +287,22 @@ mod tests {
         let a = kmeans(&pts, 3, 99, 100);
         let b = kmeans(&pts, 3, 99, 100);
         assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn kmeans_survives_nan_coordinates() {
+        // Regression for the partial_cmp(..).unwrap() sites: a NaN feature
+        // (e.g. a 0/0 normalization upstream) must not panic the clustering
+        // pipeline end to end, and clean points must still get assignments.
+        let mut pts = two_blobs();
+        pts.push(vec![f64::NAN, 1.0]);
+        pts.push(vec![f64::NAN, f64::NAN]);
+        let r = kmeans(&pts, 2, 42, 100);
+        assert_eq!(r.clustering.assignments.len(), pts.len());
+        let best = kmeans_best_bic(&pts, 4, 42, 0.9);
+        assert_eq!(best.clustering.assignments.len(), pts.len());
+        let reps = best.clustering.representatives(&pts);
+        assert_eq!(reps.len(), best.clustering.num_clusters);
     }
 
     #[test]

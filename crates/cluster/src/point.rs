@@ -55,7 +55,13 @@ pub fn normalize_by_mean(points: &[Point]) -> Vec<Point> {
         .map(|p| {
             p.iter()
                 .zip(&means)
-                .map(|(x, m)| if *m == 0.0 { *x } else { x / m })
+                .map(|(x, m)| {
+                    if m.abs() < f64::MIN_POSITIVE {
+                        *x
+                    } else {
+                        x / m
+                    }
+                })
                 .collect()
         })
         .collect()

@@ -96,6 +96,8 @@ impl RegionTable {
 /// (Eq. 4; the trailing epoch may be short) and compute their features.
 pub fn build_epochs(profile: &LaunchProfile, occupancy: u32) -> Vec<Epoch> {
     assert!(occupancy > 0, "occupancy must be positive");
+    // TB count originates from spec.num_blocks: u32.
+    #[allow(clippy::cast_possible_truncation)]
     let n = profile.tbs.len() as u32;
     let mut epochs = Vec::with_capacity(n.div_ceil(occupancy) as usize);
     let mut start = 0u32;
@@ -151,6 +153,8 @@ pub fn identify_regions(epochs: &[Epoch], cfg: &IntraConfig) -> RegionTable {
             if e.variation_factor > cfg.variation_factor {
                 None
             } else {
+                // Cluster ids are dense over epochs (< u32::MAX epochs).
+                #[allow(clippy::cast_possible_truncation)]
                 Some(c as u32)
             }
         })

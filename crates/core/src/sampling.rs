@@ -17,7 +17,7 @@
 
 use crate::intra::RegionTable;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use tbpoint_emu::LaunchProfile;
 use tbpoint_ir::TbId;
 use tbpoint_sim::{DispatchDecision, SamplingHook};
@@ -97,7 +97,7 @@ pub struct RegionSampler<'a> {
     unit_tb_span: u32,
     warming_window: usize,
     state: State,
-    resident: HashSet<u32>,
+    resident: BTreeSet<u32>,
     resident_region: Option<u32>, // cached "all residents in this region"
     designated: Option<u32>,
     need_designation: bool,
@@ -164,7 +164,7 @@ impl<'a> RegionSampler<'a> {
             unit_tb_span: unit_tb_span.max(1),
             warming_window: warming_window.max(2),
             state: State::Outside,
-            resident: HashSet::new(),
+            resident: BTreeSet::new(),
             resident_region: None,
             designated: None,
             need_designation: true,

@@ -201,10 +201,14 @@ pub fn profile_tb(kernel: &Kernel, ctx: &ExecCtx, tb_id: TbId) -> TbProfile {
             match ev.inst.op.latency_class() {
                 LatencyClass::GlobalMem => {
                     p.mem_insts += 1;
-                    let pat = ev.inst.op.addr_pattern().expect("global op has pattern");
-                    p.mem_requests += pat
-                        .coalesced_lines(ctx, gtid_base, ev.mask, ev.iter_key, ev.inst.site)
-                        .len() as u64;
+                    // Every GlobalMem op carries a pattern by construction of
+                    // the IR; a missing one counts as zero requests rather
+                    // than aborting the profile.
+                    if let Some(pat) = ev.inst.op.addr_pattern() {
+                        p.mem_requests += pat
+                            .coalesced_lines(ctx, gtid_base, ev.mask, ev.iter_key, ev.inst.site)
+                            .len() as u64;
+                    }
                 }
                 LatencyClass::SharedMem => p.shared_accesses += 1,
                 LatencyClass::Barrier => p.barriers += 1,
@@ -228,6 +232,8 @@ pub fn profile_launch(kernel: &Kernel, spec: &LaunchSpec, threads: usize) -> Lau
         work_scale: spec.work_scale,
     };
     let threads = threads.max(1);
+    // `n` comes from spec.num_blocks: u32, so block ids round-trip exactly.
+    #[allow(clippy::cast_possible_truncation)]
     if threads == 1 || n < 64 {
         for b in 0..n {
             tbs.push(profile_tb(kernel, &make_ctx(b as u32), TbId(b as u32)));
@@ -235,19 +241,20 @@ pub fn profile_launch(kernel: &Kernel, spec: &LaunchSpec, threads: usize) -> Lau
     } else {
         let mut slots: Vec<Option<TbProfile>> = vec![None; n];
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slice) in slots.chunks_mut(chunk).enumerate() {
                 let base = t * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, slot) in slice.iter_mut().enumerate() {
                         let b = (base + off) as u32;
                         *slot = Some(profile_tb(kernel, &make_ctx(b), TbId(b)));
                     }
                 });
             }
-        })
-        .expect("profiling worker panicked");
-        tbs.extend(slots.into_iter().map(|s| s.expect("all TBs profiled")));
+        });
+        // The chunked loop above writes every slot and the scope joins all
+        // workers, so `flatten` drops nothing.
+        tbs.extend(slots.into_iter().flatten());
     }
     LaunchProfile { spec: *spec, tbs }
 }

@@ -56,6 +56,9 @@ impl Dist {
             return base;
         }
         let u = rng::unit_f64(coords);
+        // u in [0, 1) keeps both products within [0, spread], so the
+        // saturating f64->u32 casts cannot wrap.
+        #[allow(clippy::cast_possible_truncation)]
         match *self {
             Dist::Uniform => base + (u * (spread as f64 + 1.0)) as u32,
             Dist::PowerLaw { alpha } => {
@@ -185,7 +188,12 @@ impl TripCount {
         if (ctx.work_scale - 1.0).abs() < f64::EPSILON {
             raw
         } else {
-            (raw as f64 * ctx.work_scale).round().max(0.0) as u32
+            // Saturating cast: work_scale is a small positive factor, and
+            // an overflowing trip count pegging at u32::MAX is the sane
+            // outcome anyway.
+            #[allow(clippy::cast_possible_truncation)]
+            let scaled = (raw as f64 * ctx.work_scale).round().max(0.0) as u32;
+            scaled
         }
     }
 

@@ -1,0 +1,111 @@
+//! Command-line driver for the `tbpoint-lint` analyzer.
+//!
+//! ```text
+//! tbpoint-lint [--root DIR] [--format human|json] [--deny-warnings]
+//!              [--list-rules] [PATH ...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tbpoint_lint::{render_human, render_json, rules, run};
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    deny_warnings: bool,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: tbpoint-lint [--root DIR] [--format human|json] [--deny-warnings] \
+     [--list-rules] [PATH ...]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        format: Format::Human,
+        deny_warnings: false,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root requires a value".to_string())?,
+                );
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--format requires a value".to_string())?;
+                args.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("tbpoint-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in rules::RULE_NAMES {
+            println!("{rule}\n    {}", rules::describe(rule));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run(&args.root, &args.paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tbpoint-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match args.format {
+        Format::Human => print!("{}", render_human(&report)),
+        Format::Json => println!("{}", render_json(&report)),
+    }
+
+    if report.failed(args.deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified truncating cast via the escape hatch.
+fn bounded(warp_count: u64) -> u16 {
+    // Warp counts are architecturally bounded well below u16::MAX.
+    // tbpoint-lint: allow(no-lossy-cast)
+    warp_count as u16
+}

@@ -1,0 +1,10 @@
+//! Fixture: truncating casts on counter-like values.
+fn truncates(cycle_count: u64, warp_insts: u64) -> (u32, u16) {
+    let c = cycle_count as u32;
+    let w = warp_insts as u16;
+    (c, w)
+}
+
+fn block_math(block_id: u64) -> u8 {
+    block_id as u8
+}

@@ -1,0 +1,12 @@
+//! Fixture: widening casts and non-counter identifiers pass.
+fn widens(cycle_count: u32) -> u64 {
+    cycle_count as u64
+}
+
+fn non_counter(color: u64) -> u32 {
+    color as u32
+}
+
+fn checked(cycle_count: u64) -> u32 {
+    u32::try_from(cycle_count).unwrap_or(u32::MAX)
+}

@@ -1,0 +1,5 @@
+//! Fixture: a justified exact float comparison via the escape hatch.
+fn sentinel_check(x: f64) -> bool {
+    // The sentinel is produced by this exact literal, so bit equality holds.
+    x == 1.0 // tbpoint-lint: allow(no-nan-unsafe-ordering)
+}

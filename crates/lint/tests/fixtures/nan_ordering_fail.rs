@@ -1,0 +1,18 @@
+//! Fixture: NaN-unsafe float ordering and comparisons.
+fn sort_unsafe(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn max_unsafe(v: &[f64]) -> f64 {
+    *v.iter()
+        .max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+        .unwrap_or(&0.0)
+}
+
+fn exact_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+fn exact_ne(x: f64) -> bool {
+    x != 1.5
+}

@@ -1,0 +1,16 @@
+//! Fixture: total_cmp and epsilon comparisons pass.
+fn sort_safe(v: &mut Vec<f64>) {
+    v.sort_by(f64::total_cmp);
+}
+
+fn near_zero(x: f64) -> bool {
+    x.abs() < f64::MIN_POSITIVE
+}
+
+fn compares_without_floats(a: u64, b: u64) -> bool {
+    // Integer ==/!= and compound float operators are all fine.
+    let mut acc = 0.0f64;
+    acc += 1.0;
+    acc *= 2.0;
+    a == b && acc >= 1.0
+}

@@ -1,0 +1,7 @@
+//! Fixture: the escape hatch silences a justified HashSet.
+fn membership_only() -> bool {
+    // Membership queries only; iteration order never observed.
+    // tbpoint-lint: allow(no-nondeterminism)
+    let s: std::collections::HashSet<u32> = Default::default();
+    s.contains(&1)
+}

@@ -1,0 +1,19 @@
+//! Fixture: every no-nondeterminism trigger in one file.
+use std::collections::{HashMap, HashSet};
+
+fn entropy() -> u64 {
+    let rng = thread_rng();
+    rng.gen()
+}
+
+fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn hashed() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -1,0 +1,13 @@
+//! Fixture: the deterministic equivalents pass.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn seeded(seed: u64) -> u64 {
+    tbpoint_stats::mix64(seed)
+}
+
+fn ordered() -> (BTreeMap<u32, u32>, BTreeSet<u32>) {
+    (BTreeMap::new(), BTreeSet::new())
+}
+
+// `Instant` without `::now` is fine (e.g. in a type position).
+fn takes_instant(_t: std::time::Instant) {}

@@ -1,0 +1,8 @@
+//! Fixture: a justified invariant panic via the escape hatch.
+fn checked_invariant(ok: bool) {
+    if !ok {
+        // Broken internal invariant: aborting loudly is the least-bad option.
+        // tbpoint-lint: allow(no-panic-in-library)
+        panic!("invariant violated");
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: every no-panic-in-library trigger.
+fn unwraps(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+fn expects(o: Option<u32>) -> u32 {
+    o.expect("present")
+}
+
+fn panics() {
+    panic!("boom");
+}
+
+fn unreachable_arm(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn not_done() {
+    todo!()
+}

@@ -1,0 +1,26 @@
+//! Fixture: non-panicking handling passes, and test code is exempt.
+fn handled(o: Option<u32>) -> u32 {
+    o.unwrap_or(0)
+}
+
+fn propagated(o: Option<u32>) -> Option<u32> {
+    let v = o?;
+    Some(v + 1)
+}
+
+// Definitions named `unwrap`/`expect` are not method calls.
+fn unwrap() -> u32 {
+    41
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("test-only panic is exempt");
+        }
+    }
+}

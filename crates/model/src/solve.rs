@@ -39,8 +39,8 @@ pub fn stationary_direct(chain: &WarpChain) -> Vec<f64> {
     // Gaussian elimination with partial pivoting.
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap())
-            .expect("non-empty column");
+            .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+            .unwrap_or(col);
         a.swap(col, pivot);
         let p = a[col][col];
         assert!(p.abs() > 1e-14, "singular transition system");

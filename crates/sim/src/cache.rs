@@ -27,6 +27,9 @@ pub struct Cache {
 impl Cache {
     /// Build an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
+        // Cache geometry (sets x assoc) is far below usize::MAX on any
+        // supported target.
+        #[allow(clippy::cast_possible_truncation)]
         let n = (cfg.num_sets() as usize) * cfg.assoc as usize;
         Cache {
             cfg,
@@ -40,6 +43,8 @@ impl Cache {
     fn set_range(&self, line_addr: u64) -> (usize, u64) {
         let set_idx = (line_addr / self.cfg.line_bytes) % self.cfg.num_sets();
         let tag = line_addr / self.cfg.line_bytes / self.cfg.num_sets();
+        // set_idx < num_sets, which fits usize (see `new`).
+        #[allow(clippy::cast_possible_truncation)]
         (set_idx as usize * self.cfg.assoc as usize, tag)
     }
 
@@ -60,6 +65,8 @@ impl Cache {
         }
         // Miss: fill LRU way.
         self.misses += 1;
+        // `assoc >= 1` always, so min_by_key is Some; way 0 is the
+        // (unreachable) fallback.
         let victim = (0..assoc)
             .min_by_key(|&w| {
                 let l = &self.sets[base + w];
@@ -69,7 +76,7 @@ impl Cache {
                     0
                 }
             })
-            .expect("assoc >= 1");
+            .unwrap_or(0);
         self.sets[base + victim] = Line {
             tag,
             valid: true,

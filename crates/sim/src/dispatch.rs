@@ -53,7 +53,7 @@ impl SamplingHook for NullSampling {
 #[derive(Debug, Clone, Default)]
 pub struct SkipList {
     /// TB ids to skip.
-    pub skip: std::collections::HashSet<u32>,
+    pub skip: std::collections::BTreeSet<u32>,
     /// Dispatch events observed, in order.
     pub dispatched: Vec<u32>,
     /// Retire events observed, in order.

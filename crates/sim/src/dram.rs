@@ -49,7 +49,10 @@ impl Bank {
             self.valid += 1;
         } else {
             self.open_rows[self.next_victim as usize] = row;
-            self.next_victim = (self.next_victim + 1) % OPEN_ROWS as u8;
+            // OPEN_ROWS is a small constant (< 256).
+            #[allow(clippy::cast_possible_truncation)]
+            let wrap = OPEN_ROWS as u8;
+            self.next_victim = (self.next_victim + 1) % wrap;
         }
         false
     }
@@ -75,6 +78,8 @@ impl Dram {
     pub fn new(cfg: &GpuConfig) -> Self {
         let channels = cfg.dram_channels as u64;
         let banks_per_channel = cfg.dram_banks_per_channel as u64;
+        // Bank count is config-bounded (tens), far below usize::MAX.
+        #[allow(clippy::cast_possible_truncation)]
         Dram {
             banks: vec![Bank::default(); (channels * banks_per_channel) as usize],
             channels,
@@ -104,6 +109,8 @@ impl Dram {
         let page_idx = chan_local_line / lines_per_page;
         let bank = page_idx % self.banks_per_channel;
         let row = page_idx / self.banks_per_channel;
+        // Bank index < channels * banks_per_channel == banks.len().
+        #[allow(clippy::cast_possible_truncation)]
         ((channel * self.banks_per_channel + bank) as usize, row)
     }
 

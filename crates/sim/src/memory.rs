@@ -43,11 +43,12 @@ impl MshrPool {
             now
         } else {
             // Full: the next miss waits for the earliest completion.
-            let std::cmp::Reverse(t) = self
-                .outstanding
-                .pop()
-                .expect("capacity > 0 implies nonempty when full");
-            t.max(now)
+            // `capacity > 0` implies the queue is nonempty here; `now` is
+            // the (unreachable) empty-queue fallback.
+            match self.outstanding.pop() {
+                Some(std::cmp::Reverse(t)) => t.max(now),
+                None => now,
+            }
         }
     }
 

@@ -134,14 +134,15 @@ pub fn simulate_launch(
                 return;
             }
             // Find the SM with a free slot that currently hosts the fewest
-            // blocks (breadth-first fill).
+            // blocks (breadth-first fill), and grab the slot while at it so
+            // dispatch below cannot fail.
             let target = sms
                 .iter()
                 .enumerate()
-                .filter(|(_, sm)| sm.free_slot().is_some())
-                .min_by_key(|(_, sm)| sm.resident_blocks())
-                .map(|(i, _)| i);
-            let Some(sm_idx) = target else { return };
+                .filter_map(|(i, sm)| sm.free_slot().map(|s| (i, s, sm.resident_blocks())))
+                .min_by_key(|&(_, _, r)| r)
+                .map(|(i, s, _)| (i, s));
+            let Some((sm_idx, slot)) = target else { return };
             let tb = TbId(*next_tb);
             *next_tb += 1;
             match hook.on_dispatch(tb, cycle, issued_total) {
@@ -152,7 +153,6 @@ pub fn simulate_launch(
                 }
                 DispatchDecision::Simulate => {
                     *simulated += 1;
-                    let slot = sms[sm_idx].free_slot().expect("target has a free slot");
                     // Serial dispatch: during the initial fill every block
                     // starts `stagger` cycles after the previous one.
                     // Mid-launch refills inherit natural staggering from
@@ -242,7 +242,10 @@ pub fn simulate_launch(
                 None => {
                     // No warp can ever become ready: only legal when all
                     // remaining TBs are skippable (outstanding == 0 was
-                    // handled above), so this is a deadlock.
+                    // handled above), so this is a deadlock — the simulator
+                    // itself is broken, not the input. Aborting loudly beats
+                    // returning a silently wrong cycle count.
+                    // tbpoint-lint: allow(no-panic-in-library)
                     panic!(
                         "simulator deadlock at cycle {cycle}: outstanding={outstanding}, \
                          next_tb={next_tb}/{total_tbs}"

@@ -116,6 +116,8 @@ impl SmCore {
                 birth: now,
             });
         }
+        // warps.len() <= warps_per_block: u32 by construction.
+        #[allow(clippy::cast_possible_truncation)]
         let live = warps.iter().filter(|w| !w.done).count() as u32;
         if live == 0 {
             return Some(tb_id); // degenerate block, retires instantly
@@ -145,7 +147,11 @@ impl SmCore {
                     if let Some(b) = blk {
                         for w in 0..b.warps.len() {
                             if len < order.len() {
-                                order[len] = (s as u16, w as u16);
+                                // Slot and warp counts are both < 128.
+                                #[allow(clippy::cast_possible_truncation)]
+                                {
+                                    order[len] = (s as u16, w as u16);
+                                }
                                 len += 1;
                             }
                         }
@@ -158,7 +164,10 @@ impl SmCore {
                 for k in 0..len {
                     let (s, w) = order[(start + k) % len];
                     let (s, w) = (s as usize, w as usize);
-                    let b = self.slots[s].as_ref().unwrap();
+                    // `order` only names occupied slots.
+                    let Some(b) = self.slots[s].as_ref() else {
+                        continue;
+                    };
                     if ready(&b.warps[w]) {
                         self.rr_cursor = (start + k + 1) % len;
                         return Some((s, w));
@@ -202,7 +211,14 @@ impl SmCore {
                 retired: None,
             };
         };
-        let block = self.slots[s].as_mut().expect("picked slot is occupied");
+        // pick_warp only returns occupied slots; an empty one issues nothing.
+        let Some(block) = self.slots[s].as_mut() else {
+            return IssueResult {
+                issued_bb: None,
+                issued_lanes: 0,
+                retired: None,
+            };
+        };
         let ctx = block.ctx;
         let warp = &mut block.warps[w];
         let inst = warp.trace[warp.pc];
@@ -219,24 +235,35 @@ impl SmCore {
             LatencyClass::Sfu => warp.ready_at = now + self.sfu_latency,
             LatencyClass::SharedMem => warp.ready_at = now + self.smem_latency,
             LatencyClass::GlobalMem => {
-                let pat = inst.op.addr_pattern().expect("global op has pattern");
-                let lines =
-                    pat.coalesced_lines(&ctx, warp.gtid_base, inst.mask, inst.iter_key, inst.site);
-                let is_store = matches!(inst.op, Op::StGlobal(_));
-                if is_store {
-                    for line in lines.iter() {
-                        mem.store(self.id, line, now);
+                // Every GlobalMem op carries a pattern by construction of
+                // the IR; a missing one degrades to ALU latency instead of
+                // aborting the simulation.
+                if let Some(pat) = inst.op.addr_pattern() {
+                    let lines = pat.coalesced_lines(
+                        &ctx,
+                        warp.gtid_base,
+                        inst.mask,
+                        inst.iter_key,
+                        inst.site,
+                    );
+                    let is_store = matches!(inst.op, Op::StGlobal(_));
+                    if is_store {
+                        for line in lines.iter() {
+                            mem.store(self.id, line, now);
+                        }
+                        // Fire-and-forget: the warp only pays issue latency.
+                        warp.ready_at = now + self.alu_latency;
+                    } else {
+                        let mut done_at = now + self.alu_latency;
+                        for line in lines.iter() {
+                            done_at = done_at.max(mem.load(self.id, line, now));
+                        }
+                        warp.ready_at = done_at;
+                        self.stats.load_latency_sum += done_at - now;
+                        self.stats.loads_waited += 1;
                     }
-                    // Fire-and-forget: the warp only pays issue latency.
-                    warp.ready_at = now + self.alu_latency;
                 } else {
-                    let mut done_at = now + self.alu_latency;
-                    for line in lines.iter() {
-                        done_at = done_at.max(mem.load(self.id, line, now));
-                    }
-                    warp.ready_at = done_at;
-                    self.stats.load_latency_sum += done_at - now;
-                    self.stats.loads_waited += 1;
+                    warp.ready_at = now + self.alu_latency;
                 }
             }
             LatencyClass::Barrier => {

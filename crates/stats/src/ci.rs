@@ -66,7 +66,7 @@ pub fn mean_ci(xs: &[f64], level: f64) -> ConfidenceInterval {
 pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
     assert_eq!(xs.len(), ws.len(), "weights must match samples");
     let wsum: f64 = ws.iter().sum();
-    if wsum == 0.0 {
+    if wsum.abs() < f64::MIN_POSITIVE {
         return 0.0;
     }
     xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum
@@ -86,7 +86,7 @@ pub fn weighted_harmonic_mean(rates: &[f64], ws: &[f64]) -> f64 {
             denom += w / r;
         }
     }
-    if denom == 0.0 {
+    if denom < f64::MIN_POSITIVE {
         0.0
     } else {
         wsum / denom

@@ -36,7 +36,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// is perfectly homogeneous, not infinitely variable).
 pub fn cov(xs: &[f64]) -> f64 {
     let m = mean(xs);
-    if m == 0.0 {
+    if m.abs() < f64::MIN_POSITIVE {
         return 0.0;
     }
     std_dev(xs) / m

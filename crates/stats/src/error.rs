@@ -17,8 +17,8 @@ pub fn abs_pct_error(predicted: f64, reference: f64) -> f64 {
 ///
 /// Positive means the prediction over-estimates the reference.
 pub fn signed_pct_error(predicted: f64, reference: f64) -> f64 {
-    if reference == 0.0 {
-        if predicted == 0.0 {
+    if reference.abs() < f64::MIN_POSITIVE {
+        if predicted.abs() < f64::MIN_POSITIVE {
             return 0.0;
         }
         return 100.0 * predicted.signum();

@@ -40,6 +40,9 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let w = (self.hi - self.lo) / self.bins.len() as f64;
+            // In-range x gives a bin index below bins.len(); the saturating
+            // cast plus min() make rounding at the top edge harmless.
+            #[allow(clippy::cast_possible_truncation)]
             let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
             self.bins[idx] += 1;
         }
@@ -80,8 +83,17 @@ impl Histogram {
     /// # Panics
     /// Panics if the layouts differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.lo, other.lo, "histogram lower bounds differ");
-        assert_eq!(self.hi, other.hi, "histogram upper bounds differ");
+        // Layout compatibility means bit-identical bounds, so compare bits.
+        assert_eq!(
+            self.lo.to_bits(),
+            other.lo.to_bits(),
+            "histogram lower bounds differ"
+        );
+        assert_eq!(
+            self.hi.to_bits(),
+            other.hi.to_bits(),
+            "histogram upper bounds differ"
+        );
         assert_eq!(
             self.bins.len(),
             other.bins.len(),

@@ -1,3 +1,13 @@
+// Tests assert by panicking and compare exact floats on purpose.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 //! # tbpoint-stats
 //!
 //! Small numerical-statistics toolkit shared by every other TBPoint crate.
@@ -31,4 +41,4 @@ pub use error::{abs_pct_error, signed_pct_error};
 pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use percentile::{fraction_within, percentile};
-pub use rng::SplitMix64;
+pub use rng::{hash_coords, mix64, unit_f64, unit_index, SplitMix64};

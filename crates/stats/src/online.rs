@@ -105,7 +105,7 @@ impl OnlineStats {
     /// Coefficient of variation; `0.0` when the mean is zero.
     pub fn cov(&self) -> f64 {
         let m = self.mean();
-        if m == 0.0 {
+        if m.abs() < f64::MIN_POSITIVE {
             0.0
         } else {
             self.std_dev() / m

@@ -10,7 +10,7 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(f64::total_cmp);
     percentile_sorted(&v, q)
 }
 
@@ -21,7 +21,10 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
     let q = q.clamp(0.0, 100.0);
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    // `rank` is in [0, len-1] after the clamp, so the casts cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     let lo = rank.floor() as usize;
+    #[allow(clippy::cast_possible_truncation)]
     let hi = rank.ceil() as usize;
     if lo == hi {
         sorted[lo]
@@ -37,7 +40,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// This is exactly the Fig.-5 claim shape: "more than 95% of the samples
 /// have less than a 10% difference of the average IPC".
 pub fn fraction_within(xs: &[f64], center: f64, band: f64) -> f64 {
-    if xs.is_empty() || center == 0.0 {
+    if xs.is_empty() || center.abs() < f64::EPSILON {
         return 0.0;
     }
     let n_in = xs
@@ -84,6 +87,16 @@ mod tests {
         let xs = [1.0, 2.0];
         assert_eq!(percentile(&xs, -5.0), 1.0);
         assert_eq!(percentile(&xs, 150.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_survives_nan() {
+        // Regression: sort_by(partial_cmp().expect(..)) used to panic here.
+        // total_cmp orders NaN after +inf, so finite quantiles still come
+        // from the finite prefix.
+        let xs = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0 / 3.0), 2.0);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub(crate) fn distribute_launches(total: u32, weights: &[f64], scale: Scale) -> 
     let mut assigned = 0u32;
     for (i, w) in weights.iter().enumerate() {
         let share = total as f64 * w / wsum;
+        // share <= total: u32, so the saturating cast cannot wrap.
+        #[allow(clippy::cast_possible_truncation)]
         let fl = (share.floor() as u32).max(1);
         blocks.push(fl);
         assigned += fl;
@@ -40,7 +42,7 @@ pub(crate) fn distribute_launches(total: u32, weights: &[f64], scale: Scale) -> 
     }
     // Distribute the leftover by largest remainder (or trim overshoot
     // from the smallest remainders).
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut i = 0;
     while assigned < total {
         blocks[remainders[i % remainders.len()].0] += 1;
@@ -60,6 +62,8 @@ pub(crate) fn distribute_launches(total: u32, weights: &[f64], scale: Scale) -> 
         .into_iter()
         .enumerate()
         .map(|(i, full)| LaunchSpec {
+            // Launch counts are small (weights.len()).
+            #[allow(clippy::cast_possible_truncation)]
             launch_id: LaunchId(i as u32),
             num_blocks: scale.blocks(full, 2),
             work_scale: 1.0,

@@ -1,87 +1,102 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants, spanning crates.
+//! Property-style tests on the core data structures and invariants,
+//! spanning crates.
+//!
+//! Inputs come from seeded deterministic generators (see `common::Gen`)
+//! rather than `proptest`, which is unavailable in the offline build
+//! environment; each case reproduces exactly from its loop index.
 
-use proptest::prelude::*;
+mod common;
+
+use common::Gen;
 use tbpoint::cluster::{hierarchical_cluster, kmeans, normalize_by_mean, Linkage};
-use tbpoint::core::intra::{build_epochs, identify_regions, IntraConfig, RegionTable};
-use tbpoint::ir::{Cond, Dist, ExecCtx, LaunchId, TbId, TripCount};
+use tbpoint::core::intra::{build_epochs, identify_regions, IntraConfig, Region, RegionTable};
+use tbpoint::ir::{Cond, Dist, ExecCtx, LaunchId, LaunchSpec, TbId, TripCount};
 use tbpoint::stats::{cov, mean, percentile, OnlineStats, SplitMix64};
 
-fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    // 1..40 points of dimension 1..5, values in a tame range.
-    (1usize..5).prop_flat_map(|dim| {
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, dim..=dim),
-            1..40,
-        )
-    })
-}
+const CASES: u64 = 64;
 
-proptest! {
-    /// Hierarchical clustering always yields dense cluster ids covering
-    /// every point, and respects the complete-linkage sigma bound.
-    #[test]
-    fn hierarchical_clustering_invariants(points in points_strategy(), sigma in 0.0f64..50.0) {
+/// Hierarchical clustering always yields dense cluster ids covering every
+/// point, and respects the complete-linkage sigma bound.
+#[test]
+fn hierarchical_clustering_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x01, case);
+        let points = g.points(40, 5);
+        let sigma = g.f64(0.0, 50.0);
         let c = hierarchical_cluster(&points, sigma, Linkage::Complete);
-        prop_assert_eq!(c.assignments.len(), points.len());
-        prop_assert!(c.num_clusters >= 1);
-        prop_assert!(c.num_clusters <= points.len());
+        assert_eq!(c.assignments.len(), points.len());
+        assert!(c.num_clusters >= 1);
+        assert!(c.num_clusters <= points.len());
         // Ids are dense 0..num_clusters.
         let mut seen = vec![false; c.num_clusters];
         for &a in &c.assignments {
-            prop_assert!(a < c.num_clusters);
+            assert!(a < c.num_clusters);
             seen[a] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         // The sigma semantics: no intra-cluster pair exceeds sigma.
-        prop_assert!(c.max_intra_distance(&points) <= sigma + 1e-9);
+        assert!(c.max_intra_distance(&points) <= sigma + 1e-9);
     }
+}
 
-    /// k-means produces valid assignments and non-increasing inertia as
-    /// k grows (more clusters can never fit worse, given same seeding
-    /// discipline we at least demand validity + finite inertia).
-    #[test]
-    fn kmeans_invariants(points in points_strategy(), k in 1usize..8) {
+/// k-means produces valid assignments and finite, non-negative inertia.
+#[test]
+fn kmeans_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x02, case);
+        let points = g.points(40, 5);
+        let k = g.usize(1, 8);
         let r = kmeans(&points, k, 99, 50);
-        prop_assert_eq!(r.clustering.assignments.len(), points.len());
-        prop_assert!(r.clustering.num_clusters <= k.min(points.len()));
-        prop_assert!(r.inertia.is_finite());
-        prop_assert!(r.inertia >= 0.0);
+        assert_eq!(r.clustering.assignments.len(), points.len());
+        assert!(r.clustering.num_clusters <= k.min(points.len()));
+        assert!(r.inertia.is_finite());
+        assert!(r.inertia >= 0.0);
     }
+}
 
-    /// Mean-normalisation makes every dimension average to 1 (or stay 0).
-    #[test]
-    fn normalization_unit_means(points in points_strategy()) {
+/// Mean-normalisation makes every dimension average to 1 (or stay 0).
+#[test]
+fn normalization_unit_means() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x03, case);
+        let points = g.points(40, 5);
         // Shift positive so means are nonzero in general.
-        let pts: Vec<Vec<f64>> =
-            points.iter().map(|p| p.iter().map(|x| x.abs() + 1.0).collect()).collect();
+        let pts: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| p.iter().map(|x| x.abs() + 1.0).collect())
+            .collect();
         let n = normalize_by_mean(&pts);
         let dim = pts[0].len();
         for d in 0..dim {
             let m = n.iter().map(|p| p[d]).sum::<f64>() / n.len() as f64;
-            prop_assert!((m - 1.0).abs() < 1e-9, "dim {} mean {}", d, m);
+            assert!((m - 1.0).abs() < 1e-9, "dim {d} mean {m}");
         }
     }
+}
 
-    /// Online statistics match batch statistics on arbitrary inputs.
-    #[test]
-    fn online_matches_batch(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Online statistics match batch statistics on arbitrary inputs.
+#[test]
+fn online_matches_batch() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x04, case);
+        let xs = g.f64_vec(-1e6, 1e6, 1, 200);
         let mut o = OnlineStats::new();
         for &x in &xs {
             o.push(x);
         }
-        prop_assert!((o.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
-        prop_assert!((o.cov() - cov(&xs)).abs() < 1e-6 * (1.0 + cov(&xs).abs()));
-        prop_assert_eq!(o.count(), xs.len() as u64);
+        assert!((o.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
+        assert!((o.cov() - cov(&xs)).abs() < 1e-6 * (1.0 + cov(&xs).abs()));
+        assert_eq!(o.count(), xs.len() as u64);
     }
+}
 
-    /// Online merge equals sequential accumulation for any split point.
-    #[test]
-    fn online_merge_any_split(
-        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+/// Online merge equals sequential accumulation for any split point.
+#[test]
+fn online_merge_any_split() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x05, case);
+        let xs = g.f64_vec(-1e3, 1e3, 2, 100);
+        let split = g.usize(0, xs.len() + 1);
         let mut whole = OnlineStats::new();
         for &x in &xs {
             whole.push(x);
@@ -94,36 +109,39 @@ proptest! {
             b.push(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
     }
+}
 
-    /// Percentiles are monotone in q and bounded by the extrema.
-    #[test]
-    fn percentile_monotone(
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-        q1 in 0.0f64..100.0,
-        q2 in 0.0f64..100.0,
-    ) {
+/// Percentiles are monotone in q and bounded by the extrema.
+#[test]
+fn percentile_monotone() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x06, case);
+        let xs = g.f64_vec(-1e3, 1e3, 1, 100);
+        let (q1, q2) = (g.f64(0.0, 100.0), g.f64(0.0, 100.0));
         let (lo, hi) = (q1.min(q2), q1.max(q2));
         let p_lo = percentile(&xs, lo);
         let p_hi = percentile(&xs, hi);
-        prop_assert!(p_lo <= p_hi + 1e-12);
+        assert!(p_lo <= p_hi + 1e-12);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p_lo >= min - 1e-12 && p_hi <= max + 1e-12);
+        assert!(p_lo >= min - 1e-12 && p_hi <= max + 1e-12);
     }
+}
 
-    /// Trip counts stay within their declared bounds for every context.
-    #[test]
-    fn trip_counts_bounded(
-        base in 0u32..50,
-        spread in 0u32..50,
-        block in 0u32..1000,
-        thread in 0u64..100_000,
-        seed in 0u64..u64::MAX,
-        which in 0usize..3,
-    ) {
+/// Trip counts stay within their declared bounds for every context.
+#[test]
+fn trip_counts_bounded() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x07, case);
+        let base = g.u32(0, 50);
+        let spread = g.u32(0, 50);
+        let block = g.u32(0, 1000);
+        let thread = g.u64(0, 100_000);
+        let seed = g.any_u64();
+        let which = g.usize(0, 3);
         let ctx = ExecCtx {
             kernel_seed: seed,
             launch_id: LaunchId(3),
@@ -131,21 +149,51 @@ proptest! {
             num_blocks: 1000,
             work_scale: 1.0,
         };
-        let dists = [Dist::Uniform, Dist::PowerLaw { alpha: 2.0 }, Dist::Bimodal { p_heavy: 0.1 }];
+        let dists = [
+            Dist::Uniform,
+            Dist::PowerLaw { alpha: 2.0 },
+            Dist::Bimodal { p_heavy: 0.1 },
+        ];
         for dist in dists {
             let tc = match which {
-                0 => TripCount::PerBlock { base, spread, dist, site: 1 },
-                1 => TripCount::PerThread { base, spread, dist, site: 1 },
-                _ => TripCount::PerBlockPhase { base, spread, phase_len: 64, dist, site: 1 },
+                0 => TripCount::PerBlock {
+                    base,
+                    spread,
+                    dist,
+                    site: 1,
+                },
+                1 => TripCount::PerThread {
+                    base,
+                    spread,
+                    dist,
+                    site: 1,
+                },
+                _ => TripCount::PerBlockPhase {
+                    base,
+                    spread,
+                    phase_len: 64,
+                    dist,
+                    site: 1,
+                },
             };
             let v = tc.eval(&ctx, thread);
-            prop_assert!(v >= base && v <= base + spread, "{} outside [{}, {}]", v, base, base + spread);
+            assert!(
+                v >= base && v <= base + spread,
+                "{v} outside [{base}, {}]",
+                base + spread
+            );
         }
     }
+}
 
-    /// Block-uniform conditions agree across all lanes of a warp.
-    #[test]
-    fn block_uniform_conds_agree(p in 0.0f64..1.0, block in 0u32..100, seed in 0u64..u64::MAX) {
+/// Block-uniform conditions agree across all lanes of a warp.
+#[test]
+fn block_uniform_conds_agree() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x08, case);
+        let p = g.f64(0.0, 1.0);
+        let block = g.u32(0, 100);
+        let seed = g.any_u64();
         let ctx = ExecCtx {
             kernel_seed: seed,
             launch_id: LaunchId(0),
@@ -156,15 +204,19 @@ proptest! {
         let cond = Cond::BlockProb { p, site: 7 };
         let first = cond.eval(&ctx, 0, 0);
         for lane in 1..32u32 {
-            prop_assert_eq!(cond.eval(&ctx, lane as u64, lane), first);
+            assert_eq!(cond.eval(&ctx, lane as u64, lane), first);
         }
     }
+}
 
-    /// Epochs tile the launch exactly: every TB in exactly one epoch.
-    #[test]
-    fn epochs_tile_launch(n_tbs in 1usize..300, occupancy in 1u32..100) {
-        use tbpoint::emu::TbProfile;
-        use tbpoint::ir::LaunchSpec;
+/// Epochs tile the launch exactly: every TB in exactly one epoch.
+#[test]
+fn epochs_tile_launch() {
+    use tbpoint::emu::TbProfile;
+    for case in 0..CASES {
+        let mut g = Gen::new(0x09, case);
+        let n_tbs = g.usize(1, 300);
+        let occupancy = g.u32(1, 100);
         let profile = tbpoint::emu::LaunchProfile {
             spec: LaunchSpec {
                 launch_id: LaunchId(0),
@@ -186,55 +238,64 @@ proptest! {
         };
         let epochs = build_epochs(&profile, occupancy);
         let covered: u32 = epochs.iter().map(|e| e.end_tb - e.start_tb).sum();
-        prop_assert_eq!(covered as usize, n_tbs);
+        assert_eq!(covered as usize, n_tbs);
         for w in epochs.windows(2) {
-            prop_assert_eq!(w[0].end_tb, w[1].start_tb);
+            assert_eq!(w[0].end_tb, w[1].start_tb);
         }
         // Homogeneous TBs: one region covering everything.
         let table = identify_regions(&epochs, &IntraConfig::default());
-        prop_assert_eq!(table.covered_tbs(), n_tbs as u64);
+        assert_eq!(table.covered_tbs(), n_tbs as u64);
     }
+}
 
-    /// Region tables never overlap and lookups agree with the intervals.
-    #[test]
-    fn region_lookup_consistent(
-        starts in proptest::collection::vec(0u32..1000, 1..10),
-        len in 1u32..50,
-    ) {
-        // Build disjoint regions from sorted, deduplicated starts spaced
-        // by at least `len`.
-        let mut s = starts.clone();
+/// Region tables never overlap and lookups agree with the intervals.
+#[test]
+fn region_lookup_consistent() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x0a, case);
+        let n_starts = g.usize(1, 10);
+        let mut s: Vec<u32> = (0..n_starts).map(|_| g.u32(0, 1000)).collect();
+        let len = g.u32(1, 50);
+        // Build disjoint regions from sorted starts spaced by at least
+        // `len`.
         s.sort_unstable();
         let mut regions = vec![];
         let mut next_free = 0u32;
         for (i, &st) in s.iter().enumerate() {
             let st = st.max(next_free);
-            regions.push(tbpoint::core::intra::Region {
+            regions.push(Region {
                 region_id: i as u32,
                 start_tb: st,
                 end_tb: st + len,
             });
             next_free = st + len;
         }
-        let table = RegionTable { regions: regions.clone() };
+        let table = RegionTable {
+            regions: regions.clone(),
+        };
         for r in &regions {
-            prop_assert_eq!(table.region_of(TbId(r.start_tb)), Some(r.region_id));
-            prop_assert_eq!(table.region_of(TbId(r.end_tb - 1)), Some(r.region_id));
+            assert_eq!(table.region_of(TbId(r.start_tb)), Some(r.region_id));
+            assert_eq!(table.region_of(TbId(r.end_tb - 1)), Some(r.region_id));
             // One past the end is outside this region (it may be the
             // start of the next, adjacent one, but never this id).
-            prop_assert_ne!(table.region_of(TbId(r.end_tb)), Some(r.region_id));
+            assert_ne!(table.region_of(TbId(r.end_tb)), Some(r.region_id));
         }
-        prop_assert_eq!(table.covered_tbs(), regions.len() as u64 * len as u64);
+        assert_eq!(table.covered_tbs(), regions.len() as u64 * u64::from(len));
     }
+}
 
-    /// The deterministic RNG's shuffle is a permutation for any seed.
-    #[test]
-    fn shuffle_is_permutation(seed in 0u64..u64::MAX, n in 0usize..200) {
+/// The deterministic RNG's shuffle is a permutation for any seed.
+#[test]
+fn shuffle_is_permutation() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x0b, case);
+        let seed = g.any_u64();
+        let n = g.usize(0, 200);
         let mut rng = SplitMix64::new(seed);
         let mut xs: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut xs);
         let mut sorted = xs.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,492 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based, see `vendor/serde`) for plain **non-generic**
+//! structs, tuple structs and enums — the only shapes the TBPoint workspace
+//! uses. Parsing is done directly over `proc_macro::TokenStream` because the
+//! build environment has no crates.io access for `syn`/`quote`.
+//!
+//! Unsupported shapes (generics, unions, `#[serde(...)]` attributes) produce
+//! a `compile_error!` rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — number of fields.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            let escaped = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"{escaped}\");")
+                .parse()
+                .unwrap_or_default();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(_) => format!("compile_error!(\"serde_derive: internal codegen error for `{name}`\");")
+            .parse()
+            .unwrap_or_default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::Tuple(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            other => Err(format!(
+                "serde_derive: unsupported struct body for `{name}`: {other:?}"
+            )),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!(
+                "serde_derive: unsupported enum body for `{name}`: {other:?}"
+            )),
+        },
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `a: T, b: U, ...` returning the field names. Types are skipped by
+/// consuming tokens until a comma at angle-bracket depth zero.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after `{name}`, got {other:?}"
+                ))
+            }
+        }
+        skip_type(&mut toks);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Consume a type, stopping after the comma that terminates it (or at the
+/// end of the stream). Tracks `<`/`>` depth so commas inside generic
+/// arguments don't end the field early.
+fn skip_type(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple struct/variant body (`T, U, ...`).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        if toks.peek().is_none() {
+            break;
+        }
+        // Skip attributes and visibility on the field, then the type.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_type(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = toks.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Value::Obj(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "let obj = v.as_obj().ok_or_else(|| ::serde::Error::msg(\
+                     format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_arr().ok_or_else(|| ::serde::Error::msg(\
+                     format!(\"expected array for {name}, found {{}}\", v.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::Error::msg(format!(\
+                         \"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                                 let items = inner.as_arr().ok_or_else(|| ::serde::Error::msg(\
+                                     \"expected array for variant {vn}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::msg(\
+                                         \"wrong arity for variant {vn}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                                 let obj = inner.as_obj().ok_or_else(|| ::serde::Error::msg(\
+                                     \"expected object for variant {vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},",
+                    unit_arms.join("\n")
+                )
+            };
+            let data_match = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},",
+                    data_arms.join("\n")
+                )
+            };
+            format!(
+                "match v {{\n\
+                     {unit_match}\n\
+                     {data_match}\n\
+                     other => Err(::serde::Error::msg(format!(\
+                         \"expected variant of {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                {body}\n\
+            }}\n\
+        }}"
+    )
+}
