@@ -53,7 +53,7 @@ fn bench_inter_algo(c: &mut Criterion) {
             ..TbpointConfig::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-            b.iter(|| black_box(run_tbpoint(&run, &profile, cfg, &gpu)));
+            b.iter(|| black_box(run_tbpoint(&run, &profile, cfg, &gpu).expect("valid")));
         });
     }
     g.finish();
@@ -68,7 +68,11 @@ fn bench_scheduler(c: &mut Criterion) {
         let mut gpu = GpuConfig::fermi();
         gpu.sched = sched;
         g.bench_with_input(BenchmarkId::from_parameter(label), &gpu, |b, gpu| {
-            b.iter(|| black_box(run_tbpoint(&run, &profile, &TbpointConfig::default(), gpu)));
+            b.iter(|| {
+                black_box(
+                    run_tbpoint(&run, &profile, &TbpointConfig::default(), gpu).expect("valid"),
+                )
+            });
         });
     }
     g.finish();
@@ -107,7 +111,11 @@ fn bench_hw_retarget(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("W{w}S{s}")),
             &gpu,
             |b, gpu| {
-                b.iter(|| black_box(run_tbpoint(&run, &profile, &TbpointConfig::default(), gpu)));
+                b.iter(|| {
+                    black_box(
+                        run_tbpoint(&run, &profile, &TbpointConfig::default(), gpu).expect("valid"),
+                    )
+                });
             },
         );
     }

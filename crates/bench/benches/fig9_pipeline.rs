@@ -49,7 +49,8 @@ fn bench_tbpoint(c: &mut Criterion) {
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
         g.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, bench| {
             b.iter(|| {
-                let r = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+                let r = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu)
+                    .expect("valid config and matching profile");
                 assert!(r.error_vs(full.overall_ipc()) < 25.0);
                 black_box(r)
             });

@@ -3,11 +3,11 @@
 //! departs from the paper's value? (The runtime cost of the same
 //! variants is measured by the Criterion benches in `crates/bench`.)
 
-use crate::output;
+use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
 use tbpoint_core::inter::{InterAlgo, InterConfig};
 use tbpoint_core::intra::IntraConfig;
-use tbpoint_core::predict::{run_tbpoint, TbpointConfig};
+use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig};
 use tbpoint_emu::profile_run;
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
 use tbpoint_stats::geometric_mean;
@@ -61,11 +61,36 @@ fn score(cfg: &TbpointConfig, scale: Scale) -> (f64, f64) {
     for bench in all_benchmarks(scale) {
         let profile = profile_run(&bench.run, 1);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-        let tbp = run_tbpoint(&bench.run, &profile, cfg, &gpu);
+        // Every swept value is a valid setting and the profile matches
+        // the run, so failure is unreachable.
+        let tbp = run_tbpoint(&bench.run, &profile, cfg, &gpu).expect("TBPoint pipeline rejected");
         errors.push(tbp.error_vs(full.overall_ipc()).max(0.05));
         samples.push(tbp.sample_size());
     }
     (geometric_mean(&errors), geometric_mean(&samples))
+}
+
+/// [`ablate`] with observability traces (the `--trace-out` path). The
+/// sweep itself is unchanged; the traces come from one extra pass of the
+/// paper-default configuration over the roster (tracing every swept
+/// point would multiply the trace volume by the number of knob values
+/// without showing anything new — the events of interest are the
+/// sampler's transitions, which the default pass already exercises).
+pub fn ablate_traced(scale: Scale) -> (AblationResult, Vec<TraceEntry>) {
+    let result = ablate(scale);
+    let gpu = GpuConfig::fermi();
+    let mut entries = Vec::new();
+    for bench in all_benchmarks(scale) {
+        let profile = profile_run(&bench.run, 1);
+        let (_, traces) = run_tbpoint_traced(&bench.run, &profile, &TbpointConfig::default(), &gpu)
+            .expect("TBPoint pipeline rejected");
+        entries.extend(traces.into_iter().map(|t| TraceEntry {
+            label: format!("default/{}", bench.name),
+            launch: t.launch,
+            trace: t.trace,
+        }));
+    }
+    (result, entries)
 }
 
 /// Run every ablation sweep at the given scale.

@@ -8,13 +8,13 @@
 //! pipeline. Benchmarks fan out over worker threads — they are completely
 //! independent.
 
-use crate::output;
+use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
 use tbpoint_baselines::{
     collect_units, ideal_simpoint, random_sampling, systematic_sampling, IdealSimpointConfig,
     RandomConfig, SystematicConfig,
 };
-use tbpoint_core::predict::{run_tbpoint, TbpointConfig};
+use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig, TbpointResult};
 use tbpoint_emu::profile_run;
 use tbpoint_sim::GpuConfig;
 use tbpoint_stats::geometric_mean;
@@ -129,7 +129,12 @@ impl EvalResult {
     }
 }
 
-fn eval_one(bench: &Benchmark, cfg: &EvalConfig, gpu: &GpuConfig) -> BenchEval {
+fn build_bench_eval(
+    bench: &Benchmark,
+    cfg: &EvalConfig,
+    gpu: &GpuConfig,
+    tbp: impl FnOnce(&tbpoint_emu::RunProfile) -> TbpointResult,
+) -> BenchEval {
     // One-time hardware-independent profile (the GPUOcelot step).
     let profile = profile_run(&bench.run, 1);
     let total_insts = profile.total_warp_insts();
@@ -144,7 +149,7 @@ fn eval_one(bench: &Benchmark, cfg: &EvalConfig, gpu: &GpuConfig) -> BenchEval {
     let rnd = random_sampling(&units, &RandomConfig::default());
     let sys = systematic_sampling(&units, &SystematicConfig::default());
     let ideal = ideal_simpoint(&units, &IdealSimpointConfig::default());
-    let tbp = run_tbpoint(&bench.run, &profile, &cfg.tbpoint, gpu);
+    let tbp = tbp(&profile);
 
     BenchEval {
         name: bench.name.to_string(),
@@ -177,6 +182,59 @@ fn eval_one(bench: &Benchmark, cfg: &EvalConfig, gpu: &GpuConfig) -> BenchEval {
         launches_total: tbp.num_launches,
         num_units: units.len(),
     }
+}
+
+fn eval_one(bench: &Benchmark, cfg: &EvalConfig, gpu: &GpuConfig) -> BenchEval {
+    build_bench_eval(bench, cfg, gpu, |profile| {
+        // The default-derived config is always valid and the profile was
+        // just taken from this very run, so failure is unreachable.
+        run_tbpoint(&bench.run, profile, &cfg.tbpoint, gpu).expect("TBPoint pipeline rejected")
+    })
+}
+
+fn eval_one_traced(
+    bench: &Benchmark,
+    cfg: &EvalConfig,
+    gpu: &GpuConfig,
+) -> (BenchEval, Vec<TraceEntry>) {
+    let mut entries = Vec::new();
+    let b = build_bench_eval(bench, cfg, gpu, |profile| {
+        let (tbp, traces) = run_tbpoint_traced(&bench.run, profile, &cfg.tbpoint, gpu)
+            .expect("TBPoint pipeline rejected");
+        entries = traces
+            .into_iter()
+            .map(|t| TraceEntry {
+                label: bench.name.to_string(),
+                launch: t.launch,
+                trace: t.trace,
+            })
+            .collect();
+        tbp
+    });
+    (b, entries)
+}
+
+/// [`eval`] with observability traces of every simulated representative
+/// launch (the `--trace-out` path). Runs benchmarks serially so the
+/// trace order is deterministic; the [`EvalResult`] itself is identical
+/// to [`eval`]'s — recording never perturbs the simulation.
+pub fn eval_traced(cfg: &EvalConfig) -> (EvalResult, Vec<TraceEntry>) {
+    let gpu = GpuConfig::fermi();
+    let benches = all_benchmarks(cfg.scale);
+    let mut results = Vec::with_capacity(benches.len());
+    let mut entries = Vec::new();
+    for bench in &benches {
+        let (b, t) = eval_one_traced(bench, cfg, &gpu);
+        results.push(b);
+        entries.extend(t);
+    }
+    (
+        EvalResult {
+            config: *cfg,
+            benches: results,
+        },
+        entries,
+    )
 }
 
 /// Run the evaluation over the full roster, fanning benchmarks out over

@@ -9,9 +9,9 @@
 //! way — `profile_run` is called once per benchmark outside the
 //! configuration loop.
 
-use crate::output;
+use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
-use tbpoint_core::predict::{run_tbpoint, TbpointConfig};
+use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig};
 use tbpoint_emu::profile_run;
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
 use tbpoint_workloads::{all_benchmarks, Scale};
@@ -120,12 +120,15 @@ pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
                 let (bi, w, s) = tasks[i];
                 let gpu = GpuConfig::with_occupancy(w, s);
                 let full = simulate_run(&benches[bi].run, &gpu, &mut NullSampling, None);
+                // The default config is always valid and the profile was
+                // taken from this run; failure is unreachable.
                 let tbp = run_tbpoint(
                     &benches[bi].run,
                     &profiles[bi],
                     &TbpointConfig::default(),
                     &gpu,
-                );
+                )
+                .expect("TBPoint pipeline rejected");
                 out.lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(SensitivityCell {
@@ -150,6 +153,44 @@ pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
         (bi, ci)
     });
     SensitivityResult { cells }
+}
+
+/// [`sensitivity`] with observability traces (the `--trace-out` path):
+/// every (benchmark, config) cell's simulated launches are recorded,
+/// labelled `bench@W<warps>S<sms>`. Runs serially for a deterministic
+/// trace order; the [`SensitivityResult`] is identical to
+/// [`sensitivity`]'s.
+pub fn sensitivity_traced(scale: Scale, threads: usize) -> (SensitivityResult, Vec<TraceEntry>) {
+    let benches = all_benchmarks(scale);
+    let profiles: Vec<_> = benches
+        .iter()
+        .map(|b| profile_run(&b.run, threads))
+        .collect();
+    let mut cells = Vec::new();
+    let mut entries = Vec::new();
+    for (bi, bench) in benches.iter().enumerate() {
+        for (w, s) in CONFIGS {
+            let gpu = GpuConfig::with_occupancy(w, s);
+            let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
+            let (tbp, traces) =
+                run_tbpoint_traced(&bench.run, &profiles[bi], &TbpointConfig::default(), &gpu)
+                    .expect("TBPoint pipeline rejected");
+            entries.extend(traces.into_iter().map(|t| TraceEntry {
+                label: format!("{}@W{w}S{s}", bench.name),
+                launch: t.launch,
+                trace: t.trace,
+            }));
+            cells.push(SensitivityCell {
+                bench: bench.name.to_string(),
+                warps: w,
+                sms: s,
+                error_pct: tbp.error_vs(full.overall_ipc()),
+                sample_size: tbp.sample_size(),
+                occupancy: gpu.system_occupancy(&bench.run.kernel),
+            });
+        }
+    }
+    (SensitivityResult { cells }, entries)
 }
 
 /// Render Fig. 12 (errors).

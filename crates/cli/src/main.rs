@@ -15,8 +15,14 @@
 //! ```
 //!
 //! Artefacts (JSON + CSV) land in `./artifacts/`.
+//!
+//! `eval`, `fig12`/`fig13` (the sensitivity sweep) and `ablate` accept
+//! `--trace-out <path>`: the simulated launches are then recorded through
+//! the observability layer and written as deterministic JSON lines, with
+//! a summary (events by kind, heaviest memory-stall sites) printed after
+//! the figures. Tracing runs serially and never changes the results.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use tbpoint_cli::experiments::{self, EvalConfig};
 use tbpoint_cli::output;
 use tbpoint_workloads::Scale;
@@ -28,6 +34,7 @@ struct Args {
     samples: usize,
     threads: usize,
     artifacts: PathBuf,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +45,7 @@ fn parse_args() -> Args {
         samples: 10_000,
         threads: experiments::default_threads(),
         artifacts: PathBuf::from("artifacts"),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +68,13 @@ fn parse_args() -> Args {
             }
             "--artifacts" => {
                 args.artifacts = PathBuf::from(it.next().unwrap_or_default());
+            }
+            "--trace-out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                };
+                args.trace_out = Some(PathBuf::from(v));
             }
             cmd if args.command.is_empty() && !cmd.starts_with('-') => {
                 args.command = cmd.to_string();
@@ -89,6 +104,16 @@ fn eval_cache_path(args: &Args) -> PathBuf {
         .join(format!("eval_{}.json", scale_tag(args.scale)))
 }
 
+fn dump_traces(path: &Path, entries: &[output::TraceEntry]) {
+    output::write_trace_jsonl(path, entries).expect("write trace");
+    eprintln!(
+        "wrote {} launch traces to {}",
+        entries.len(),
+        path.display()
+    );
+    println!("{}", output::render_trace_summary(entries, 10));
+}
+
 fn run_eval(args: &Args) -> experiments::EvalResult {
     let mut cfg = EvalConfig::new(args.scale);
     cfg.threads = args.threads;
@@ -97,7 +122,13 @@ fn run_eval(args: &Args) -> experiments::EvalResult {
         scale_tag(args.scale),
         cfg.threads
     );
-    let r = experiments::eval(&cfg);
+    let r = if let Some(trace_path) = &args.trace_out {
+        let (r, traces) = experiments::eval_traced(&cfg);
+        dump_traces(trace_path, &traces);
+        r
+    } else {
+        experiments::eval(&cfg)
+    };
     output::write_json(&eval_cache_path(args), &r).expect("write eval artefact");
     r
 }
@@ -156,17 +187,29 @@ fn cmd_sensitivity(args: &Args, which: &str) {
     let path = args
         .artifacts
         .join(format!("sensitivity_{}.json", scale_tag(args.scale)));
-    let r: experiments::SensitivityResult = match std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|t| serde_json::from_str(&t).ok())
-    {
+    // Tracing needs the simulations to actually run, so it bypasses the
+    // cached sweep.
+    let cached: Option<experiments::SensitivityResult> = if args.trace_out.is_some() {
+        None
+    } else {
+        std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| serde_json::from_str(&t).ok())
+    };
+    let r: experiments::SensitivityResult = match cached {
         Some(r) => {
             eprintln!("using cached sweep {}", path.display());
             r
         }
         None => {
             eprintln!("running hardware-sensitivity sweep (6 configs x 12 benchmarks)...");
-            let r = experiments::sensitivity(args.scale, args.threads);
+            let r = if let Some(trace_path) = &args.trace_out {
+                let (r, traces) = experiments::sensitivity_traced(args.scale, args.threads);
+                dump_traces(trace_path, &traces);
+                r
+            } else {
+                experiments::sensitivity(args.scale, args.threads)
+            };
             output::write_json(&path, &r).expect("write sensitivity");
             r
         }
@@ -272,7 +315,13 @@ fn main() {
                 "running design-choice ablations at {} scale...",
                 scale_tag(args.scale)
             );
-            let r = experiments::ablate(args.scale);
+            let r = if let Some(trace_path) = &args.trace_out {
+                let (r, traces) = experiments::ablate_traced(args.scale);
+                dump_traces(trace_path, &traces);
+                r
+            } else {
+                experiments::ablate(args.scale)
+            };
             output::write_json(
                 &args
                     .artifacts
@@ -302,7 +351,7 @@ fn main() {
         "" => {
             eprintln!(
                 "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|all> \
-                 [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR]"
+                 [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,75 @@
+//! The workspace error type for the TBPoint pipeline.
+//!
+//! Everything that can go wrong *before* simulation starts — a config
+//! carrying nonsense values, a profile that does not describe the run —
+//! is reported through [`TbError`] instead of a panic, so library users
+//! (and the CLI) can surface the problem with `?`.
+
+use std::fmt;
+
+/// Errors produced by the TBPoint pipeline's entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TbError {
+    /// A configuration field holds a value the pipeline cannot run with.
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `"inter.sigma"`).
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The profile was taken from a different run (launch counts differ).
+    ProfileMismatch {
+        /// Launches in the kernel run.
+        run_launches: usize,
+        /// Launches in the profile.
+        profile_launches: usize,
+    },
+}
+
+impl fmt::Display for TbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: `{field}` {reason}")
+            }
+            TbError::ProfileMismatch {
+                run_launches,
+                profile_launches,
+            } => write!(
+                f,
+                "profile does not match the run: {run_launches} launches in the run, \
+                 {profile_launches} in the profile"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TbError {}
+
+/// Shorthand for building an [`TbError::InvalidConfig`].
+pub(crate) fn invalid(field: &'static str, reason: impl Into<String>) -> TbError {
+    TbError::InvalidConfig {
+        field,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = invalid("intra.sigma", "must be finite and positive (got NaN)");
+        assert_eq!(
+            e.to_string(),
+            "invalid config: `intra.sigma` must be finite and positive (got NaN)"
+        );
+        let m = TbError::ProfileMismatch {
+            run_launches: 3,
+            profile_launches: 2,
+        };
+        assert!(m.to_string().contains("3 launches"));
+        assert!(m.to_string().contains('2'));
+    }
+}

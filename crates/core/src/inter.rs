@@ -7,6 +7,7 @@
 //! features track the actual sources of IPC variation (size, control-flow
 //! divergence, memory divergence, thread-block interleaving).
 
+use crate::error::{invalid, TbError};
 use serde::{Deserialize, Serialize};
 use tbpoint_cluster::{
     hierarchical_cluster, kmeans_best_bic, normalize_by_mean, Clustering, Linkage,
@@ -52,6 +53,29 @@ impl Default for InterConfig {
             algo: InterAlgo::Hierarchical,
             use_bbv: false,
         }
+    }
+}
+
+impl InterConfig {
+    /// Reject values clustering cannot run with.
+    ///
+    /// # Errors
+    ///
+    /// [`TbError::InvalidConfig`] when σ is non-finite or non-positive,
+    /// or the k-means variant searches zero cluster counts.
+    pub fn validate(&self) -> Result<(), TbError> {
+        if !self.sigma.is_finite() || self.sigma <= 0.0 {
+            return Err(invalid(
+                "inter.sigma",
+                format!("must be finite and positive (got {})", self.sigma),
+            ));
+        }
+        if let InterAlgo::KMeansBic { max_k } = self.algo {
+            if max_k == 0 {
+                return Err(invalid("inter.algo.max_k", "must be at least 1 (got 0)"));
+            }
+        }
+        Ok(())
     }
 }
 

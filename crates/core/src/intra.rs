@@ -9,6 +9,7 @@
 //! the *system occupancy* — so when the simulated configuration changes
 //! (Figs. 12-13), only this cheap step reruns, never the profiling.
 
+use crate::error::{invalid, TbError};
 use serde::{Deserialize, Serialize};
 use tbpoint_cluster::{hierarchical_cluster, Linkage};
 use tbpoint_emu::LaunchProfile;
@@ -31,6 +32,33 @@ impl Default for IntraConfig {
             sigma: 0.2,
             variation_factor: 0.3,
         }
+    }
+}
+
+impl IntraConfig {
+    /// Reject values region identification cannot run with.
+    ///
+    /// # Errors
+    ///
+    /// [`TbError::InvalidConfig`] when σ is non-finite or non-positive,
+    /// or the variation-factor threshold is non-finite or negative.
+    pub fn validate(&self) -> Result<(), TbError> {
+        if !self.sigma.is_finite() || self.sigma <= 0.0 {
+            return Err(invalid(
+                "intra.sigma",
+                format!("must be finite and positive (got {})", self.sigma),
+            ));
+        }
+        if !self.variation_factor.is_finite() || self.variation_factor < 0.0 {
+            return Err(invalid(
+                "intra.variation_factor",
+                format!(
+                    "must be finite and non-negative (got {})",
+                    self.variation_factor
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 

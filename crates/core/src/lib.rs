@@ -34,16 +34,24 @@
 //!   cycles from the last warm unit's IPC.
 //! * [`predict`] — the end-to-end pipeline and IPC / sample-size /
 //!   skipped-instruction accounting behind Figs. 9-13 (Table IV).
+//!
+//! Entry points return [`TbError`] on invalid configs or mismatched
+//! profiles; samplers are built with [`RegionSamplerBuilder`] and report
+//! into a [`tbpoint_obs::Recorder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod inter;
 pub mod intra;
 pub mod predict;
 pub mod sampling;
 
+pub use error::TbError;
 pub use inter::{inter_launch_sample, InterConfig, InterResult};
 pub use intra::{build_epochs, identify_regions, Epoch, IntraConfig, Region, RegionTable};
-pub use predict::{run_tbpoint, SavingsBreakdown, TbpointConfig, TbpointResult};
-pub use sampling::{IntraOutcome, RegionSampler, SamplerEvent};
+pub use predict::{
+    run_tbpoint, run_tbpoint_traced, LaunchTrace, SavingsBreakdown, TbpointConfig, TbpointResult,
+};
+pub use sampling::{IntraOutcome, RegionSampler, RegionSamplerBuilder};

@@ -16,15 +16,22 @@
 //! insts / total insts) and the Fig. 11 breakdown of skipped instructions
 //! between the two techniques. Inter- and intra-launch sampling are
 //! orthogonal (the paper's Table IV note); the config can disable either.
+//!
+//! [`run_tbpoint`] validates its configuration and returns
+//! `Result<TbpointResult, TbError>`; [`run_tbpoint_traced`] additionally
+//! captures a per-simulated-launch [`TraceBundle`] of observability
+//! events without perturbing the result.
 
-use crate::inter::{inter_launch_sample, InterConfig};
+use crate::error::{invalid, TbError};
+use crate::inter::{inter_launch_sample, InterConfig, InterResult};
 use crate::intra::{build_epochs, identify_regions, IntraConfig};
 use crate::sampling::RegionSampler;
 use serde::{Deserialize, Serialize};
 use tbpoint_cluster::Clustering;
 use tbpoint_emu::RunProfile;
 use tbpoint_ir::KernelRun;
-use tbpoint_sim::{simulate_launch, GpuConfig, NullSampling};
+use tbpoint_obs::{CollectingRecorder, NullRecorder, Recorder, Span, TraceBundle};
+use tbpoint_sim::{simulate_launch_obs, GpuConfig, NullSampling};
 
 /// Full TBPoint configuration (paper defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +69,46 @@ impl Default for TbpointConfig {
             intra_enabled: true,
             sim_threads: 1,
         }
+    }
+}
+
+impl TbpointConfig {
+    /// Check every field the pipeline depends on, naming the first
+    /// offender. Called by [`run_tbpoint`]; call it yourself to validate
+    /// user input early.
+    ///
+    /// # Errors
+    ///
+    /// [`TbError::InvalidConfig`] when a clustering σ is non-finite or
+    /// non-positive, the variation factor is negative, the warming
+    /// threshold is non-finite or non-positive, `unit_tb_span` is zero,
+    /// or `warming_window` is below 2. `sim_threads` is deliberately not
+    /// validated: any value is safe (0 is treated as 1).
+    pub fn validate(&self) -> Result<(), TbError> {
+        self.inter.validate()?;
+        self.intra.validate()?;
+        if !self.warming_threshold.is_finite() || self.warming_threshold <= 0.0 {
+            return Err(invalid(
+                "warming_threshold",
+                format!(
+                    "must be finite and positive (got {})",
+                    self.warming_threshold
+                ),
+            ));
+        }
+        if self.unit_tb_span == 0 {
+            return Err(invalid("unit_tb_span", "must be at least 1 (got 0)"));
+        }
+        if self.warming_window < 2 {
+            return Err(invalid(
+                "warming_window",
+                format!(
+                    "needs at least 2 units to compare (got {})",
+                    self.warming_window
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -135,129 +182,136 @@ impl TbpointResult {
     }
 }
 
-/// Run the full TBPoint pipeline for one benchmark.
-///
-/// `profile` must be the one-time profile of `run` (from
-/// [`tbpoint_emu::profile_run`]); `gpu` is the simulated configuration —
-/// changing it only re-runs clustering and simulation, never profiling.
-pub fn run_tbpoint(
-    run: &KernelRun,
-    profile: &RunProfile,
-    cfg: &TbpointConfig,
-    gpu: &GpuConfig,
-) -> TbpointResult {
-    assert_eq!(
-        run.launches.len(),
-        profile.launches.len(),
-        "profile does not match the run"
-    );
-    let n_launches = run.launches.len();
+/// The observability trace of one simulated representative launch,
+/// returned by [`run_tbpoint_traced`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchTrace {
+    /// Index of the launch within the run.
+    pub launch: usize,
+    /// Events, counters and gauges recorded while simulating it.
+    pub trace: TraceBundle,
+}
 
-    // Step 1: pick the launches to simulate.
-    let inter = if cfg.inter_enabled {
+/// What simulating one representative produced.
+#[derive(Debug, Clone, Copy)]
+struct RepSim {
+    issued: u64,
+    skipped_insts: u64,
+    sim_cycles: u64,
+    predicted_cycles: f64,
+    predicted_ipc: f64,
+}
+
+fn check_profile(run: &KernelRun, profile: &RunProfile) -> Result<(), TbError> {
+    if run.launches.len() == profile.launches.len() {
+        Ok(())
+    } else {
+        Err(TbError::ProfileMismatch {
+            run_launches: run.launches.len(),
+            profile_launches: profile.launches.len(),
+        })
+    }
+}
+
+/// Step 1: pick the launches to simulate.
+fn pick_launches(profile: &RunProfile, cfg: &TbpointConfig, n_launches: usize) -> InterResult {
+    if cfg.inter_enabled {
         inter_launch_sample(profile, &cfg.inter)
     } else {
         // Every launch is its own cluster: all are simulated.
-        crate::inter::InterResult {
+        InterResult {
             clustering: Clustering::from_assignments(&(0..n_launches).collect::<Vec<_>>()),
             representatives: (0..n_launches).collect(),
             features: vec![],
         }
+    }
+}
+
+/// Step 2 for one representative: simulate it with intra-launch sampling
+/// (when enabled), reporting into `rec`. Monomorphised over the recorder,
+/// so the untraced pipeline keeps its zero-instrumentation fast path.
+fn simulate_rep<R: Recorder>(
+    run: &KernelRun,
+    profile: &RunProfile,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+    occupancy: u32,
+    rep: usize,
+    rec: &R,
+) -> RepSim {
+    let spec = &run.launches[rep];
+    let launch_profile = &profile.launches[rep];
+    let launch_insts: u64 = launch_profile.warp_insts();
+    let full = |rec: &R| {
+        let r = simulate_launch_obs(&run.kernel, spec, gpu, &mut NullSampling, None, rec);
+        (r.cycles, r.issued_warp_insts, 0, 0.0)
     };
-
-    let occupancy = gpu.system_occupancy(&run.kernel);
-
-    // Step 2: simulate each representative with intra-launch sampling.
-    // Representatives are independent launches, so they fan out over
-    // scoped worker threads (each simulation is internally
-    // single-threaded and deterministic; results land in per-rep slots,
-    // so the outcome is identical at any worker count).
-    let simulate_rep = |rep: usize| -> (u64, u64, f64, f64) {
-        let spec = &run.launches[rep];
-        let launch_profile = &profile.launches[rep];
-        let launch_insts: u64 = launch_profile.warp_insts();
-        let (sim_cycles, issued, skipped_insts, predicted_skip_cycles) = if cfg.intra_enabled {
-            let epochs = build_epochs(launch_profile, occupancy);
-            let table = identify_regions(&epochs, &cfg.intra);
-            let mut sampler = RegionSampler::with_options(
-                &table,
-                launch_profile,
-                cfg.warming_threshold,
-                cfg.unit_tb_span,
-                cfg.warming_window,
-            );
-            let r = simulate_launch(&run.kernel, spec, gpu, &mut sampler, None);
-            let o = sampler.outcome();
-            (
-                r.cycles,
-                r.issued_warp_insts,
-                o.skipped_warp_insts,
-                o.predicted_skipped_cycles,
-            )
-        } else {
-            let r = simulate_launch(&run.kernel, spec, gpu, &mut NullSampling, None);
-            (r.cycles, r.issued_warp_insts, 0, 0.0)
-        };
-        let predicted_cycles = sim_cycles as f64 + predicted_skip_cycles;
-        let predicted_ipc = if predicted_cycles > 0.0 {
-            launch_insts as f64 / predicted_cycles
-        } else {
-            0.0
-        };
-        (issued, skipped_insts, predicted_cycles, predicted_ipc)
-    };
-
-    let workers = cfg
-        .sim_threads
-        .max(1)
-        .min(inter.representatives.len().max(1));
-    let mut rep_results: Vec<Option<(u64, u64, f64, f64)>> =
-        vec![None; inter.representatives.len()];
-    if workers <= 1 {
-        for (slot, &rep) in rep_results.iter_mut().zip(&inter.representatives) {
-            *slot = Some(simulate_rep(rep));
+    let (sim_cycles, issued, skipped_insts, predicted_skip_cycles) = if cfg.intra_enabled {
+        let epochs = build_epochs(launch_profile, occupancy);
+        let table = identify_regions(&epochs, &cfg.intra);
+        let sampler = RegionSampler::builder(&table, launch_profile)
+            .threshold(cfg.warming_threshold)
+            .unit_tb_span(cfg.unit_tb_span)
+            .warming_window(cfg.warming_window)
+            .recorder(rec)
+            .build();
+        match sampler {
+            Ok(mut sampler) => {
+                let r = simulate_launch_obs(&run.kernel, spec, gpu, &mut sampler, None, rec);
+                let o = sampler.outcome();
+                (
+                    r.cycles,
+                    r.issued_warp_insts,
+                    o.skipped_warp_insts,
+                    o.predicted_skipped_cycles,
+                )
+            }
+            // Unreachable once the config validated; degrade to a full
+            // (unsampled) simulation rather than abort mid-pipeline.
+            Err(_) => full(rec),
         }
     } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots = std::sync::Mutex::new(&mut rep_results);
-        let reps = &inter.representatives;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= reps.len() {
-                        break;
-                    }
-                    let r = simulate_rep(reps[i]);
-                    // A poisoned lock means a sibling worker panicked while
-                    // holding it; the slot table is still well-formed (each
-                    // worker writes disjoint indices), so keep going and let
-                    // the scope propagate the original panic.
-                    slots
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
-                });
-            }
-        });
+        full(rec)
+    };
+    let predicted_cycles = sim_cycles as f64 + predicted_skip_cycles;
+    let predicted_ipc = if predicted_cycles > 0.0 {
+        launch_insts as f64 / predicted_cycles
+    } else {
+        0.0
+    };
+    RepSim {
+        issued,
+        skipped_insts,
+        sim_cycles,
+        predicted_cycles,
+        predicted_ipc,
     }
+}
 
+/// Steps 3-4: extend representatives to their clusters and aggregate.
+fn aggregate(
+    run: &KernelRun,
+    profile: &RunProfile,
+    inter: InterResult,
+    rep_results: &[Option<RepSim>],
+) -> TbpointResult {
+    let n_launches = run.launches.len();
     // rep_outcome[launch] = Some((predicted_cycles, predicted_ipc)).
     let mut rep_outcome: Vec<Option<(f64, f64)>> = vec![None; n_launches];
     let mut simulated_warp_insts = 0u64;
     let mut intra_skipped = 0u64;
-    for (&rep, result) in inter.representatives.iter().zip(&rep_results) {
-        // Every slot is written exactly once (the scope joins all workers
-        // and worker panics propagate), so an empty slot is unreachable;
+    for (&rep, result) in inter.representatives.iter().zip(rep_results) {
+        // Every slot is written exactly once (serial loops and the worker
+        // scope both fill every index), so an empty slot is unreachable;
         // skipping it degrades the estimate instead of aborting.
-        let Some((issued, skipped_insts, predicted_cycles, predicted_ipc)) = *result else {
+        let Some(r) = *result else {
             continue;
         };
-        simulated_warp_insts += issued;
-        intra_skipped += skipped_insts;
-        rep_outcome[rep] = Some((predicted_cycles, predicted_ipc));
+        simulated_warp_insts += r.issued;
+        intra_skipped += r.skipped_insts;
+        rep_outcome[rep] = Some((r.predicted_cycles, r.predicted_ipc));
     }
 
-    // Steps 3-4: extend representatives to their clusters and aggregate.
     let mut per_launch_predicted_cycles = Vec::with_capacity(n_launches);
     let mut inter_skipped = 0u64;
     let mut total_insts = 0u64;
@@ -303,12 +357,129 @@ pub fn run_tbpoint(
     }
 }
 
+/// Run the full TBPoint pipeline for one benchmark.
+///
+/// `profile` must be the one-time profile of `run` (from
+/// [`tbpoint_emu::profile_run`]); `gpu` is the simulated configuration —
+/// changing it only re-runs clustering and simulation, never profiling.
+///
+/// # Errors
+///
+/// [`TbError::InvalidConfig`] when [`TbpointConfig::validate`] rejects
+/// `cfg`; [`TbError::ProfileMismatch`] when the profile's launch count
+/// differs from the run's.
+pub fn run_tbpoint(
+    run: &KernelRun,
+    profile: &RunProfile,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+) -> Result<TbpointResult, TbError> {
+    cfg.validate()?;
+    check_profile(run, profile)?;
+    let n_launches = run.launches.len();
+    let inter = pick_launches(profile, cfg, n_launches);
+    let occupancy = gpu.system_occupancy(&run.kernel);
+
+    // Step 2: simulate each representative with intra-launch sampling.
+    // Representatives are independent launches, so they fan out over
+    // scoped worker threads (each simulation is internally
+    // single-threaded and deterministic; results land in per-rep slots,
+    // so the outcome is identical at any worker count).
+    let workers = cfg
+        .sim_threads
+        .max(1)
+        .min(inter.representatives.len().max(1));
+    let mut rep_results: Vec<Option<RepSim>> = vec![None; inter.representatives.len()];
+    if workers <= 1 {
+        for (slot, &rep) in rep_results.iter_mut().zip(&inter.representatives) {
+            *slot = Some(simulate_rep(
+                run,
+                profile,
+                cfg,
+                gpu,
+                occupancy,
+                rep,
+                &NullRecorder,
+            ));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = std::sync::Mutex::new(&mut rep_results);
+        let reps = &inter.representatives;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= reps.len() {
+                        break;
+                    }
+                    let r = simulate_rep(run, profile, cfg, gpu, occupancy, reps[i], &NullRecorder);
+                    // A poisoned lock means a sibling worker panicked while
+                    // holding it; the slot table is still well-formed (each
+                    // worker writes disjoint indices), so keep going and let
+                    // the scope propagate the original panic.
+                    slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                });
+            }
+        });
+    }
+
+    Ok(aggregate(run, profile, inter, &rep_results))
+}
+
+/// [`run_tbpoint`] with per-launch observability traces.
+///
+/// Each simulated representative gets its own [`CollectingRecorder`]
+/// wrapped in a [`Span::SimulateLaunch`] span; traces are returned in
+/// representative order (ascending launch index within each cluster
+/// pick). Recording is observation-only: the [`TbpointResult`] is
+/// bit-identical to [`run_tbpoint`]'s (the golden determinism test
+/// asserts this). Runs serially — tracing is a diagnostic mode, and a
+/// deterministic trace order is worth more than wall-clock here.
+///
+/// # Errors
+///
+/// Exactly as [`run_tbpoint`].
+pub fn run_tbpoint_traced(
+    run: &KernelRun,
+    profile: &RunProfile,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+) -> Result<(TbpointResult, Vec<LaunchTrace>), TbError> {
+    cfg.validate()?;
+    check_profile(run, profile)?;
+    let n_launches = run.launches.len();
+    let inter = pick_launches(profile, cfg, n_launches);
+    let occupancy = gpu.system_occupancy(&run.kernel);
+
+    let mut rep_results: Vec<Option<RepSim>> = Vec::with_capacity(inter.representatives.len());
+    let mut traces = Vec::with_capacity(inter.representatives.len());
+    for &rep in &inter.representatives {
+        let rec = CollectingRecorder::new();
+        let span = Span::SimulateLaunch {
+            launch: run.launches[rep].launch_id.0,
+        };
+        rec.span_start(0, span);
+        let r = simulate_rep(run, profile, cfg, gpu, occupancy, rep, &rec);
+        rec.span_end(r.sim_cycles, span);
+        rep_results.push(Some(r));
+        traces.push(LaunchTrace {
+            launch: rep,
+            trace: rec.finish(),
+        });
+    }
+
+    Ok((aggregate(run, profile, inter, &rep_results), traces))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tbpoint_emu::profile_run;
     use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, LaunchId, LaunchSpec, Op, TripCount};
-    use tbpoint_sim::simulate_run;
+    use tbpoint_sim::{simulate_run, NullSampling};
 
     fn homogeneous_run(n_launches: u32, blocks_per_launch: u32) -> KernelRun {
         let mut b = KernelBuilder::new("homog", 31, 128);
@@ -341,7 +512,7 @@ mod tests {
         let profile = profile_run(&run, 2);
         let full = simulate_run(&run, &gpu, &mut NullSampling, None);
 
-        let result = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu);
+        let result = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu).unwrap();
         assert_eq!(
             result.num_simulated_launches, 1,
             "6 identical launches -> 1 simulated"
@@ -372,7 +543,7 @@ mod tests {
             inter_enabled: false,
             ..Default::default()
         };
-        let result = run_tbpoint(&run, &profile, &cfg, &gpu);
+        let result = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap();
         assert_eq!(result.num_simulated_launches, 4);
         assert_eq!(result.breakdown.inter_skipped_warp_insts, 0);
     }
@@ -386,7 +557,7 @@ mod tests {
             intra_enabled: false,
             ..Default::default()
         };
-        let result = run_tbpoint(&run, &profile, &cfg, &gpu);
+        let result = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap();
         assert_eq!(result.breakdown.intra_skipped_warp_insts, 0);
         assert_eq!(result.num_simulated_launches, 1);
         // The one simulated launch runs in full.
@@ -404,7 +575,7 @@ mod tests {
             intra_enabled: false,
             ..Default::default()
         };
-        let result = run_tbpoint(&run, &profile, &cfg, &gpu);
+        let result = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap();
         assert_eq!(result.sample_size(), 1.0);
         let full = simulate_run(&run, &gpu, &mut NullSampling, None);
         assert!(result.error_vs(full.overall_ipc()) < 1e-9);
@@ -421,16 +592,103 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "profile does not match")]
-    fn mismatched_profile_rejected() {
+    fn mismatched_profile_is_an_error_not_a_panic() {
         let run = homogeneous_run(3, 10);
         let short_run = homogeneous_run(2, 10);
         let profile = profile_run(&short_run, 1);
-        run_tbpoint(
+        let err = run_tbpoint(
             &run,
             &profile,
             &TbpointConfig::default(),
             &GpuConfig::fermi(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TbError::ProfileMismatch {
+                run_launches: 3,
+                profile_launches: 2
+            }
         );
+    }
+
+    #[test]
+    fn nonsense_config_is_rejected_up_front() {
+        let run = homogeneous_run(2, 10);
+        let profile = profile_run(&run, 1);
+        let gpu = GpuConfig::fermi();
+
+        let zero_span = TbpointConfig {
+            unit_tb_span: 0,
+            ..Default::default()
+        };
+        let err = run_tbpoint(&run, &profile, &zero_span, &gpu).unwrap_err();
+        assert!(matches!(
+            err,
+            TbError::InvalidConfig {
+                field: "unit_tb_span",
+                ..
+            }
+        ));
+
+        let bad_threshold = TbpointConfig {
+            warming_threshold: -0.1,
+            ..Default::default()
+        };
+        let err = run_tbpoint(&run, &profile, &bad_threshold, &gpu).unwrap_err();
+        assert!(matches!(
+            err,
+            TbError::InvalidConfig {
+                field: "warming_threshold",
+                ..
+            }
+        ));
+
+        let bad_sigma = TbpointConfig {
+            inter: InterConfig {
+                sigma: f64::NAN,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = bad_sigma.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            TbError::InvalidConfig {
+                field: "inter.sigma",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_captures_spans() {
+        let run = homogeneous_run(4, 400);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig::default();
+        let plain = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap();
+        let (traced, traces) = run_tbpoint_traced(&run, &profile, &cfg, &gpu).unwrap();
+        // Recording is observation-only: bit-identical results.
+        assert_eq!(plain, traced);
+        assert_eq!(traces.len(), traced.num_simulated_launches);
+        for t in &traces {
+            assert!(!t.trace.events.is_empty(), "launch {} empty", t.launch);
+            // Each trace opens and closes its SimulateLaunch span.
+            assert!(matches!(
+                t.trace.events.first().map(|e| e.kind),
+                Some(tbpoint_obs::EventKind::SpanStart { .. })
+            ));
+            assert!(matches!(
+                t.trace.events.last().map(|e| e.kind),
+                Some(tbpoint_obs::EventKind::SpanEnd { .. })
+            ));
+            // And saw real simulator traffic (counters from the SM layer).
+            assert!(t
+                .trace
+                .counters
+                .iter()
+                .any(|c| c.name == "issued_warp_insts"));
+        }
     }
 }

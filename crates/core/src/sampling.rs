@@ -14,55 +14,19 @@
 //!   region, predicting its cycles as `warp_insts / unit_ipc` with the
 //!   last warm unit's IPC. A dispatch from a different region (or from no
 //!   region) *exits* back to Outside.
+//!
+//! Samplers are built with [`RegionSampler::builder`]; every state
+//! transition is reported to the attached [`tbpoint_obs::Recorder`]
+//! (the default [`tbpoint_obs::NullRecorder`] makes that free).
 
+use crate::error::{invalid, TbError};
 use crate::intra::RegionTable;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use tbpoint_emu::LaunchProfile;
 use tbpoint_ir::TbId;
+use tbpoint_obs::{EventKind, NullRecorder, Recorder};
 use tbpoint_sim::{DispatchDecision, SamplingHook};
-
-/// One event in a sampler's optional event log — the full story of a
-/// sampled launch, for diagnostics, visualisation and teaching. Enabled
-/// with [`RegionSampler::with_event_log`]; disabled it costs nothing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum SamplerEvent {
-    /// Entered a homogeneous region (all residents share its id).
-    RegionEntered {
-        /// Region id.
-        region: u32,
-        /// Cycle of entry.
-        cycle: u64,
-    },
-    /// Left the current region (a foreign block was dispatched).
-    RegionExited {
-        /// Cycle of exit.
-        cycle: u64,
-    },
-    /// A sampling unit closed with this IPC.
-    UnitClosed {
-        /// Aggregate IPC over the unit.
-        ipc: f64,
-        /// Cycle the unit ended.
-        cycle: u64,
-    },
-    /// Warming converged; fast-forwarding began at this predicted IPC.
-    FastForwardStarted {
-        /// Region id.
-        region: u32,
-        /// IPC used to price skipped blocks.
-        ipc: f64,
-        /// Cycle fast-forwarding began.
-        cycle: u64,
-    },
-    /// A thread block was skipped during fast-forward.
-    BlockSkipped {
-        /// The block.
-        tb: u32,
-        /// Its profiled warp instructions.
-        warp_insts: u64,
-    },
-}
 
 /// Accounting produced by one sampled launch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -90,12 +54,16 @@ enum State {
 
 /// The intra-launch sampling hook. Borrow one region table + profile per
 /// launch; plug into [`tbpoint_sim::simulate_launch`].
+///
+/// Construct with [`RegionSampler::new`] (paper defaults) or
+/// [`RegionSampler::builder`] for anything else.
 pub struct RegionSampler<'a> {
     table: &'a RegionTable,
     profile: &'a LaunchProfile,
     warming_threshold: f64,
     unit_tb_span: u32,
     warming_window: usize,
+    recorder: &'a dyn Recorder,
     state: State,
     resident: BTreeSet<u32>,
     resident_region: Option<u32>, // cached "all residents in this region"
@@ -106,7 +74,6 @@ pub struct RegionSampler<'a> {
     unit_start_insts: u64,
     warm_ipcs: Vec<f64>,
     outcome: IntraOutcome,
-    events: Option<Vec<SamplerEvent>>,
 }
 
 /// Default number of trailing sampling units that must agree pairwise
@@ -128,41 +95,83 @@ pub const WARMING_WINDOW: usize = 3;
 /// Recorded in DESIGN.md.
 pub const DEFAULT_UNIT_TB_SPAN: u32 = 2;
 
-impl<'a> RegionSampler<'a> {
-    /// New sampler with the paper's 10% warming threshold.
-    pub fn new(table: &'a RegionTable, profile: &'a LaunchProfile) -> Self {
-        Self::with_threshold(table, profile, 0.10)
+/// Builder for [`RegionSampler`] — replaces the old positional
+/// `with_options` constructor. Settings left untouched keep the paper's
+/// defaults; [`RegionSamplerBuilder::build`] validates and reports
+/// nonsense values as [`TbError::InvalidConfig`] instead of silently
+/// clamping them.
+pub struct RegionSamplerBuilder<'a> {
+    table: &'a RegionTable,
+    profile: &'a LaunchProfile,
+    threshold: f64,
+    unit_tb_span: u32,
+    warming_window: usize,
+    recorder: &'a dyn Recorder,
+}
+
+impl<'a> RegionSamplerBuilder<'a> {
+    /// Warming convergence threshold (paper: 0.10). Must be finite and
+    /// positive.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
     }
 
-    /// New sampler with an explicit warming threshold (ablation).
-    pub fn with_threshold(
-        table: &'a RegionTable,
-        profile: &'a LaunchProfile,
-        warming_threshold: f64,
-    ) -> Self {
-        Self::with_options(
-            table,
-            profile,
-            warming_threshold,
-            DEFAULT_UNIT_TB_SPAN,
-            WARMING_WINDOW,
-        )
+    /// Designated-TB lifetimes per sampling unit (see
+    /// [`DEFAULT_UNIT_TB_SPAN`]). Must be at least 1.
+    pub fn unit_tb_span(mut self, span: u32) -> Self {
+        self.unit_tb_span = span;
+        self
     }
 
-    /// Fully parameterised constructor (ablation benches).
-    pub fn with_options(
-        table: &'a RegionTable,
-        profile: &'a LaunchProfile,
-        warming_threshold: f64,
-        unit_tb_span: u32,
-        warming_window: usize,
-    ) -> Self {
-        RegionSampler {
-            table,
-            profile,
-            warming_threshold,
-            unit_tb_span: unit_tb_span.max(1),
-            warming_window: warming_window.max(2),
+    /// Trailing units that must agree pairwise before fast-forwarding
+    /// (see [`WARMING_WINDOW`]). Must be at least 2.
+    pub fn warming_window(mut self, window: usize) -> Self {
+        self.warming_window = window;
+        self
+    }
+
+    /// Attach a [`Recorder`]; every region entry/exit, unit close,
+    /// fast-forward start and skipped block is reported to it. The
+    /// default is the free [`NullRecorder`].
+    pub fn recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Validate the settings and build the sampler.
+    ///
+    /// # Errors
+    ///
+    /// [`TbError::InvalidConfig`] naming the offending field when the
+    /// threshold is non-finite or non-positive, `unit_tb_span` is zero,
+    /// or `warming_window` is below 2.
+    pub fn build(self) -> Result<RegionSampler<'a>, TbError> {
+        if !self.threshold.is_finite() || self.threshold <= 0.0 {
+            return Err(invalid(
+                "warming_threshold",
+                format!("must be finite and positive (got {})", self.threshold),
+            ));
+        }
+        if self.unit_tb_span == 0 {
+            return Err(invalid("unit_tb_span", "must be at least 1 (got 0)"));
+        }
+        if self.warming_window < 2 {
+            return Err(invalid(
+                "warming_window",
+                format!(
+                    "needs at least 2 units to compare (got {})",
+                    self.warming_window
+                ),
+            ));
+        }
+        Ok(RegionSampler {
+            table: self.table,
+            profile: self.profile,
+            warming_threshold: self.threshold,
+            unit_tb_span: self.unit_tb_span,
+            warming_window: self.warming_window,
+            recorder: self.recorder,
             state: State::Outside,
             resident: BTreeSet::new(),
             resident_region: None,
@@ -173,30 +182,38 @@ impl<'a> RegionSampler<'a> {
             unit_start_insts: 0,
             warm_ipcs: Vec::new(),
             outcome: IntraOutcome::default(),
-            events: None,
+        })
+    }
+}
+
+impl<'a> RegionSampler<'a> {
+    /// New sampler with the paper's defaults (10% warming threshold,
+    /// [`DEFAULT_UNIT_TB_SPAN`], [`WARMING_WINDOW`], no recorder).
+    pub fn new(table: &'a RegionTable, profile: &'a LaunchProfile) -> Self {
+        // The defaults are valid by construction: 0.10 is finite and
+        // positive, DEFAULT_UNIT_TB_SPAN >= 1, WARMING_WINDOW >= 2.
+        match Self::builder(table, profile).build() {
+            Ok(s) => s,
+            // tbpoint-lint: allow(no-panic-in-library)
+            Err(_) => unreachable!("paper defaults are always valid"),
+        }
+    }
+
+    /// Start building a sampler with non-default settings.
+    pub fn builder(table: &'a RegionTable, profile: &'a LaunchProfile) -> RegionSamplerBuilder<'a> {
+        RegionSamplerBuilder {
+            table,
+            profile,
+            threshold: 0.10,
+            unit_tb_span: DEFAULT_UNIT_TB_SPAN,
+            warming_window: WARMING_WINDOW,
+            recorder: &NullRecorder,
         }
     }
 
     /// The accounting gathered so far (read after simulation).
     pub fn outcome(&self) -> IntraOutcome {
         self.outcome
-    }
-
-    /// Enable the event log (see [`SamplerEvent`]).
-    pub fn with_event_log(mut self) -> Self {
-        self.events = Some(Vec::new());
-        self
-    }
-
-    /// The recorded events, if logging was enabled.
-    pub fn events(&self) -> Option<&[SamplerEvent]> {
-        self.events.as_deref()
-    }
-
-    fn log(&mut self, ev: SamplerEvent) {
-        if let Some(log) = &mut self.events {
-            log.push(ev);
-        }
     }
 
     fn recompute_resident_region(&mut self) {
@@ -228,14 +245,15 @@ impl<'a> RegionSampler<'a> {
             self.state = State::Warming(r);
             self.warm_ipcs.clear();
             self.outcome.regions_entered += 1;
-            self.log(SamplerEvent::RegionEntered { region: r, cycle });
+            self.recorder
+                .record(cycle, EventKind::RegionEntered { region: r });
         }
     }
 
     fn exit_region(&mut self, cycle: u64) {
         self.state = State::Outside;
         self.warm_ipcs.clear();
-        self.log(SamplerEvent::RegionExited { cycle });
+        self.recorder.record(cycle, EventKind::RegionExited);
     }
 }
 
@@ -252,10 +270,13 @@ impl SamplingHook for RegionSampler<'_> {
                 if ipc > 0.0 {
                     self.outcome.predicted_skipped_cycles += insts as f64 / ipc;
                 }
-                self.log(SamplerEvent::BlockSkipped {
-                    tb: tb.0,
-                    warp_insts: insts,
-                });
+                self.recorder.record(
+                    cycle,
+                    EventKind::BlockSkipped {
+                        tb: tb.0,
+                        warp_insts: insts,
+                    },
+                );
                 return DispatchDecision::Skip;
             }
             // A block from elsewhere: the region exits (Fig. 7).
@@ -301,10 +322,8 @@ impl SamplingHook for RegionSampler<'_> {
             if cycles > 0 && insts > 0 {
                 let unit_ipc = insts as f64 / cycles as f64;
                 self.outcome.units_observed += 1;
-                self.log(SamplerEvent::UnitClosed {
-                    ipc: unit_ipc,
-                    cycle,
-                });
+                self.recorder
+                    .record(cycle, EventKind::UnitClosed { ipc: unit_ipc });
                 if let State::Warming(r) = self.state {
                     self.warm_ipcs.push(unit_ipc);
                     // The paper declares the caches stable when the
@@ -327,11 +346,13 @@ impl SamplingHook for RegionSampler<'_> {
                                 region: r,
                                 ipc: unit_ipc,
                             };
-                            self.log(SamplerEvent::FastForwardStarted {
-                                region: r,
-                                ipc: unit_ipc,
+                            self.recorder.record(
                                 cycle,
-                            });
+                                EventKind::FastForwardStarted {
+                                    region: r,
+                                    ipc: unit_ipc,
+                                },
+                            );
                         }
                     }
                 }
@@ -347,6 +368,7 @@ mod tests {
     use crate::intra::{build_epochs, identify_regions, IntraConfig};
     use tbpoint_emu::profile_launch;
     use tbpoint_ir::{AddrPattern, Kernel, KernelBuilder, LaunchId, LaunchSpec, Op, TripCount};
+    use tbpoint_obs::CollectingRecorder;
     use tbpoint_sim::{simulate_launch, GpuConfig, NullSampling};
 
     /// A perfectly homogeneous kernel: every TB identical.
@@ -439,30 +461,79 @@ mod tests {
     }
 
     #[test]
-    fn event_log_tells_a_consistent_story() {
+    fn builder_rejects_nonsense_settings() {
+        let k = homogeneous_kernel();
+        let sp = spec(10);
+        let profile = profile_launch(&k, &sp, 1);
+        let table = RegionTable::default();
+
+        let err = RegionSampler::builder(&table, &profile)
+            .threshold(f64::NAN)
+            .build()
+            .err()
+            .expect("must be rejected");
+        assert!(matches!(
+            err,
+            TbError::InvalidConfig {
+                field: "warming_threshold",
+                ..
+            }
+        ));
+        let err = RegionSampler::builder(&table, &profile)
+            .unit_tb_span(0)
+            .build()
+            .err()
+            .expect("must be rejected");
+        assert!(matches!(
+            err,
+            TbError::InvalidConfig {
+                field: "unit_tb_span",
+                ..
+            }
+        ));
+        let err = RegionSampler::builder(&table, &profile)
+            .warming_window(1)
+            .build()
+            .err()
+            .expect("must be rejected");
+        assert!(matches!(
+            err,
+            TbError::InvalidConfig {
+                field: "warming_window",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn recorder_tells_a_consistent_story() {
         let k = homogeneous_kernel();
         let cfg = GpuConfig::fermi();
         let sp = spec(3000);
         let profile = profile_launch(&k, &sp, 2);
         let epochs = build_epochs(&profile, cfg.system_occupancy(&k));
         let table = identify_regions(&epochs, &IntraConfig::default());
-        let mut sampler = RegionSampler::new(&table, &profile).with_event_log();
+        let rec = CollectingRecorder::new();
+        let mut sampler = RegionSampler::builder(&table, &profile)
+            .recorder(&rec)
+            .build()
+            .unwrap();
         simulate_launch(&k, &sp, &cfg, &mut sampler, None);
         let out = sampler.outcome();
-        let events = sampler.events().expect("logging enabled").to_vec();
+        let events = rec.events();
         assert!(!events.is_empty());
-        // Counts in the log agree with the outcome counters.
+        // Counts in the trace agree with the outcome counters.
         let entered = events
             .iter()
-            .filter(|e| matches!(e, SamplerEvent::RegionEntered { .. }))
+            .filter(|e| matches!(e.kind, EventKind::RegionEntered { .. }))
             .count();
         let skipped = events
             .iter()
-            .filter(|e| matches!(e, SamplerEvent::BlockSkipped { .. }))
+            .filter(|e| matches!(e.kind, EventKind::BlockSkipped { .. }))
             .count();
         let units = events
             .iter()
-            .filter(|e| matches!(e, SamplerEvent::UnitClosed { .. }))
+            .filter(|e| matches!(e.kind, EventKind::UnitClosed { .. }))
             .count();
         assert_eq!(entered as u32, out.regions_entered);
         assert_eq!(skipped as u32, out.skipped_tbs);
@@ -471,21 +542,17 @@ mod tests {
         // skip after the fast-forward start.
         let i_enter = events
             .iter()
-            .position(|e| matches!(e, SamplerEvent::RegionEntered { .. }))
+            .position(|e| matches!(e.kind, EventKind::RegionEntered { .. }))
             .unwrap();
         let i_ff = events
             .iter()
-            .position(|e| matches!(e, SamplerEvent::FastForwardStarted { .. }))
+            .position(|e| matches!(e.kind, EventKind::FastForwardStarted { .. }))
             .expect("homogeneous launch must fast-forward");
         let i_skip = events
             .iter()
-            .position(|e| matches!(e, SamplerEvent::BlockSkipped { .. }))
+            .position(|e| matches!(e.kind, EventKind::BlockSkipped { .. }))
             .unwrap();
         assert!(i_enter < i_ff && i_ff < i_skip);
-        // Disabled logging costs nothing and returns None.
-        let mut plain = RegionSampler::new(&table, &profile);
-        simulate_launch(&k, &sp, &cfg, &mut plain, None);
-        assert!(plain.events().is_none());
     }
 
     #[test]
@@ -497,9 +564,15 @@ mod tests {
         let epochs = build_epochs(&profile, cfg.system_occupancy(&k));
         let table = identify_regions(&epochs, &IntraConfig::default());
 
-        let mut loose = RegionSampler::with_threshold(&table, &profile, 0.5);
+        let mut loose = RegionSampler::builder(&table, &profile)
+            .threshold(0.5)
+            .build()
+            .unwrap();
         simulate_launch(&k, &sp, &cfg, &mut loose, None);
-        let mut tight = RegionSampler::with_threshold(&table, &profile, 1e-6);
+        let mut tight = RegionSampler::builder(&table, &profile)
+            .threshold(1e-6)
+            .build()
+            .unwrap();
         simulate_launch(&k, &sp, &cfg, &mut tight, None);
         assert!(
             tight.outcome().skipped_tbs <= loose.outcome().skipped_tbs,

@@ -40,7 +40,8 @@ pub mod walker;
 
 pub use divergence::DivergenceReport;
 pub use profile::{
-    profile_launch, profile_run, InterFeatures, LaunchProfile, RunProfile, TbProfile,
+    profile_launch, profile_launch_obs, profile_run, profile_run_obs, InterFeatures, LaunchProfile,
+    RunProfile, TbProfile,
 };
 pub use trace::{trace_warp, TraceInst, WarpTrace};
 pub use walker::{walk_warp, WarpEvent};

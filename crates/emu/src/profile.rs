@@ -19,6 +19,7 @@
 use crate::walker::walk_warp;
 use serde::{Deserialize, Serialize};
 use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LatencyClass, LaunchSpec, TbId};
+use tbpoint_obs::{Recorder, Span};
 use tbpoint_stats::cov;
 
 /// Profile of a single thread block.
@@ -259,6 +260,34 @@ pub fn profile_launch(kernel: &Kernel, spec: &LaunchSpec, threads: usize) -> Lau
     LaunchProfile { spec: *spec, tbs }
 }
 
+/// [`profile_launch`] wrapped in a `ProfileLaunch` span with aggregate
+/// counters for observed pipelines. Profiling has no simulated clock, so
+/// span events carry cycle 0. Recording is observation-only: the
+/// returned profile is identical for every recorder.
+pub fn profile_launch_obs<R: Recorder + ?Sized>(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    threads: usize,
+    rec: &R,
+) -> LaunchProfile {
+    let span = Span::ProfileLaunch {
+        launch: spec.launch_id.0,
+    };
+    rec.span_start(0, span);
+    let lp = profile_launch(kernel, spec, threads);
+    if rec.enabled() {
+        rec.counter(
+            "profiled_tbs",
+            u64::try_from(lp.tbs.len()).unwrap_or(u64::MAX),
+        );
+        rec.counter("profiled_warp_insts", lp.warp_insts());
+        rec.counter("profiled_thread_insts", lp.thread_insts());
+        rec.counter("profiled_mem_requests", lp.mem_requests());
+    }
+    rec.span_end(0, span);
+    lp
+}
+
 /// Profile a whole benchmark run (all launches).
 pub fn profile_run(run: &KernelRun, threads: usize) -> RunProfile {
     RunProfile {
@@ -267,6 +296,22 @@ pub fn profile_run(run: &KernelRun, threads: usize) -> RunProfile {
             .launches
             .iter()
             .map(|spec| profile_launch(&run.kernel, spec, threads))
+            .collect(),
+    }
+}
+
+/// [`profile_run`] with one `ProfileLaunch` span per launch.
+pub fn profile_run_obs<R: Recorder + ?Sized>(
+    run: &KernelRun,
+    threads: usize,
+    rec: &R,
+) -> RunProfile {
+    RunProfile {
+        kernel_name: run.kernel.name.clone(),
+        launches: run
+            .launches
+            .iter()
+            .map(|spec| profile_launch_obs(&run.kernel, spec, threads, rec))
             .collect(),
     }
 }

@@ -55,6 +55,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "core",
     "sim",
     "emu",
+    "obs",
     "cluster",
     "stats",
     "workloads",

@@ -1,0 +1,157 @@
+//! Deterministic JSON-lines encoding of trace records.
+//!
+//! Three line shapes, distinguishable by their single top-level key
+//! layout (the vendored `serde_json` keeps struct-field order, so the
+//! encoding is byte-stable for equal values):
+//!
+//! - event:   `{"cycle":123,"kind":{"TbDispatched":{"tb":1,"sm":0}}}`
+//! - counter: `{"counter":{"name":"l1_hit","value":42}}`
+//! - gauge:   `{"gauge":{"name":"sm_resident_blocks","index":3,...}}`
+
+use crate::event::{Counter, Event, GaugeSummary, TraceBundle};
+use serde::{Deserialize, Serialize};
+
+/// Wrapper giving counter lines their `{"counter":...}` shape.
+#[derive(Serialize, Deserialize)]
+struct CounterLine {
+    counter: Counter,
+}
+
+/// Wrapper giving gauge lines their `{"gauge":...}` shape.
+#[derive(Serialize, Deserialize)]
+struct GaugeLine {
+    gauge: GaugeSummary,
+}
+
+/// The vendored `serde_json` only fails on unrepresentable values, which
+/// the trace types cannot contain (non-finite floats degrade to `null`);
+/// degrade to an empty line rather than panicking in a library crate.
+fn line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_default()
+}
+
+/// One JSON line (no trailing newline) for an event.
+pub fn event_line(ev: &Event) -> String {
+    line(ev)
+}
+
+/// One JSON line for a counter summary.
+pub(crate) fn counter_line(c: &Counter) -> String {
+    line(&CounterLine { counter: c.clone() })
+}
+
+/// One JSON line for a gauge summary.
+pub(crate) fn gauge_line(g: &GaugeSummary) -> String {
+    line(&GaugeLine { gauge: g.clone() })
+}
+
+/// Parse a single event line produced by [`event_line`].
+pub fn parse_event(text: &str) -> Result<Event, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+/// Parse a full JSON-lines trace back into a [`TraceBundle`].
+pub(crate) fn parse_bundle(text: &str) -> Result<TraceBundle, serde_json::Error> {
+    let mut bundle = TraceBundle::default();
+    for raw in text.lines() {
+        let ln = raw.trim();
+        if ln.is_empty() {
+            continue;
+        }
+        // Counter/gauge wrappers have a unique top-level key, so probing
+        // them first cannot misparse an event line (whose top-level keys
+        // are `cycle`/`kind`).
+        if let Ok(c) = serde_json::from_str::<CounterLine>(ln) {
+            bundle.counters.push(c.counter);
+        } else if let Ok(g) = serde_json::from_str::<GaugeLine>(ln) {
+            bundle.gauges.push(g.gauge);
+        } else {
+            bundle.events.push(serde_json::from_str::<Event>(ln)?);
+        }
+    }
+    Ok(bundle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Span};
+
+    #[test]
+    fn event_lines_round_trip() {
+        let evs = [
+            Event {
+                cycle: 0,
+                kind: EventKind::SpanStart {
+                    span: Span::ProfileLaunch { launch: 7 },
+                },
+            },
+            Event {
+                cycle: 12,
+                kind: EventKind::DramAccess {
+                    sm: 3,
+                    row_hit: true,
+                },
+            },
+            Event {
+                cycle: 99,
+                kind: EventKind::UnitClosed { ipc: 1.625 },
+            },
+            Event {
+                cycle: 100,
+                kind: EventKind::RegionExited,
+            },
+        ];
+        for ev in evs {
+            let ln = event_line(&ev);
+            assert_eq!(parse_event(&ln).unwrap(), ev, "line was: {ln}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let ev = Event {
+            cycle: 5,
+            kind: EventKind::MshrStall { sm: 1, cycles: 40 },
+        };
+        assert_eq!(event_line(&ev), event_line(&ev.clone()));
+        assert_eq!(
+            event_line(&ev),
+            "{\"cycle\":5,\"kind\":{\"MshrStall\":{\"sm\":1,\"cycles\":40}}}"
+        );
+    }
+
+    #[test]
+    fn bundle_round_trips_through_jsonl() {
+        let bundle = TraceBundle {
+            events: vec![
+                Event {
+                    cycle: 1,
+                    kind: EventKind::TbDispatched { tb: 0, sm: 0 },
+                },
+                Event {
+                    cycle: 8,
+                    kind: EventKind::TbRetired { tb: 0, sm: 0 },
+                },
+            ],
+            counters: vec![Counter {
+                name: "l1_hit".into(),
+                value: 2,
+            }],
+            gauges: vec![GaugeSummary {
+                name: "sm_resident_blocks".into(),
+                index: 0,
+                last: 0,
+                max: 1,
+                samples: 2,
+            }],
+        };
+        let text = bundle.to_jsonl();
+        assert_eq!(TraceBundle::from_jsonl(&text).unwrap(), bundle);
+    }
+
+    #[test]
+    fn garbage_lines_are_an_error() {
+        assert!(TraceBundle::from_jsonl("{\"nope\":1}\n").is_err());
+    }
+}

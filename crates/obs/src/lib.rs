@@ -1,0 +1,41 @@
+//! Observability layer for the TBPoint workspace.
+//!
+//! The paper's evaluation hinges on understanding *why* a sampled run
+//! diverges — which regions were warmed vs fast-forwarded, where IPC
+//! failed to stabilise, which SMs sat behind the memory system. This
+//! crate provides the plumbing every layer shares:
+//!
+//! - [`Recorder`]: a trait with cycle-stamped **events**, monotonic
+//!   **counters**, indexed **gauges**, and paired **spans**. All methods
+//!   take `&self` (implementations use interior mutability) so a single
+//!   recorder can be shared by the sampler and the simulator within one
+//!   launch without aliasing conflicts.
+//! - [`NullRecorder`]: the default. Every method is an empty inline
+//!   `&self` no-op on a zero-sized type, so when the simulator is
+//!   monomorphised over it the instrumentation compiles away entirely.
+//! - [`CollectingRecorder`]: in-memory collection, drained into a
+//!   [`TraceBundle`].
+//! - [`JsonlRecorder`]: a deterministic JSON-lines sink — each event is
+//!   serialised through the vendored `serde_json` the moment it is
+//!   recorded, counters and gauges are appended as summary lines by
+//!   [`JsonlRecorder::finish`].
+//!
+//! Recording must never perturb results: recorders only *observe*, and
+//! the workspace golden test asserts that a `NullRecorder` run and a
+//! JSON-sink run produce bit-identical `TbpointResult`s.
+//!
+//! Determinism note: nothing here reads wall-clock time or any other
+//! ambient state. Event order is exactly call order; counter and gauge
+//! summaries are emitted in `BTreeMap` (name, index) order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+
+mod event;
+mod jsonl;
+mod recorder;
+
+pub use event::{Counter, Event, EventKind, GaugeSummary, Span, TraceBundle};
+pub use jsonl::{event_line, parse_event};
+pub use recorder::{CollectingRecorder, JsonlRecorder, NullRecorder, Recorder};

@@ -118,10 +118,17 @@ impl Dram {
     /// has produced the data (excluding the fixed interconnect latency,
     /// which the memory system adds).
     pub fn access(&mut self, line_addr: u64, now: u64) -> u64 {
+        self.access_traced(line_addr, now).0
+    }
+
+    /// Like [`Dram::access`], but also reports whether the request hit an
+    /// open row buffer (for observability; see `tbpoint-obs`).
+    pub fn access_traced(&mut self, line_addr: u64, now: u64) -> (u64, bool) {
         let (idx, row) = self.map(line_addr);
         let bank = &mut self.banks[idx];
         let start = now.max(bank.busy_until);
-        let service = if bank.access_row(row) {
+        let hit = bank.access_row(row);
+        let service = if hit {
             self.row_hits += 1;
             self.row_hit
         } else {
@@ -130,7 +137,7 @@ impl Dram {
         bank.busy_until = start + service;
         self.accesses += 1;
         self.total_wait += bank.busy_until - now;
-        bank.busy_until
+        (bank.busy_until, hit)
     }
 
     /// Reset bank state between launches.

@@ -54,6 +54,8 @@ pub mod units;
 
 pub use config::{CacheConfig, GpuConfig, SchedPolicy};
 pub use dispatch::{DispatchDecision, NullSampling, SamplingHook};
-pub use simulator::{simulate_launch, simulate_run, LaunchSimResult, RunSimResult};
+pub use simulator::{
+    simulate_launch, simulate_launch_obs, simulate_run, LaunchSimResult, RunSimResult,
+};
 pub use stats::{InstMix, SmStats};
 pub use units::{UnitRecord, UnitsConfig};

@@ -12,6 +12,7 @@ use crate::cache::Cache;
 use crate::config::GpuConfig;
 use crate::dram::Dram;
 use std::collections::BinaryHeap;
+use tbpoint_obs::{EventKind, NullRecorder, Recorder};
 
 /// Min-heap of outstanding-miss completion times for one SM.
 #[derive(Debug, Default)]
@@ -91,16 +92,61 @@ impl MemorySystem {
     /// Issue a load for `line_addr` from SM `sm` at cycle `now`; returns
     /// the completion cycle.
     pub fn load(&mut self, sm: usize, line_addr: u64, now: u64) -> u64 {
+        self.load_obs(sm, line_addr, now, &NullRecorder)
+    }
+
+    /// [`MemorySystem::load`] with cache/DRAM observability: emits
+    /// hit/miss counters, an `MshrStall` event when the request queues
+    /// behind a full MSHR pool, and a `DramAccess` event per L2 miss.
+    /// Recording is observation-only — the returned completion cycle is
+    /// identical for every recorder.
+    pub fn load_obs<R: Recorder + ?Sized>(
+        &mut self,
+        sm: usize,
+        line_addr: u64,
+        now: u64,
+        rec: &R,
+    ) -> u64 {
+        // SM indices are config-bounded (tens), far below u32::MAX.
+        let sm_u32 = u32::try_from(sm).unwrap_or(u32::MAX);
         if self.l1s[sm].access_load(line_addr) {
+            rec.counter("l1_hit", 1);
             return now + self.l1_hit_latency;
         }
+        rec.counter("l1_miss", 1);
         let issue = self.mshrs[sm].issue_time(now);
+        if issue > now {
+            rec.record(
+                now,
+                EventKind::MshrStall {
+                    sm: sm_u32,
+                    cycles: issue - now,
+                },
+            );
+        }
         let complete = if self.l2.access_load(line_addr) {
+            rec.counter("l2_hit", 1);
             issue + self.l1_hit_latency + self.l2_hit_latency
         } else {
-            let bank_done = self
+            rec.counter("l2_miss", 1);
+            let (bank_done, row_hit) = self
                 .dram
-                .access(line_addr, issue + self.l1_hit_latency + self.l2_hit_latency);
+                .access_traced(line_addr, issue + self.l1_hit_latency + self.l2_hit_latency);
+            rec.counter(
+                if row_hit {
+                    "dram_row_hit"
+                } else {
+                    "dram_row_miss"
+                },
+                1,
+            );
+            rec.record(
+                now,
+                EventKind::DramAccess {
+                    sm: sm_u32,
+                    row_hit,
+                },
+            );
             bank_done + self.dram_base_latency
         };
         self.mshrs[sm].register(complete);
@@ -115,6 +161,19 @@ impl MemorySystem {
     /// have no MSHR backpressure) push bank queues unboundedly ahead of
     /// the clock. Returns the nominal drain cycle (diagnostics).
     pub fn store(&mut self, sm: usize, line_addr: u64, now: u64) -> u64 {
+        self.store_obs(sm, line_addr, now, &NullRecorder)
+    }
+
+    /// [`MemorySystem::store`] with a `store` counter (stores are
+    /// fire-and-forget, so there is no latency event to record).
+    pub fn store_obs<R: Recorder + ?Sized>(
+        &mut self,
+        sm: usize,
+        line_addr: u64,
+        now: u64,
+        rec: &R,
+    ) -> u64 {
+        rec.counter("store", 1);
         self.l1s[sm].access_store(line_addr);
         if self.l2.access_store(line_addr) {
             now + self.l1_hit_latency + self.l2_hit_latency

@@ -8,6 +8,7 @@ use crate::sm::SmCore;
 use crate::units::{UnitCollector, UnitRecord, UnitsConfig};
 use serde::{Deserialize, Serialize};
 use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LaunchSpec, TbId};
+use tbpoint_obs::{EventKind, NullRecorder, Recorder};
 
 /// Result of simulating one kernel launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,6 +93,25 @@ pub fn simulate_launch(
     hook: &mut dyn SamplingHook,
     units: Option<UnitsConfig>,
 ) -> LaunchSimResult {
+    simulate_launch_obs(kernel, spec, cfg, hook, units, &NullRecorder)
+}
+
+/// [`simulate_launch`] with observability: dispatch/skip/retire events,
+/// idle-jump and memory-stall events, cache/DRAM counters, and a
+/// per-SM `sm_resident_blocks` occupancy gauge, all emitted into `rec`.
+///
+/// The function is monomorphised over the recorder, so the
+/// `NullRecorder` path (what [`simulate_launch`] uses) compiles the
+/// instrumentation away; recording never influences the simulation, and
+/// the result is bit-identical for every recorder.
+pub fn simulate_launch_obs<R: Recorder + ?Sized>(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+    rec: &R,
+) -> LaunchSimResult {
     let occupancy = cfg.sm_occupancy(kernel);
     let mut sms: Vec<SmCore> = (0..cfg.num_sms)
         .map(|i| SmCore::new(i as usize, occupancy, cfg))
@@ -143,12 +163,15 @@ pub fn simulate_launch(
                 .min_by_key(|&(_, _, r)| r)
                 .map(|(i, s, _)| (i, s));
             let Some((sm_idx, slot)) = target else { return };
+            // SM indices are config-bounded (tens), far below u32::MAX.
+            let sm_u32 = u32::try_from(sm_idx).unwrap_or(u32::MAX);
             let tb = TbId(*next_tb);
             *next_tb += 1;
             match hook.on_dispatch(tb, cycle, issued_total) {
                 DispatchDecision::Skip => {
                     *skipped += 1;
-                    // Skipped blocks vanish: no resources, no events.
+                    rec.record(cycle, EventKind::TbSkipped { tb: tb.0 });
+                    // Skipped blocks vanish: no resources, no sim events.
                     continue;
                 }
                 DispatchDecision::Simulate => {
@@ -164,10 +187,29 @@ pub fn simulate_launch(
                     };
                     let insta_retire =
                         sms[sm_idx].dispatch(slot, kernel, make_ctx(tb.0), tb, cycle, start);
+                    rec.record(
+                        cycle,
+                        EventKind::TbDispatched {
+                            tb: tb.0,
+                            sm: sm_u32,
+                        },
+                    );
                     if let Some(rtb) = insta_retire {
+                        rec.record(
+                            cycle,
+                            EventKind::TbRetired {
+                                tb: rtb.0,
+                                sm: sm_u32,
+                            },
+                        );
                         hook.on_retire(rtb, cycle, issued_total);
                     } else {
                         *outstanding += 1;
+                        if rec.enabled() {
+                            let resident =
+                                u64::try_from(sms[sm_idx].resident_blocks()).unwrap_or(u64::MAX);
+                            rec.gauge("sm_resident_blocks", sm_u32, resident);
+                        }
                     }
                 }
             }
@@ -188,8 +230,8 @@ pub fn simulate_launch(
     while outstanding > 0 || next_tb < total_tbs {
         let mut any_issued = false;
         let mut any_retired = false;
-        for sm in &mut sms {
-            let r = sm.try_issue(cycle, &mut mem);
+        for (sm_idx, sm) in sms.iter_mut().enumerate() {
+            let r = sm.try_issue_obs(cycle, &mut mem, rec);
             if let Some(bb) = r.issued_bb {
                 any_issued = true;
                 issued_total += 1;
@@ -200,6 +242,18 @@ pub fn simulate_launch(
             if let Some(tb) = r.retired {
                 outstanding -= 1;
                 any_retired = true;
+                if rec.enabled() {
+                    let sm_u32 = u32::try_from(sm_idx).unwrap_or(u32::MAX);
+                    rec.record(
+                        cycle,
+                        EventKind::TbRetired {
+                            tb: tb.0,
+                            sm: sm_u32,
+                        },
+                    );
+                    let resident = u64::try_from(sm.resident_blocks()).unwrap_or(u64::MAX);
+                    rec.gauge("sm_resident_blocks", sm_u32, resident);
+                }
                 hook.on_retire(tb, cycle, issued_total);
             }
         }
@@ -228,6 +282,7 @@ pub fn simulate_launch(
             let next = sms.iter().filter_map(SmCore::next_ready).min();
             match next {
                 Some(t) if t > cycle => {
+                    rec.record(cycle, EventKind::IdleJump { cycles: t - cycle });
                     for sm in &mut sms {
                         sm.credit_resident_cycles(t - cycle);
                     }

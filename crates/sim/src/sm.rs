@@ -5,6 +5,7 @@ use crate::memory::MemorySystem;
 use crate::stats::SmStats;
 use tbpoint_emu::{trace_warp, WarpTrace};
 use tbpoint_ir::{ExecCtx, Kernel, LatencyClass, Op, TbId};
+use tbpoint_obs::{NullRecorder, Recorder};
 
 /// Runtime state of one resident warp.
 #[derive(Debug)]
@@ -204,6 +205,18 @@ impl SmCore {
 
     /// Attempt to issue one warp instruction at cycle `now`.
     pub fn try_issue(&mut self, now: u64, mem: &mut MemorySystem) -> IssueResult {
+        self.try_issue_obs(now, mem, &NullRecorder)
+    }
+
+    /// [`SmCore::try_issue`] with observability: issue counters plus the
+    /// cache/DRAM events the memory system emits. Monomorphised over the
+    /// recorder, so `NullRecorder` compiles the instrumentation away.
+    pub fn try_issue_obs<R: Recorder + ?Sized>(
+        &mut self,
+        now: u64,
+        mem: &mut MemorySystem,
+        rec: &R,
+    ) -> IssueResult {
         let Some((s, w)) = self.pick_warp(now) else {
             return IssueResult {
                 issued_bb: None,
@@ -229,6 +242,7 @@ impl SmCore {
         self.stats.issued_warp_insts += 1;
         self.stats.issued_thread_insts += lanes as u64;
         self.stats.mix.record(inst.op.latency_class());
+        rec.counter("issued_warp_insts", 1);
 
         match inst.op.latency_class() {
             LatencyClass::Alu => warp.ready_at = now + self.alu_latency,
@@ -249,18 +263,19 @@ impl SmCore {
                     let is_store = matches!(inst.op, Op::StGlobal(_));
                     if is_store {
                         for line in lines.iter() {
-                            mem.store(self.id, line, now);
+                            mem.store_obs(self.id, line, now, rec);
                         }
                         // Fire-and-forget: the warp only pays issue latency.
                         warp.ready_at = now + self.alu_latency;
                     } else {
                         let mut done_at = now + self.alu_latency;
                         for line in lines.iter() {
-                            done_at = done_at.max(mem.load(self.id, line, now));
+                            done_at = done_at.max(mem.load_obs(self.id, line, now, rec));
                         }
                         warp.ready_at = done_at;
                         self.stats.load_latency_sum += done_at - now;
                         self.stats.loads_waited += 1;
+                        rec.counter("load_wait_cycles", done_at - now);
                     }
                 } else {
                     warp.ready_at = now + self.alu_latency;

@@ -1,18 +1,18 @@
 //! Bring your own workload: describe a kernel with [`SyntheticSpec`]
 //! knobs instead of hand-building a program tree, then watch the
-//! intra-launch sampler work through it event by event.
+//! intra-launch sampler work through it event by event via a
+//! [`CollectingRecorder`].
 //!
 //! ```text
 //! cargo run --release --example custom_workload
 //! ```
 
 use tbpoint::core::intra::{build_epochs, identify_regions, IntraConfig};
-use tbpoint::core::sampling::{RegionSampler, SamplerEvent};
-use tbpoint::emu::{profile_launch, DivergenceReport};
-use tbpoint::sim::{simulate_launch, GpuConfig, NullSampling};
+use tbpoint::prelude::*;
+use tbpoint::sim::NullSampling;
 use tbpoint::workloads::{PhaseSpec, SyntheticSpec};
 
-fn main() {
+fn main() -> Result<(), TbError> {
     // A memory-divergent, phase-structured workload: three grid phases
     // with up to 3x work, half the loads as random gathers, mild branch
     // divergence.
@@ -39,7 +39,7 @@ fn main() {
 
     // Characterise it.
     let profile = profile_launch(&run.kernel, launch, 4);
-    let div = DivergenceReport::from_profile(&profile);
+    let div = tbpoint::emu::DivergenceReport::from_profile(&profile);
     println!(
         "workload: {} TBs, {} warp insts, SIMD efficiency {:.1}%, {:.1} requests/mem inst",
         launch.num_blocks,
@@ -61,35 +61,39 @@ fn main() {
     // Reference run.
     let full = simulate_launch(&run.kernel, launch, &gpu, &mut NullSampling, None);
 
-    // Sampled run with the event log switched on.
-    let mut sampler = RegionSampler::new(&table, &profile).with_event_log();
+    // Sampled run with a recorder attached through the builder.
+    let rec = CollectingRecorder::new();
+    let mut sampler = RegionSampler::builder(&table, &profile)
+        .recorder(&rec)
+        .build()?;
     let sampled = simulate_launch(&run.kernel, launch, &gpu, &mut sampler, None);
     let out = sampler.outcome();
 
     println!("\nsampler event log (condensed):");
     let mut skipped_in_row = 0u32;
-    for ev in sampler.events().unwrap() {
-        match ev {
-            SamplerEvent::BlockSkipped { .. } => skipped_in_row += 1,
+    for ev in rec.events() {
+        match ev.kind {
+            EventKind::BlockSkipped { .. } => skipped_in_row += 1,
             other => {
                 if skipped_in_row > 0 {
                     println!("  ... {skipped_in_row} blocks skipped");
                     skipped_in_row = 0;
                 }
+                let cycle = ev.cycle;
                 match other {
-                    SamplerEvent::RegionEntered { region, cycle } => {
+                    EventKind::RegionEntered { region } => {
                         println!("  cycle {cycle:>9}: entered region {region}")
                     }
-                    SamplerEvent::RegionExited { cycle } => {
+                    EventKind::RegionExited => {
                         println!("  cycle {cycle:>9}: exited region")
                     }
-                    SamplerEvent::UnitClosed { ipc, cycle } => {
+                    EventKind::UnitClosed { ipc } => {
                         println!("  cycle {cycle:>9}: sampling unit closed, IPC {ipc:.3}")
                     }
-                    SamplerEvent::FastForwardStarted { region, ipc, cycle } => {
+                    EventKind::FastForwardStarted { region, ipc } => {
                         println!("  cycle {cycle:>9}: FAST-FORWARD region {region} at IPC {ipc:.3}")
                     }
-                    SamplerEvent::BlockSkipped { .. } => unreachable!(),
+                    _ => {}
                 }
             }
         }
@@ -108,4 +112,5 @@ fn main() {
         ((predicted_ipc - full.ipc()) / full.ipc()).abs() * 100.0,
         sampled.issued_warp_insts as f64 / total * 100.0
     );
+    Ok(())
 }

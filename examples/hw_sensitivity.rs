@@ -7,12 +7,11 @@
 //! cargo run --release --example hw_sensitivity
 //! ```
 
-use tbpoint::core::predict::{run_tbpoint, TbpointConfig};
-use tbpoint::emu::profile_run;
-use tbpoint::sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint::prelude::*;
+use tbpoint::sim::NullSampling;
 use tbpoint::workloads::{benchmark_by_name, Scale};
 
-fn main() {
+fn main() -> Result<(), TbError> {
     let bench = benchmark_by_name("spmv", Scale::Dev).expect("spmv is in the roster");
 
     // Profile exactly once. This is the expensive, hardware-INDEPENDENT
@@ -39,7 +38,7 @@ fn main() {
     ] {
         let gpu = GpuConfig::with_occupancy(w, s);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu)?;
         println!(
             "{:>8} {:>10} {:>10.3} {:>10.2} {:>10.1}",
             format!("W{w}S{s}"),
@@ -52,4 +51,5 @@ fn main() {
     println!();
     println!("(The profile was reused verbatim across all six configurations —");
     println!(" hardware independence + one-time profiling, the Table II claims.)");
+    Ok(())
 }

@@ -5,12 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tbpoint::core::predict::{run_tbpoint, TbpointConfig};
-use tbpoint::emu::profile_run;
 use tbpoint::ir::{AddrPattern, KernelBuilder, KernelRun, LaunchId, LaunchSpec, Op, TripCount};
-use tbpoint::sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint::prelude::*;
+use tbpoint::sim::NullSampling;
 
-fn main() {
+fn main() -> Result<(), TbError> {
     // 1. Describe a kernel with the builder: a simple streaming kernel,
     //    30 loop iterations of ALU work plus one coalesced load.
     let mut b = KernelBuilder::new("quickstart", 42, 128);
@@ -64,7 +63,7 @@ fn main() {
     // 5. TBPoint: inter-launch + intra-launch sampling with the paper's
     //    thresholds (sigma_inter = 0.1, sigma_intra = 0.2, VF = 0.3).
     let t1 = std::time::Instant::now();
-    let tbp = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu);
+    let tbp = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu)?;
     let t_tbp = t1.elapsed();
     println!(
         "TBPoint:         IPC {:.3} predicted  ({:?})",
@@ -81,4 +80,5 @@ fn main() {
         "savings: {} warp insts skipped by inter-launch, {} by intra-launch sampling",
         tbp.breakdown.inter_skipped_warp_insts, tbp.breakdown.intra_skipped_warp_insts
     );
+    Ok(())
 }

@@ -17,8 +17,23 @@
 //! a SIMT functional profiler ([`emu`]), a cycle-level GPU timing simulator
 //! ([`sim`]), clustering algorithms ([`cluster`]), the Markov-chain warp
 //! interleaving model ([`model`]), the Table-VI benchmark roster
-//! ([`workloads`]) and the Random / Ideal-SimPoint baselines
-//! ([`baselines`]).
+//! ([`workloads`]), the Random / Ideal-SimPoint baselines ([`baselines`])
+//! and an observability layer of recorders, counters and cycle-stamped
+//! events ([`obs`]).
+//!
+//! Pipeline entry points return [`TbError`] instead of panicking; grab
+//! the usual suspects from [`prelude`]:
+//!
+//! ```no_run
+//! use tbpoint::prelude::*;
+//! # fn demo(run: &tbpoint::ir::KernelRun) -> Result<(), TbError> {
+//! let profile = profile_run(run, 1);
+//! let gpu = GpuConfig::fermi();
+//! let result = run_tbpoint(run, &profile, &TbpointConfig::default(), &gpu)?;
+//! println!("predicted IPC {:.3}", result.predicted_ipc);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +43,22 @@ pub use tbpoint_core as core;
 pub use tbpoint_emu as emu;
 pub use tbpoint_ir as ir;
 pub use tbpoint_model as model;
+pub use tbpoint_obs as obs;
 pub use tbpoint_sim as sim;
 pub use tbpoint_stats as stats;
 pub use tbpoint_workloads as workloads;
+
+pub use tbpoint_core::TbError;
+
+/// The names most library users need, in one import.
+pub mod prelude {
+    pub use crate::core::{
+        run_tbpoint, run_tbpoint_traced, IntraOutcome, LaunchTrace, RegionSampler,
+        RegionSamplerBuilder, TbError, TbpointConfig, TbpointResult,
+    };
+    pub use crate::emu::{profile_launch, profile_run};
+    pub use crate::obs::{
+        CollectingRecorder, Event, EventKind, JsonlRecorder, NullRecorder, Recorder, TraceBundle,
+    };
+    pub use crate::sim::{simulate_launch, simulate_run, GpuConfig};
+}

@@ -44,8 +44,8 @@ fn tbpoint_prediction_is_deterministic() {
     let bench = benchmark_by_name("spmv", Scale::Tiny).unwrap();
     let gpu = GpuConfig::fermi();
     let profile = profile_run(&bench.run, 4);
-    let a = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
-    let b = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+    let a = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
+    let b = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
     assert_eq!(a, b);
 }
 
@@ -55,7 +55,7 @@ fn tbpoint_is_worker_count_invariant() {
     let bench = benchmark_by_name("cfd", Scale::Tiny).unwrap();
     let gpu = GpuConfig::fermi();
     let profile = profile_run(&bench.run, 4);
-    let serial = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+    let serial = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
     let parallel = run_tbpoint(
         &bench.run,
         &profile,
@@ -64,7 +64,8 @@ fn tbpoint_is_worker_count_invariant() {
             ..TbpointConfig::default()
         },
         &gpu,
-    );
+    )
+    .unwrap();
     assert_eq!(serial, parallel);
 }
 

@@ -15,7 +15,7 @@ fn pipeline_invariants_hold_for_every_benchmark() {
     for bench in all_benchmarks(Scale::Tiny) {
         let profile = profile_run(&bench.run, 2);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
 
         // Instruction conservation: the profile and the full simulation
         // must agree exactly (same walker), and TBPoint's accounting must
@@ -63,7 +63,7 @@ fn savings_structure_matches_kernel_shape() {
     for (name, expect_single) in [("cfd", false), ("stream", false), ("lbm", true)] {
         let bench = benchmark_by_name(name, Scale::Tiny).unwrap();
         let profile = profile_run(&bench.run, 2);
-        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
         if expect_single {
             assert_eq!(tbp.num_launches, 1, "{name}");
             assert_eq!(
@@ -91,7 +91,7 @@ fn regular_kernels_predict_accurately() {
         let bench = benchmark_by_name(name, Scale::Tiny).unwrap();
         let profile = profile_run(&bench.run, 2);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
         let err = tbp.error_vs(full.overall_ipc());
         assert!(err < 8.0, "{name}: error {err:.2}%");
     }
@@ -106,7 +106,7 @@ fn one_profile_serves_multiple_configs() {
     for (w, s) in [(16u32, 8u32), (48, 14)] {
         let gpu = GpuConfig::with_occupancy(w, s);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu);
+        let tbp = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
         assert!(
             tbp.error_vs(full.overall_ipc()) < 20.0,
             "W{w}S{s}: error {:.2}%",
@@ -128,7 +128,7 @@ fn null_config_is_exact() {
         intra_enabled: false,
         ..TbpointConfig::default()
     };
-    let tbp = run_tbpoint(&bench.run, &profile, &cfg, &gpu);
+    let tbp = run_tbpoint(&bench.run, &profile, &cfg, &gpu).unwrap();
     assert!(tbp.error_vs(full.overall_ipc()) < 1e-9);
     assert_eq!(tbp.sample_size(), 1.0);
 }
