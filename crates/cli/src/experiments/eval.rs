@@ -15,6 +15,7 @@ use tbpoint_baselines::{
     RandomConfig, SystematicConfig,
 };
 use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig, TbpointResult};
+use tbpoint_core::TbError;
 use tbpoint_emu::profile_run;
 use tbpoint_sim::GpuConfig;
 use tbpoint_stats::geometric_mean;
@@ -133,8 +134,8 @@ fn build_bench_eval(
     bench: &Benchmark,
     cfg: &EvalConfig,
     gpu: &GpuConfig,
-    tbp: impl FnOnce(&tbpoint_emu::RunProfile) -> TbpointResult,
-) -> BenchEval {
+    tbp: impl FnOnce(&tbpoint_emu::RunProfile) -> Result<TbpointResult, TbError>,
+) -> Result<BenchEval, TbError> {
     // One-time hardware-independent profile (the GPUOcelot step).
     let profile = profile_run(&bench.run, 1);
     let total_insts = profile.total_warp_insts();
@@ -149,9 +150,9 @@ fn build_bench_eval(
     let rnd = random_sampling(&units, &RandomConfig::default());
     let sys = systematic_sampling(&units, &SystematicConfig::default());
     let ideal = ideal_simpoint(&units, &IdealSimpointConfig::default());
-    let tbp = tbp(&profile);
+    let tbp = tbp(&profile)?;
 
-    BenchEval {
+    Ok(BenchEval {
         name: bench.name.to_string(),
         kind: bench.kind,
         full_ipc,
@@ -181,14 +182,19 @@ fn build_bench_eval(
         launches_simulated: tbp.num_simulated_launches,
         launches_total: tbp.num_launches,
         num_units: units.len(),
-    }
+    })
 }
 
-fn eval_one(bench: &Benchmark, cfg: &EvalConfig, gpu: &GpuConfig) -> BenchEval {
+/// Evaluate one benchmark — the resumable sweep's unit of work. Errors
+/// (an invalid config, a `cycle_budget` overrun) surface as [`TbError`]
+/// instead of a panic so the sweep runner can keep its finished units.
+pub fn eval_bench(
+    bench: &Benchmark,
+    cfg: &EvalConfig,
+    gpu: &GpuConfig,
+) -> Result<BenchEval, TbError> {
     build_bench_eval(bench, cfg, gpu, |profile| {
-        // The default-derived config is always valid and the profile was
-        // just taken from this very run, so failure is unreachable.
-        run_tbpoint(&bench.run, profile, &cfg.tbpoint, gpu).expect("TBPoint pipeline rejected")
+        run_tbpoint(&bench.run, profile, &cfg.tbpoint, gpu)
     })
 }
 
@@ -196,11 +202,10 @@ fn eval_one_traced(
     bench: &Benchmark,
     cfg: &EvalConfig,
     gpu: &GpuConfig,
-) -> (BenchEval, Vec<TraceEntry>) {
+) -> Result<(BenchEval, Vec<TraceEntry>), TbError> {
     let mut entries = Vec::new();
     let b = build_bench_eval(bench, cfg, gpu, |profile| {
-        let (tbp, traces) = run_tbpoint_traced(&bench.run, profile, &cfg.tbpoint, gpu)
-            .expect("TBPoint pipeline rejected");
+        let (tbp, traces) = run_tbpoint_traced(&bench.run, profile, &cfg.tbpoint, gpu)?;
         entries = traces
             .into_iter()
             .map(|t| TraceEntry {
@@ -209,73 +214,104 @@ fn eval_one_traced(
                 trace: t.trace,
             })
             .collect();
-        tbp
-    });
-    (b, entries)
+        Ok(tbp)
+    })?;
+    Ok((b, entries))
 }
 
 /// [`eval`] with observability traces of every simulated representative
 /// launch (the `--trace-out` path). Runs benchmarks serially so the
 /// trace order is deterministic; the [`EvalResult`] itself is identical
 /// to [`eval`]'s — recording never perturbs the simulation.
-pub fn eval_traced(cfg: &EvalConfig) -> (EvalResult, Vec<TraceEntry>) {
+pub fn eval_traced(cfg: &EvalConfig) -> Result<(EvalResult, Vec<TraceEntry>), TbError> {
     let gpu = GpuConfig::fermi();
     let benches = all_benchmarks(cfg.scale);
     let mut results = Vec::with_capacity(benches.len());
     let mut entries = Vec::new();
     for bench in &benches {
-        let (b, t) = eval_one_traced(bench, cfg, &gpu);
+        let (b, t) = eval_one_traced(bench, cfg, &gpu)?;
         results.push(b);
         entries.extend(t);
     }
-    (
+    Ok((
         EvalResult {
             config: *cfg,
             benches: results,
         },
         entries,
-    )
+    ))
 }
 
 /// Run the evaluation over the full roster, fanning benchmarks out over
-/// `cfg.threads` workers.
-pub fn eval(cfg: &EvalConfig) -> EvalResult {
+/// `cfg.threads` workers. The first failing benchmark (in roster
+/// order) aborts the evaluation with its [`TbError`].
+pub fn eval(cfg: &EvalConfig) -> Result<EvalResult, TbError> {
     let gpu = GpuConfig::fermi();
     let benches = all_benchmarks(cfg.scale);
     let mut results: Vec<Option<BenchEval>> = (0..benches.len()).map(|_| None).collect();
+    let mut first_err: Option<(usize, TbError)> = None;
 
     if cfg.threads <= 1 {
-        for (slot, bench) in results.iter_mut().zip(&benches) {
-            *slot = Some(eval_one(bench, cfg, &gpu));
+        for (i, (slot, bench)) in results.iter_mut().zip(&benches).enumerate() {
+            match eval_bench(bench, cfg, &gpu) {
+                Ok(r) => *slot = Some(r),
+                Err(e) => {
+                    first_err = Some((i, e));
+                    break;
+                }
+            }
         }
     } else {
         // Work queue: benchmarks vary hugely in cost, so workers pull
         // indices from a shared atomic counter rather than pre-chunking.
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut results);
+        let errors: std::sync::Mutex<Vec<(usize, TbError)>> = std::sync::Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..cfg.threads.min(benches.len()) {
                 scope.spawn(|| loop {
+                    if !errors
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .is_empty()
+                    {
+                        break;
+                    }
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= benches.len() {
                         break;
                     }
-                    let r = eval_one(&benches[i], cfg, &gpu);
-                    slots
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                    match eval_bench(&benches[i], cfg, &gpu) {
+                        Ok(r) => {
+                            slots
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                        }
+                        Err(e) => errors
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((i, e)),
+                    }
                 });
             }
         });
+        let mut errs = errors
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        errs.sort_by_key(|(i, _)| *i);
+        first_err = errs.into_iter().next();
     }
 
-    EvalResult {
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(EvalResult {
         config: *cfg,
         benches: results
             .into_iter()
             .map(|r| r.expect("all benches evaluated"))
             .collect(),
-    }
+    })
 }
 
 /// Fig. 9: overall IPCs and sampling errors.
@@ -389,7 +425,7 @@ mod tests {
         // orderings must not.
         let mut cfg = EvalConfig::new(Scale::Tiny);
         cfg.threads = super::super::default_threads();
-        let r = eval(&cfg);
+        let r = eval(&cfg).expect("default config evaluates cleanly");
         assert_eq!(r.benches.len(), 12);
         for b in &r.benches {
             assert!(b.full_ipc > 0.0, "{}: zero full IPC", b.name);

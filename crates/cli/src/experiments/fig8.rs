@@ -52,34 +52,39 @@ impl Fig8Result {
     }
 }
 
+/// Profile one benchmark and extract its Fig. 8 series — the resumable
+/// sweep's unit of work.
+pub fn fig8_bench(bench: &tbpoint_workloads::Benchmark, threads: usize) -> Fig8Series {
+    let mut sizes: Vec<f64> = vec![];
+    let mut launch_starts = vec![];
+    for spec in &bench.run.launches {
+        launch_starts.push(sizes.len());
+        let lp = profile_launch(&bench.run.kernel, spec, threads);
+        sizes.extend(lp.tbs.iter().map(|t| t.thread_insts as f64));
+    }
+    let mean = tbpoint_stats::mean(&sizes);
+    let size_cov = cov(&sizes);
+    let size_ratio = sizes
+        .iter()
+        .map(|&s| if mean > 0.0 { s / mean } else { 0.0 })
+        .collect();
+    Fig8Series {
+        name: bench.name.to_string(),
+        kind: format!("{:?}", bench.kind),
+        size_ratio,
+        launch_starts,
+        size_cov,
+    }
+}
+
 /// Profile every benchmark and extract the Fig. 8 series.
 pub fn fig8(scale: Scale, threads: usize) -> Fig8Result {
-    let series = all_benchmarks(scale)
-        .iter()
-        .map(|bench| {
-            let mut sizes: Vec<f64> = vec![];
-            let mut launch_starts = vec![];
-            for spec in &bench.run.launches {
-                launch_starts.push(sizes.len());
-                let lp = profile_launch(&bench.run.kernel, spec, threads);
-                sizes.extend(lp.tbs.iter().map(|t| t.thread_insts as f64));
-            }
-            let mean = tbpoint_stats::mean(&sizes);
-            let size_cov = cov(&sizes);
-            let size_ratio = sizes
-                .iter()
-                .map(|&s| if mean > 0.0 { s / mean } else { 0.0 })
-                .collect();
-            Fig8Series {
-                name: bench.name.to_string(),
-                kind: format!("{:?}", bench.kind),
-                size_ratio,
-                launch_starts,
-                size_cov,
-            }
-        })
-        .collect();
-    Fig8Result { series }
+    Fig8Result {
+        series: all_benchmarks(scale)
+            .iter()
+            .map(|bench| fig8_bench(bench, threads))
+            .collect(),
+    }
 }
 
 #[cfg(test)]

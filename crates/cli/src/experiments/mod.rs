@@ -12,13 +12,15 @@ pub mod table6;
 
 pub use ablate::{ablate, ablate_traced, AblationResult};
 pub use eval::{
-    eval, eval_traced, render_fig10, render_fig11, render_fig9, BenchEval, EvalConfig, EvalResult,
+    eval, eval_bench, eval_traced, render_fig10, render_fig11, render_fig9, BenchEval, EvalConfig,
+    EvalResult,
 };
 pub use fig5::fig5;
-pub use fig8::fig8;
+pub use fig8::{fig8, fig8_bench, Fig8Result, Fig8Series};
 pub use inspect::inspect;
 pub use sensitivity::{
-    render_fig12, render_fig13, sensitivity, sensitivity_traced, SensitivityResult,
+    render_fig12, render_fig13, sensitivity, sensitivity_bench, sensitivity_traced,
+    SensitivityCell, SensitivityResult,
 };
 pub use table1::table1;
 pub use table6::table6;

@@ -12,9 +12,10 @@
 use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
 use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig};
+use tbpoint_core::TbError;
 use tbpoint_emu::profile_run;
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
-use tbpoint_workloads::{all_benchmarks, Scale};
+use tbpoint_workloads::{all_benchmarks, Benchmark, Scale};
 
 /// The evaluated (W, S) grid. The paper's exact pairs are unreadable in
 /// the scan; these six bracket the Fermi baseline (48, 14) from both
@@ -91,68 +92,86 @@ impl SensitivityResult {
     }
 }
 
-/// Run the sensitivity sweep.
-pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
-    let benches = all_benchmarks(scale);
-    let mut cells = Vec::new();
-    // One profile per benchmark (one-time profiling), reused across every
-    // hardware configuration.
-    let profiles: Vec<_> = benches
+/// Compute one benchmark's whole row of the (W, S) grid — the
+/// resumable sweep's unit of work. Profiles once (the one-time
+/// profiling step), then simulates every configuration; the first
+/// failing configuration aborts the row with its [`TbError`].
+pub fn sensitivity_bench(
+    bench: &Benchmark,
+    tb_cfg: &TbpointConfig,
+) -> Result<Vec<SensitivityCell>, TbError> {
+    let profile = profile_run(&bench.run, 1);
+    CONFIGS
         .iter()
-        .map(|b| profile_run(&b.run, threads))
-        .collect();
+        .map(|&(w, s)| {
+            let gpu = GpuConfig::with_occupancy(w, s);
+            let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
+            let tbp = run_tbpoint(&bench.run, &profile, tb_cfg, &gpu)?;
+            Ok(SensitivityCell {
+                bench: bench.name.to_string(),
+                warps: w,
+                sms: s,
+                error_pct: tbp.error_vs(full.overall_ipc()),
+                sample_size: tbp.sample_size(),
+                occupancy: gpu.system_occupancy(&bench.run.kernel),
+            })
+        })
+        .collect()
+}
 
-    let mut tasks: Vec<(usize, u32, u32)> = Vec::new();
-    for bi in 0..benches.len() {
-        for (w, s) in CONFIGS {
-            tasks.push((bi, w, s));
-        }
-    }
+/// Run the sensitivity sweep.
+pub fn sensitivity(scale: Scale, threads: usize) -> Result<SensitivityResult, TbError> {
+    let benches = all_benchmarks(scale);
+    let mut rows: Vec<Option<Vec<SensitivityCell>>> = (0..benches.len()).map(|_| None).collect();
+
+    // Work queue over benchmarks; each unit profiles once and runs its
+    // whole configuration row (same unit shape as the resumable sweep).
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let out = std::sync::Mutex::new(&mut cells);
+    let slots = std::sync::Mutex::new(&mut rows);
+    let errors: std::sync::Mutex<Vec<(usize, TbError)>> = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(tasks.len()) {
+        for _ in 0..threads.max(1).min(benches.len()) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= tasks.len() {
+                if !errors
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .is_empty()
+                {
                     break;
                 }
-                let (bi, w, s) = tasks[i];
-                let gpu = GpuConfig::with_occupancy(w, s);
-                let full = simulate_run(&benches[bi].run, &gpu, &mut NullSampling, None);
-                // The default config is always valid and the profile was
-                // taken from this run; failure is unreachable.
-                let tbp = run_tbpoint(
-                    &benches[bi].run,
-                    &profiles[bi],
-                    &TbpointConfig::default(),
-                    &gpu,
-                )
-                .expect("TBPoint pipeline rejected");
-                out.lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push(SensitivityCell {
-                        bench: benches[bi].name.to_string(),
-                        warps: w,
-                        sms: s,
-                        error_pct: tbp.error_vs(full.overall_ipc()),
-                        sample_size: tbp.sample_size(),
-                        occupancy: gpu.system_occupancy(&benches[bi].run.kernel),
-                    });
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= benches.len() {
+                    break;
+                }
+                match sensitivity_bench(&benches[i], &TbpointConfig::default()) {
+                    Ok(row) => {
+                        slots
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(row);
+                    }
+                    Err(e) => errors
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((i, e)),
+                }
             });
         }
     });
+    let mut errs = errors
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    errs.sort_by_key(|(i, _)| *i);
+    if let Some((_, e)) = errs.into_iter().next() {
+        return Err(e);
+    }
 
-    // Deterministic order: benchmark-major, then config order.
-    cells.sort_by_key(|c| {
-        let bi = benches.iter().position(|b| b.name == c.bench).unwrap();
-        let ci = CONFIGS
-            .iter()
-            .position(|&(w, s)| (w, s) == (c.warps, c.sms))
-            .unwrap();
-        (bi, ci)
-    });
-    SensitivityResult { cells }
+    // Benchmark-major, config order — deterministic at any thread count.
+    Ok(SensitivityResult {
+        cells: rows
+            .into_iter()
+            .flat_map(|r| r.expect("all rows computed"))
+            .collect(),
+    })
 }
 
 /// [`sensitivity`] with observability traces (the `--trace-out` path):
@@ -160,7 +179,10 @@ pub fn sensitivity(scale: Scale, threads: usize) -> SensitivityResult {
 /// labelled `bench@W<warps>S<sms>`. Runs serially for a deterministic
 /// trace order; the [`SensitivityResult`] is identical to
 /// [`sensitivity`]'s.
-pub fn sensitivity_traced(scale: Scale, threads: usize) -> (SensitivityResult, Vec<TraceEntry>) {
+pub fn sensitivity_traced(
+    scale: Scale,
+    threads: usize,
+) -> Result<(SensitivityResult, Vec<TraceEntry>), TbError> {
     let benches = all_benchmarks(scale);
     let profiles: Vec<_> = benches
         .iter()
@@ -173,8 +195,7 @@ pub fn sensitivity_traced(scale: Scale, threads: usize) -> (SensitivityResult, V
             let gpu = GpuConfig::with_occupancy(w, s);
             let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
             let (tbp, traces) =
-                run_tbpoint_traced(&bench.run, &profiles[bi], &TbpointConfig::default(), &gpu)
-                    .expect("TBPoint pipeline rejected");
+                run_tbpoint_traced(&bench.run, &profiles[bi], &TbpointConfig::default(), &gpu)?;
             entries.extend(traces.into_iter().map(|t| TraceEntry {
                 label: format!("{}@W{w}S{s}", bench.name),
                 launch: t.launch,
@@ -190,7 +211,7 @@ pub fn sensitivity_traced(scale: Scale, threads: usize) -> (SensitivityResult, V
             });
         }
     }
-    (SensitivityResult { cells }, entries)
+    Ok((SensitivityResult { cells }, entries))
 }
 
 /// Render Fig. 12 (errors).

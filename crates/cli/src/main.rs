@@ -11,21 +11,37 @@
 //! tbpoint ablate [--scale dev]        design-choice quality ablations
 //! tbpoint inspect <bench>             characterisation report
 //! tbpoint profile <bench>             save a one-time profile (JSON)
+//! tbpoint faultmatrix [--scale tiny]  fault-injection containment matrix
 //! tbpoint all    [--scale dev]        everything above
 //! ```
 //!
 //! Artefacts (JSON + CSV) land in `./artifacts/`.
 //!
-//! `eval`, `fig12`/`fig13` (the sensitivity sweep) and `ablate` accept
-//! `--trace-out <path>`: the simulated launches are then recorded through
-//! the observability layer and written as deterministic JSON lines, with
-//! a summary (events by kind, heaviest memory-stall sites) printed after
-//! the figures. Tracing runs serially and never changes the results.
+//! `eval`, `fig8` and `fig12`/`fig13` (the sensitivity sweep) run as
+//! **crash-safe resumable sweeps**: each benchmark's result is written
+//! to its own atomically-renamed unit file under
+//! `artifacts/units/` with a checksummed manifest. `--resume` skips
+//! verified units from an interrupted run (the final artifacts are
+//! byte-identical to an uninterrupted run); `--max-units K` stops after
+//! K units and exits with code 3; `--cycle-budget N` arms a per-launch
+//! watchdog that aborts runaway simulations with a `BudgetExceeded`
+//! error while keeping finished units on disk.
+//!
+//! `eval`, `fig12`/`fig13` and `ablate` accept `--trace-out <path>`:
+//! the simulated launches are then recorded through the observability
+//! layer and written as deterministic, integrity-sealed JSON lines,
+//! with a summary (events by kind, heaviest memory-stall sites) printed
+//! after the figures. Tracing runs serially and never changes the
+//! results.
 
 use std::path::{Path, PathBuf};
 use tbpoint_cli::experiments::{self, EvalConfig};
 use tbpoint_cli::output;
+use tbpoint_cli::sweep::{self, SweepOutcome, SweepPlan};
 use tbpoint_workloads::Scale;
+
+/// Exit code for a deliberately partial sweep (`--max-units`).
+const EXIT_PARTIAL: i32 = 3;
 
 struct Args {
     command: String,
@@ -35,6 +51,17 @@ struct Args {
     threads: usize,
     artifacts: PathBuf,
     trace_out: Option<PathBuf>,
+    resume: bool,
+    max_units: Option<usize>,
+    cycle_budget: Option<u64>,
+}
+
+/// Print an actionable error and exit non-zero. Every fallible I/O or
+/// pipeline path in this binary funnels through here instead of
+/// panicking.
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
 }
 
 fn parse_args() -> Args {
@@ -46,6 +73,9 @@ fn parse_args() -> Args {
         threads: experiments::default_threads(),
         artifacts: PathBuf::from("artifacts"),
         trace_out: None,
+        resume: false,
+        max_units: None,
+        cycle_budget: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,6 +106,21 @@ fn parse_args() -> Args {
                 };
                 args.trace_out = Some(PathBuf::from(v));
             }
+            "--resume" => args.resume = true,
+            "--max-units" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--max-units needs a positive integer");
+                    std::process::exit(2);
+                };
+                args.max_units = Some(n);
+            }
+            "--cycle-budget" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--cycle-budget needs a positive cycle count");
+                    std::process::exit(2);
+                };
+                args.cycle_budget = Some(n);
+            }
             cmd if args.command.is_empty() && !cmd.starts_with('-') => {
                 args.command = cmd.to_string();
             }
@@ -105,7 +150,9 @@ fn eval_cache_path(args: &Args) -> PathBuf {
 }
 
 fn dump_traces(path: &Path, entries: &[output::TraceEntry]) {
-    output::write_trace_jsonl(path, entries).expect("write trace");
+    if let Err(e) = output::write_trace_jsonl(path, entries) {
+        die(&format!("writing trace file {}", path.display()), e);
+    }
     eprintln!(
         "wrote {} launch traces to {}",
         entries.len(),
@@ -114,22 +161,86 @@ fn dump_traces(path: &Path, entries: &[output::TraceEntry]) {
     println!("{}", output::render_trace_summary(entries, 10));
 }
 
-fn run_eval(args: &Args) -> experiments::EvalResult {
+fn write_json_or_die(path: &Path, value: &impl serde::Serialize) {
+    if let Err(e) = output::write_json(path, value) {
+        die(&format!("writing artefact {}", path.display()), e);
+    }
+}
+
+/// Build the sweep plan shared by every resumable command: unit files
+/// and the manifest live under `<artifacts>/units/`.
+fn sweep_plan(args: &Args, name: String) -> SweepPlan {
+    SweepPlan {
+        name,
+        dir: args.artifacts.join("units"),
+        resume: args.resume,
+        max_units: args.max_units,
+        threads: args.threads,
+    }
+}
+
+/// Unwrap a sweep outcome, handling the two non-success shapes: a
+/// failed unit (exit 1 with an actionable message) and a deliberately
+/// partial sweep (`--max-units`; progress is reported and the process
+/// exits with [`EXIT_PARTIAL`] so scripts can tell "stopped early" from
+/// "failed").
+fn finish_sweep<T>(result: Result<SweepOutcome<T>, sweep::SweepError>, what: &str) -> Vec<T> {
+    let outcome = match result {
+        Ok(o) => o,
+        Err(e) => die(&format!("{what} sweep failed"), e),
+    };
+    eprintln!(
+        "{what}: {} unit(s) computed, {} resumed from disk",
+        outcome.computed, outcome.resumed
+    );
+    if outcome.partial {
+        eprintln!(
+            "{what}: stopped after --max-units; re-run with --resume to finish \
+             (completed units are kept)"
+        );
+        std::process::exit(EXIT_PARTIAL);
+    }
+    outcome.into_complete()
+}
+
+fn eval_config(args: &Args) -> EvalConfig {
     let mut cfg = EvalConfig::new(args.scale);
     cfg.threads = args.threads;
+    cfg.tbpoint.cycle_budget = args.cycle_budget;
+    cfg
+}
+
+fn run_eval(args: &Args) -> experiments::EvalResult {
+    let cfg = eval_config(args);
     eprintln!(
         "running evaluation at {} scale on {} threads (this simulates every benchmark in full)...",
         scale_tag(args.scale),
         cfg.threads
     );
     let r = if let Some(trace_path) = &args.trace_out {
-        let (r, traces) = experiments::eval_traced(&cfg);
-        dump_traces(trace_path, &traces);
-        r
+        // Tracing runs serially and in one piece; it does not use the
+        // resumable sweep.
+        match experiments::eval_traced(&cfg) {
+            Ok((r, traces)) => {
+                dump_traces(trace_path, &traces);
+                r
+            }
+            Err(e) => die("traced evaluation failed", e),
+        }
     } else {
-        experiments::eval(&cfg)
+        let benches = tbpoint_workloads::all_benchmarks(args.scale);
+        let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
+        let gpu = tbpoint_sim::GpuConfig::fermi();
+        let plan = sweep_plan(args, format!("eval_{}", scale_tag(args.scale)));
+        let outcome = sweep::run_resumable(&plan, &keys, |i, _| {
+            experiments::eval_bench(&benches[i], &cfg, &gpu)
+        });
+        experiments::EvalResult {
+            config: cfg,
+            benches: finish_sweep(outcome, "eval"),
+        }
     };
-    output::write_json(&eval_cache_path(args), &r).expect("write eval artefact");
+    write_json_or_die(&eval_cache_path(args), &r);
     r
 }
 
@@ -146,7 +257,7 @@ fn load_or_run_eval(args: &Args) -> experiments::EvalResult {
 
 fn cmd_fig5(args: &Args) {
     let r = experiments::fig5(args.samples, args.threads);
-    output::write_json(&args.artifacts.join("fig5.json"), &r).expect("write fig5");
+    write_json_or_die(&args.artifacts.join("fig5.json"), &r);
     println!(
         "Fig. 5 — IPC variation of a homogeneous interval ({} samples)",
         args.samples
@@ -155,14 +266,23 @@ fn cmd_fig5(args: &Args) {
 }
 
 fn cmd_fig8(args: &Args) {
-    let r = experiments::fig8(args.scale, args.threads);
-    output::write_json(
+    let benches = tbpoint_workloads::all_benchmarks(args.scale);
+    let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
+    let plan = sweep_plan(args, format!("fig8_{}", scale_tag(args.scale)));
+    // Profiling inside a unit runs single-threaded; the sweep itself
+    // fans units out over `--threads` workers.
+    let outcome = sweep::run_resumable(&plan, &keys, |i, _| {
+        Ok(experiments::fig8_bench(&benches[i], 1))
+    });
+    let r = experiments::Fig8Result {
+        series: finish_sweep(outcome, "fig8"),
+    };
+    write_json_or_die(
         &args
             .artifacts
             .join(format!("fig8_{}.json", scale_tag(args.scale))),
         &r,
-    )
-    .expect("write fig8");
+    );
     for s in &r.series {
         let rows: Vec<Vec<String>> = s
             .size_ratio
@@ -170,14 +290,12 @@ fn cmd_fig8(args: &Args) {
             .enumerate()
             .map(|(i, v)| vec![i.to_string(), output::fmt(*v, 4)])
             .collect();
-        output::write_csv(
-            &args
-                .artifacts
-                .join(format!("fig8_{}_{}.csv", scale_tag(args.scale), s.name)),
-            &["tb_index", "size_ratio"],
-            &rows,
-        )
-        .expect("write fig8 csv");
+        let csv_path =
+            args.artifacts
+                .join(format!("fig8_{}_{}.csv", scale_tag(args.scale), s.name));
+        if let Err(e) = output::write_csv(&csv_path, &["tb_index", "size_ratio"], &rows) {
+            die(&format!("writing artefact {}", csv_path.display()), e);
+        }
     }
     println!("Fig. 8 — thread-block size ratios (scatter data in artifacts/fig8_*.csv)");
     println!("{}", r.render());
@@ -201,16 +319,35 @@ fn cmd_sensitivity(args: &Args, which: &str) {
             eprintln!("using cached sweep {}", path.display());
             r
         }
+        None if args.trace_out.is_some() => {
+            match experiments::sensitivity_traced(args.scale, args.threads) {
+                Ok((r, traces)) => {
+                    if let Some(trace_path) = &args.trace_out {
+                        dump_traces(trace_path, &traces);
+                    }
+                    write_json_or_die(&path, &r);
+                    r
+                }
+                Err(e) => die("traced sensitivity sweep failed", e),
+            }
+        }
         None => {
             eprintln!("running hardware-sensitivity sweep (6 configs x 12 benchmarks)...");
-            let r = if let Some(trace_path) = &args.trace_out {
-                let (r, traces) = experiments::sensitivity_traced(args.scale, args.threads);
-                dump_traces(trace_path, &traces);
-                r
-            } else {
-                experiments::sensitivity(args.scale, args.threads)
+            let benches = tbpoint_workloads::all_benchmarks(args.scale);
+            let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
+            let tb_cfg = tbpoint_core::predict::TbpointConfig {
+                cycle_budget: args.cycle_budget,
+                ..Default::default()
             };
-            output::write_json(&path, &r).expect("write sensitivity");
+            let plan = sweep_plan(args, format!("sensitivity_{}", scale_tag(args.scale)));
+            let outcome = sweep::run_resumable(&plan, &keys, |i, _| {
+                experiments::sensitivity_bench(&benches[i], &tb_cfg)
+            });
+            let rows = finish_sweep(outcome, "sensitivity");
+            let r = experiments::SensitivityResult {
+                cells: rows.into_iter().flatten().collect(),
+            };
+            write_json_or_die(&path, &r);
             r
         }
     };
@@ -228,13 +365,12 @@ fn main() {
     match args.command.as_str() {
         "table1" => {
             let r = experiments::table1(args.scale);
-            output::write_json(
+            write_json_or_die(
                 &args
                     .artifacts
                     .join(format!("table1_{}.json", scale_tag(args.scale))),
                 &r,
-            )
-            .expect("write table1");
+            );
             println!(
                 "Table I — GPU time vs simulation time ({} scale)",
                 scale_tag(args.scale)
@@ -286,7 +422,7 @@ fn main() {
             let path =
                 args.artifacts
                     .join(format!("profile_{}_{}.json", scale_tag(args.scale), name));
-            profile.save(&path).expect("write profile");
+            write_json_or_die(&path, &profile);
             println!(
                 "profiled {name}: {} launches, {} thread blocks, {} warp insts in {:?}",
                 profile.launches.len(),
@@ -322,18 +458,64 @@ fn main() {
             } else {
                 experiments::ablate(args.scale)
             };
-            output::write_json(
+            write_json_or_die(
                 &args
                     .artifacts
                     .join(format!("ablate_{}.json", scale_tag(args.scale))),
                 &r,
-            )
-            .expect("write ablation");
+            );
             println!(
                 "Design-choice ablations ({} scale; * marks the paper's value)",
                 scale_tag(args.scale)
             );
             println!("{}", r.render());
+        }
+        "faultmatrix" => {
+            // Containment audit: inject every fault kind at several
+            // seeds into every roster benchmark (or just `<bench>` if
+            // given) and check the pipeline never panics and never
+            // silently accepts corrupt input.
+            let benches = tbpoint_workloads::all_benchmarks(args.scale);
+            let runs: Vec<(String, tbpoint_ir::KernelRun)> = benches
+                .into_iter()
+                .filter(|b| args.target.as_deref().is_none_or(|t| t == b.name))
+                .map(|b| (b.name.to_string(), b.run))
+                .collect();
+            if runs.is_empty() {
+                eprintln!(
+                    "unknown benchmark {:?}; see `tbpoint table6`",
+                    args.target.as_deref().unwrap_or("")
+                );
+                std::process::exit(2);
+            }
+            let opts = tbpoint_resilience::MatrixOptions::default();
+            eprintln!(
+                "injecting {} fault kinds x {} seeds into {} benchmark(s)...",
+                opts.faults.len(),
+                opts.seeds.len(),
+                runs.len()
+            );
+            let report = tbpoint_resilience::run_fault_matrix(&runs, &opts);
+            write_json_or_die(
+                &args
+                    .artifacts
+                    .join(format!("faultmatrix_{}.json", scale_tag(args.scale))),
+                &report,
+            );
+            println!(
+                "Fault-injection containment matrix ({} cells)",
+                report.cells.len()
+            );
+            println!("{}", report.summary());
+            if !report.all_contained() {
+                eprintln!(
+                    "error: containment violated — {} panic(s), {} silently-accepted corruption(s)",
+                    report.panics(),
+                    report.silently_accepted()
+                );
+                std::process::exit(1);
+            }
+            println!("all faults contained: no panics, no silently accepted corruption");
         }
         "all" => {
             println!("Table VI\n{}", experiments::table6(args.scale));
@@ -350,8 +532,9 @@ fn main() {
         }
         "" => {
             eprintln!(
-                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|all> \
-                 [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE]"
+                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|all> \
+                 [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE] \
+                 [--resume] [--max-units K] [--cycle-budget N]"
             );
             std::process::exit(2);
         }

@@ -39,25 +39,44 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Write a CSV file (quotes are not needed for our numeric content).
-pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+/// Write bytes crash-safely: create the parent, write a hidden
+/// `.<name>.tmp` sibling, fsync it, then atomically rename it over the
+/// destination. A crash at any point leaves either the old file or the
+/// new file — never a torn artifact (the invariant the `--resume`
+/// machinery in [`crate::sweep`] depends on).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{}", headers.join(","))?;
-    for row in rows {
-        writeln!(f, "{}", row.join(","))?;
-    }
-    Ok(())
+    let Some(name) = path.file_name() else {
+        return Err(std::io::Error::other(format!(
+            "cannot write {}: path has no file name",
+            path.display()
+        )));
+    };
+    let tmp = path.with_file_name(format!(".{}.tmp", name.to_string_lossy()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
 }
 
-/// Serialise any serde value as pretty JSON.
-pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+/// Write a CSV file (quotes are not needed for our numeric content).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
     }
-    std::fs::write(path, serde_json::to_string_pretty(value)?)
+    write_atomic(path, out.as_bytes())
+}
+
+/// Serialise any serde value as pretty JSON (atomic tmp+rename write).
+pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    write_atomic(path, serde_json::to_string_pretty(value)?.as_bytes())
 }
 
 /// Format a float with the given number of decimals.
@@ -89,11 +108,11 @@ struct TraceHeader {
 
 /// Write traces as deterministic JSON lines: each launch starts with a
 /// `{"bench":...,"launch":...}` header line followed by its bundle
-/// (events in cycle order, then counters, then gauges).
+/// (events in cycle order, then counters, then gauges). The whole file
+/// is sealed with the `tbpoint-obs` integrity trailer, so truncation or
+/// bit damage in transit is detectable with [`tbpoint_obs::verify`],
+/// and written atomically.
 pub fn write_trace_jsonl(path: &Path, entries: &[TraceEntry]) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
     let mut out = String::new();
     for e in entries {
         let header = TraceHeader {
@@ -104,7 +123,7 @@ pub fn write_trace_jsonl(path: &Path, entries: &[TraceEntry]) -> std::io::Result
         out.push('\n');
         out.push_str(&e.trace.to_jsonl());
     }
-    std::fs::write(path, out)
+    write_atomic(path, tbpoint_obs::seal(&out).as_bytes())
 }
 
 /// Summarise traces on screen: total events by kind, then the top-N

@@ -1,0 +1,213 @@
+//! Crash-safety contract of [`tbpoint_cli::sweep::run_resumable`]:
+//! an interrupted-then-resumed sweep must produce final artifacts
+//! byte-identical to an uninterrupted run, tampered unit files must be
+//! detected and recomputed, and a failing unit must not destroy the
+//! units that already finished.
+//!
+//! The compute function here is a cheap deterministic stand-in (no
+//! simulations) so the tests exercise only the persistence machinery.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tbpoint_cli::output;
+use tbpoint_cli::sweep::{run_resumable, SweepError, SweepPlan};
+use tbpoint_core::TbError;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Unit {
+    name: String,
+    value: f64,
+    series: Vec<f64>,
+}
+
+/// Deterministic per-unit payload with awkward floats, so byte-identity
+/// actually exercises the shortest-round-trip printer.
+fn compute(i: usize, key: &str) -> Result<Unit, TbError> {
+    let value = (i as f64 + 1.0) / 3.0;
+    Ok(Unit {
+        name: key.to_string(),
+        value,
+        series: (0..4).map(|k| value * 0.1_f64.powi(k)).collect(),
+    })
+}
+
+fn keys() -> Vec<String> {
+    ["bfs", "cfd", "hotspot", "lud", "nw"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn plan(dir: &Path) -> SweepPlan {
+    SweepPlan {
+        name: "test_sweep".to_string(),
+        dir: dir.to_path_buf(),
+        resume: false,
+        max_units: None,
+        threads: 2,
+    }
+}
+
+/// Fresh scratch directory per test (std-only; no tempfile crate).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tbpoint-resume-{}-{}-{tag}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "_")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn final_artifact(dir: &Path, units: &[Unit]) -> Vec<u8> {
+    let path = dir.join("final.json");
+    output::write_json(&path, &units.to_vec()).expect("write final artifact");
+    std::fs::read(&path).expect("read final artifact back")
+}
+
+#[test]
+fn interrupted_then_resumed_run_is_byte_identical() {
+    let keys = keys();
+
+    // Leg A: uninterrupted.
+    let dir_a = scratch("a");
+    let full = run_resumable(&plan(&dir_a), &keys, compute).expect("uninterrupted sweep");
+    assert!(!full.partial);
+    assert_eq!(full.computed, keys.len());
+    let bytes_a = final_artifact(&dir_a, &full.into_complete());
+
+    // Leg B: stop after 2 units (the deterministic stand-in for a
+    // mid-sweep kill), then resume.
+    let dir_b = scratch("b");
+    let mut p = plan(&dir_b);
+    p.max_units = Some(2);
+    let partial = run_resumable(&p, &keys, compute).expect("partial sweep");
+    assert!(partial.partial);
+    assert_eq!(partial.computed, 2);
+    assert_eq!(partial.results.iter().flatten().count(), 2);
+
+    let mut p = plan(&dir_b);
+    p.resume = true;
+    let resumed = run_resumable(&p, &keys, compute).expect("resumed sweep");
+    assert!(!resumed.partial);
+    assert_eq!(resumed.resumed, 2, "both finished units must be reused");
+    assert_eq!(resumed.computed, keys.len() - 2);
+    let bytes_b = final_artifact(&dir_b, &resumed.into_complete());
+
+    assert_eq!(
+        bytes_a, bytes_b,
+        "resumed final artifact must be byte-identical to the uninterrupted one"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn without_resume_everything_is_recomputed() {
+    let keys = keys();
+    let dir = scratch("noresume");
+    run_resumable(&plan(&dir), &keys, compute).expect("first run");
+    let again = run_resumable(&plan(&dir), &keys, compute).expect("second run");
+    assert_eq!(again.resumed, 0);
+    assert_eq!(again.computed, keys.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_unit_file_is_detected_and_recomputed() {
+    let keys = keys();
+    let dir = scratch("tamper");
+    let full = run_resumable(&plan(&dir), &keys, compute).expect("first run");
+    let expected = final_artifact(&dir, &full.into_complete());
+
+    // Flip one byte inside a unit file; the manifest checksum no longer
+    // matches, so --resume must recompute exactly that unit.
+    let victim = dir.join("test_sweep.unit.cfd.json");
+    let mut bytes = std::fs::read(&victim).expect("read unit file");
+    let pos = bytes.len() / 2;
+    bytes[pos] = bytes[pos].wrapping_add(1);
+    std::fs::write(&victim, &bytes).expect("tamper with unit file");
+
+    let calls = AtomicUsize::new(0);
+    let mut p = plan(&dir);
+    p.resume = true;
+    let resumed = run_resumable(&p, &keys, |i, k| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        compute(i, k)
+    })
+    .expect("resume over tampered state");
+    assert_eq!(resumed.resumed, keys.len() - 1);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        1,
+        "only the tampered unit recomputes"
+    );
+    let healed = final_artifact(&dir, &resumed.into_complete());
+    assert_eq!(
+        expected, healed,
+        "recomputation heals the tampered unit exactly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_manifest_recomputes_but_still_converges() {
+    let keys = keys();
+    let dir = scratch("manifest");
+    let full = run_resumable(&plan(&dir), &keys, compute).expect("first run");
+    let expected = final_artifact(&dir, &full.into_complete());
+
+    // Chop the manifest mid-record: its integrity trailer no longer
+    // verifies, so resume falls back to recomputing everything — but
+    // the final bytes still match.
+    let manifest = dir.join("test_sweep.manifest.jsonl");
+    let text = std::fs::read_to_string(&manifest).expect("read manifest");
+    std::fs::write(&manifest, &text[..text.len() / 2]).expect("truncate manifest");
+
+    let mut p = plan(&dir);
+    p.resume = true;
+    let resumed = run_resumable(&p, &keys, compute).expect("resume over broken manifest");
+    assert_eq!(resumed.resumed, 0, "a broken manifest trusts nothing");
+    let healed = final_artifact(&dir, &resumed.into_complete());
+    assert_eq!(expected, healed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failing_unit_keeps_completed_units_for_resume() {
+    let keys = keys();
+    let dir = scratch("fail");
+
+    // Serial so the failure point is deterministic: units 0 and 1
+    // finish, unit 2 fails, 3 and 4 never run.
+    let mut p = plan(&dir);
+    p.threads = 1;
+    let err = run_resumable(&p, &keys, |i, k| {
+        if i == 2 {
+            Err(TbError::BudgetExceeded {
+                launch: 0,
+                budget_cycles: 1,
+            })
+        } else {
+            compute(i, k)
+        }
+    })
+    .expect_err("unit 2 must fail the sweep");
+    match err {
+        SweepError::Pipeline { unit, .. } => assert_eq!(unit, "hotspot"),
+        other => panic!("expected a pipeline error, got {other}"),
+    }
+
+    // A healthy re-run with --resume picks up the two survivors.
+    let mut p = plan(&dir);
+    p.resume = true;
+    let resumed = run_resumable(&p, &keys, compute).expect("resume after failure");
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(resumed.computed, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,6 +24,14 @@ pub enum TbError {
         /// Launches in the profile.
         profile_launches: usize,
     },
+    /// A simulated launch was still dispatching blocks past its cycle
+    /// budget: the watchdog drained it and discarded the run.
+    BudgetExceeded {
+        /// Index of the launch that overran.
+        launch: usize,
+        /// The configured per-launch cycle budget.
+        budget_cycles: u64,
+    },
 }
 
 impl fmt::Display for TbError {
@@ -39,6 +47,14 @@ impl fmt::Display for TbError {
                 f,
                 "profile does not match the run: {run_launches} launches in the run, \
                  {profile_launches} in the profile"
+            ),
+            TbError::BudgetExceeded {
+                launch,
+                budget_cycles,
+            } => write!(
+                f,
+                "launch {launch} exceeded its cycle budget of {budget_cycles} cycles \
+                 and was aborted by the watchdog"
             ),
         }
     }

@@ -28,10 +28,14 @@ use crate::intra::{build_epochs, identify_regions, IntraConfig};
 use crate::sampling::RegionSampler;
 use serde::{Deserialize, Serialize};
 use tbpoint_cluster::Clustering;
+use tbpoint_emu::LaunchProfile;
 use tbpoint_emu::RunProfile;
 use tbpoint_ir::KernelRun;
-use tbpoint_obs::{CollectingRecorder, NullRecorder, Recorder, Span, TraceBundle};
-use tbpoint_sim::{simulate_launch_obs, GpuConfig, NullSampling};
+use tbpoint_ir::LaunchSpec;
+use tbpoint_obs::{
+    CollectingRecorder, DegradeReason, EventKind, NullRecorder, Recorder, Span, TraceBundle,
+};
+use tbpoint_sim::{simulate_launch_obs, CycleBudgetHook, GpuConfig, NullSampling, SamplingHook};
 
 /// Full TBPoint configuration (paper defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,6 +59,15 @@ pub struct TbpointConfig {
     /// Worker threads for simulating independent representative launches
     /// (1 = serial; results are identical at any count).
     pub sim_threads: usize,
+    /// Bound on warming units per region before the sampler abandons the
+    /// region and degrades to detailed simulation (`None` = warm
+    /// indefinitely, the paper's behaviour). Must be at least
+    /// `warming_window` when set.
+    pub warming_budget: Option<u32>,
+    /// Per-launch simulated-cycle watchdog: a representative still
+    /// dispatching blocks past this many cycles is drained and reported
+    /// as [`TbError::BudgetExceeded`] (`None` = no watchdog).
+    pub cycle_budget: Option<u64>,
 }
 
 impl Default for TbpointConfig {
@@ -68,6 +81,8 @@ impl Default for TbpointConfig {
             inter_enabled: true,
             intra_enabled: true,
             sim_threads: 1,
+            warming_budget: None,
+            cycle_budget: None,
         }
     }
 }
@@ -107,6 +122,20 @@ impl TbpointConfig {
                     self.warming_window
                 ),
             ));
+        }
+        if let Some(budget) = self.warming_budget {
+            if (budget as usize) < self.warming_window {
+                return Err(invalid(
+                    "warming_budget",
+                    format!(
+                        "must allow at least warming_window = {} units (got {budget})",
+                        self.warming_window
+                    ),
+                ));
+            }
+        }
+        if self.cycle_budget == Some(0) {
+            return Err(invalid("cycle_budget", "must be at least 1 cycle (got 0)"));
         }
         Ok(())
     }
@@ -164,6 +193,10 @@ pub struct TbpointResult {
     pub per_launch_predicted_cycles: Vec<f64>,
     /// The inter-launch clustering (diagnostics).
     pub inter_clustering: Clustering,
+    /// Simulated launches that fell back to detailed simulation —
+    /// because their profile failed validation or a region's warming
+    /// budget ran out. Each fallback also emits a `DegradedMode` event.
+    pub degraded_launches: usize,
 }
 
 impl TbpointResult {
@@ -179,6 +212,17 @@ impl TbpointResult {
     /// Absolute sampling error in percent against a reference IPC.
     pub fn error_vs(&self, full_ipc: f64) -> f64 {
         tbpoint_stats::abs_pct_error(self.predicted_ipc, full_ipc)
+    }
+
+    /// Fraction of simulated launches that degraded to detailed
+    /// simulation (0.0 = everything sampled as planned, 1.0 = every
+    /// simulated launch fell back). Zero when nothing was simulated.
+    pub fn degradation_ratio(&self) -> f64 {
+        if self.num_simulated_launches == 0 {
+            0.0
+        } else {
+            self.degraded_launches as f64 / self.num_simulated_launches as f64
+        }
     }
 }
 
@@ -200,6 +244,7 @@ struct RepSim {
     sim_cycles: u64,
     predicted_cycles: f64,
     predicted_ipc: f64,
+    degraded: bool,
 }
 
 fn check_profile(run: &KernelRun, profile: &RunProfile) -> Result<(), TbError> {
@@ -227,9 +272,73 @@ fn pick_launches(profile: &RunProfile, cfg: &TbpointConfig, n_launches: usize) -
     }
 }
 
+/// Sanity-check one representative's launch profile before trusting it
+/// for fast-forwarding: the block roster must match the launch spec and
+/// the derived features must be finite numbers. A failure here means the
+/// profile is truncated, padded, misnumbered or numerically corrupt.
+fn validate_launch_profile(spec: &LaunchSpec, lp: &LaunchProfile) -> Result<(), String> {
+    if lp.tbs.len() != spec.num_blocks as usize {
+        return Err(format!(
+            "profile has {} thread blocks, launch declares {}",
+            lp.tbs.len(),
+            spec.num_blocks
+        ));
+    }
+    for (i, tb) in lp.tbs.iter().enumerate() {
+        if tb.tb_id.0 as usize != i {
+            return Err(format!("thread block {i} is numbered {}", tb.tb_id.0));
+        }
+    }
+    let f = lp.inter_features();
+    if !(f.thread_insts.is_finite()
+        && f.warp_insts.is_finite()
+        && f.mem_requests.is_finite()
+        && f.tb_size_cov.is_finite())
+    {
+        return Err("inter-launch features are not finite".to_string());
+    }
+    Ok(())
+}
+
+/// Run one launch simulation under the optional cycle-budget watchdog.
+fn simulate_guarded<R: Recorder>(
+    run: &KernelRun,
+    spec: &LaunchSpec,
+    gpu: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    cycle_budget: Option<u64>,
+    rep: usize,
+    rec: &R,
+) -> Result<tbpoint_sim::LaunchSimResult, TbError> {
+    match cycle_budget {
+        Some(budget) => {
+            let mut guard = CycleBudgetHook::new(hook, budget);
+            let r = simulate_launch_obs(&run.kernel, spec, gpu, &mut guard, None, rec);
+            if guard.exceeded() {
+                Err(TbError::BudgetExceeded {
+                    launch: rep,
+                    budget_cycles: budget,
+                })
+            } else {
+                Ok(r)
+            }
+        }
+        None => Ok(simulate_launch_obs(&run.kernel, spec, gpu, hook, None, rec)),
+    }
+}
+
 /// Step 2 for one representative: simulate it with intra-launch sampling
 /// (when enabled), reporting into `rec`. Monomorphised over the recorder,
 /// so the untraced pipeline keeps its zero-instrumentation fast path.
+///
+/// Degradation ladder: a representative whose profile fails validation
+/// is simulated in full and its IPC taken from the simulator (the
+/// profile's instruction counts are untrustworthy); a region whose
+/// warming budget runs out falls back to detailed simulation inside the
+/// sampler. Both paths emit `DegradedMode` and mark the rep degraded. A
+/// launch that overruns `cfg.cycle_budget` is the one unrecoverable
+/// case: its numbers are garbage, so it surfaces as
+/// [`TbError::BudgetExceeded`].
 fn simulate_rep<R: Recorder>(
     run: &KernelRun,
     profile: &RunProfile,
@@ -238,54 +347,84 @@ fn simulate_rep<R: Recorder>(
     occupancy: u32,
     rep: usize,
     rec: &R,
-) -> RepSim {
+) -> Result<RepSim, TbError> {
     let spec = &run.launches[rep];
     let launch_profile = &profile.launches[rep];
-    let launch_insts: u64 = launch_profile.warp_insts();
-    let full = |rec: &R| {
-        let r = simulate_launch_obs(&run.kernel, spec, gpu, &mut NullSampling, None, rec);
-        (r.cycles, r.issued_warp_insts, 0, 0.0)
+
+    let profile_ok = match validate_launch_profile(spec, launch_profile) {
+        Ok(()) => true,
+        Err(_) => {
+            rec.record(
+                0,
+                EventKind::DegradedMode {
+                    reason: DegradeReason::ProfileInvalid,
+                },
+            );
+            false
+        }
     };
-    let (sim_cycles, issued, skipped_insts, predicted_skip_cycles) = if cfg.intra_enabled {
+
+    if profile_ok && cfg.intra_enabled {
         let epochs = build_epochs(launch_profile, occupancy);
         let table = identify_regions(&epochs, &cfg.intra);
-        let sampler = RegionSampler::builder(&table, launch_profile)
+        let mut sampler = RegionSampler::builder(&table, launch_profile)
             .threshold(cfg.warming_threshold)
             .unit_tb_span(cfg.unit_tb_span)
             .warming_window(cfg.warming_window)
+            .warming_budget(cfg.warming_budget)
             .recorder(rec)
-            .build();
-        match sampler {
-            Ok(mut sampler) => {
-                let r = simulate_launch_obs(&run.kernel, spec, gpu, &mut sampler, None, rec);
-                let o = sampler.outcome();
-                (
-                    r.cycles,
-                    r.issued_warp_insts,
-                    o.skipped_warp_insts,
-                    o.predicted_skipped_cycles,
-                )
-            }
-            // Unreachable once the config validated; degrade to a full
-            // (unsampled) simulation rather than abort mid-pipeline.
-            Err(_) => full(rec),
-        }
+            .build()?;
+        let r = simulate_guarded(run, spec, gpu, &mut sampler, cfg.cycle_budget, rep, rec)?;
+        let o = sampler.outcome();
+        let launch_insts = launch_profile.warp_insts();
+        let predicted_cycles = r.cycles as f64 + o.predicted_skipped_cycles;
+        let predicted_ipc = if predicted_cycles > 0.0 {
+            launch_insts as f64 / predicted_cycles
+        } else {
+            0.0
+        };
+        return Ok(RepSim {
+            issued: r.issued_warp_insts,
+            skipped_insts: o.skipped_warp_insts,
+            sim_cycles: r.cycles,
+            predicted_cycles,
+            predicted_ipc,
+            degraded: o.degraded_regions > 0,
+        });
+    }
+
+    // Detailed simulation: either intra-launch sampling is disabled, or
+    // the profile cannot be trusted (degraded). In the degraded case the
+    // launch's instruction count comes from the simulator, not the
+    // corrupt profile.
+    let r = simulate_guarded(
+        run,
+        spec,
+        gpu,
+        &mut NullSampling,
+        cfg.cycle_budget,
+        rep,
+        rec,
+    )?;
+    let launch_insts = if profile_ok {
+        launch_profile.warp_insts()
     } else {
-        full(rec)
+        r.issued_warp_insts
     };
-    let predicted_cycles = sim_cycles as f64 + predicted_skip_cycles;
+    let predicted_cycles = r.cycles as f64;
     let predicted_ipc = if predicted_cycles > 0.0 {
         launch_insts as f64 / predicted_cycles
     } else {
         0.0
     };
-    RepSim {
-        issued,
-        skipped_insts,
-        sim_cycles,
+    Ok(RepSim {
+        issued: r.issued_warp_insts,
+        skipped_insts: 0,
+        sim_cycles: r.cycles,
         predicted_cycles,
         predicted_ipc,
-    }
+        degraded: !profile_ok,
+    })
 }
 
 /// Steps 3-4: extend representatives to their clusters and aggregate.
@@ -300,6 +439,7 @@ fn aggregate(
     let mut rep_outcome: Vec<Option<(f64, f64)>> = vec![None; n_launches];
     let mut simulated_warp_insts = 0u64;
     let mut intra_skipped = 0u64;
+    let mut degraded_launches = 0usize;
     for (&rep, result) in inter.representatives.iter().zip(rep_results) {
         // Every slot is written exactly once (serial loops and the worker
         // scope both fill every index), so an empty slot is unreachable;
@@ -309,6 +449,9 @@ fn aggregate(
         };
         simulated_warp_insts += r.issued;
         intra_skipped += r.skipped_insts;
+        if r.degraded {
+            degraded_launches += 1;
+        }
         rep_outcome[rep] = Some((r.predicted_cycles, r.predicted_ipc));
     }
 
@@ -354,6 +497,7 @@ fn aggregate(
         num_launches: n_launches,
         per_launch_predicted_cycles,
         inter_clustering: inter.clustering,
+        degraded_launches,
     }
 }
 
@@ -400,30 +544,56 @@ pub fn run_tbpoint(
                 occupancy,
                 rep,
                 &NullRecorder,
-            ));
+            )?);
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut rep_results);
+        // Errors land here keyed by representative index; the lowest
+        // index wins below so the reported error is deterministic at any
+        // worker count. Workers stop pulling work once an error exists.
+        let errors: std::sync::Mutex<Vec<(usize, TbError)>> = std::sync::Mutex::new(Vec::new());
         let reps = &inter.representatives;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if !errors
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .is_empty()
+                    {
+                        break;
+                    }
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= reps.len() {
                         break;
                     }
-                    let r = simulate_rep(run, profile, cfg, gpu, occupancy, reps[i], &NullRecorder);
-                    // A poisoned lock means a sibling worker panicked while
-                    // holding it; the slot table is still well-formed (each
-                    // worker writes disjoint indices), so keep going and let
-                    // the scope propagate the original panic.
-                    slots
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                    match simulate_rep(run, profile, cfg, gpu, occupancy, reps[i], &NullRecorder) {
+                        // A poisoned lock means a sibling worker panicked
+                        // while holding it; the slot table is still
+                        // well-formed (each worker writes disjoint
+                        // indices), so keep going and let the scope
+                        // propagate the original panic.
+                        Ok(r) => {
+                            slots
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                        }
+                        Err(e) => errors
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((i, e)),
+                    }
                 });
             }
         });
+        let mut errs = errors
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        errs.sort_by_key(|(i, _)| *i);
+        if let Some((_, e)) = errs.into_iter().next() {
+            return Err(e);
+        }
     }
 
     Ok(aggregate(run, profile, inter, &rep_results))
@@ -462,7 +632,7 @@ pub fn run_tbpoint_traced(
             launch: run.launches[rep].launch_id.0,
         };
         rec.span_start(0, span);
-        let r = simulate_rep(run, profile, cfg, gpu, occupancy, rep, &rec);
+        let r = simulate_rep(run, profile, cfg, gpu, occupancy, rep, &rec)?;
         rec.span_end(r.sim_cycles, span);
         rep_results.push(Some(r));
         traces.push(LaunchTrace {
@@ -659,6 +829,157 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn invalid_profile_degrades_to_detailed_simulation() {
+        let run = homogeneous_run(3, 200);
+        let gpu = GpuConfig::fermi();
+        let mut profile = profile_run(&run, 2);
+        // Truncate every launch's block roster: validation must fail and
+        // the pipeline must fall back to full detailed simulation of the
+        // representatives instead of indexing out of bounds.
+        for lp in &mut profile.launches {
+            lp.tbs.pop();
+        }
+        let result = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu).unwrap();
+        assert_eq!(result.degraded_launches, result.num_simulated_launches);
+        assert_eq!(result.degradation_ratio(), 1.0);
+        // Degraded reps run in full: nothing was intra-skipped.
+        assert_eq!(result.breakdown.intra_skipped_warp_insts, 0);
+        assert!(result.predicted_ipc.is_finite() && result.predicted_ipc > 0.0);
+    }
+
+    #[test]
+    fn invalid_profile_emits_degraded_mode_event() {
+        let run = homogeneous_run(2, 100);
+        let gpu = GpuConfig::fermi();
+        let mut profile = profile_run(&run, 2);
+        for lp in &mut profile.launches {
+            lp.tbs.pop();
+        }
+        let (result, traces) =
+            run_tbpoint_traced(&run, &profile, &TbpointConfig::default(), &gpu).unwrap();
+        assert!(result.degraded_launches > 0);
+        let degraded_events: usize = traces
+            .iter()
+            .flat_map(|t| &t.trace.events)
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    tbpoint_obs::EventKind::DegradedMode {
+                        reason: DegradeReason::ProfileInvalid
+                    }
+                )
+            })
+            .count();
+        assert_eq!(degraded_events, result.degraded_launches);
+    }
+
+    #[test]
+    fn warming_budget_abandons_unstable_regions() {
+        let run = homogeneous_run(1, 1800);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        // A threshold no pair of real unit IPCs can meet plus the
+        // tightest legal budget forces every region to abandon warming.
+        let cfg = TbpointConfig {
+            warming_threshold: 1e-300,
+            warming_budget: Some(crate::sampling::WARMING_WINDOW as u32),
+            ..Default::default()
+        };
+        let (result, traces) = run_tbpoint_traced(&run, &profile, &cfg, &gpu).unwrap();
+        assert_eq!(result.degraded_launches, 1);
+        assert!(result.degradation_ratio() > 0.0);
+        // Abandoned regions are simulated in detail: no fast-forwarding.
+        assert_eq!(result.breakdown.intra_skipped_warp_insts, 0);
+        assert!(traces.iter().flat_map(|t| &t.trace.events).any(|e| {
+            matches!(
+                e.kind,
+                tbpoint_obs::EventKind::DegradedMode {
+                    reason: DegradeReason::WarmingBudgetExceeded { .. }
+                }
+            )
+        }));
+        // Sanity: the same config without the budget warms forever but
+        // still terminates (regions just never fast-forward).
+        let no_budget = TbpointConfig {
+            warming_budget: None,
+            ..cfg
+        };
+        let r2 = run_tbpoint(&run, &profile, &no_budget, &gpu).unwrap();
+        assert_eq!(r2.degraded_launches, 0);
+    }
+
+    #[test]
+    fn cycle_budget_overrun_is_an_error_not_a_hang() {
+        let run = homogeneous_run(1, 1800);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig {
+            cycle_budget: Some(1),
+            ..Default::default()
+        };
+        let err = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap_err();
+        assert_eq!(
+            err,
+            TbError::BudgetExceeded {
+                launch: 0,
+                budget_cycles: 1
+            }
+        );
+        // A generous budget never trips and leaves the result untouched.
+        let roomy = TbpointConfig {
+            cycle_budget: Some(u64::MAX),
+            ..Default::default()
+        };
+        let guarded = run_tbpoint(&run, &profile, &roomy, &gpu).unwrap();
+        let plain = run_tbpoint(&run, &profile, &TbpointConfig::default(), &gpu).unwrap();
+        assert_eq!(guarded, plain);
+    }
+
+    #[test]
+    fn resilience_config_fields_are_validated() {
+        let bad_budget = TbpointConfig {
+            warming_budget: Some(1),
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_budget.validate().unwrap_err(),
+            TbError::InvalidConfig {
+                field: "warming_budget",
+                ..
+            }
+        ));
+        let zero_cycles = TbpointConfig {
+            cycle_budget: Some(0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            zero_cycles.validate().unwrap_err(),
+            TbError::InvalidConfig {
+                field: "cycle_budget",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn degradation_ratio_math() {
+        let run = homogeneous_run(2, 100);
+        let profile = profile_run(&run, 2);
+        let mut r = run_tbpoint(
+            &run,
+            &profile,
+            &TbpointConfig::default(),
+            &GpuConfig::fermi(),
+        )
+        .unwrap();
+        assert_eq!(r.degradation_ratio(), 0.0);
+        r.degraded_launches = r.num_simulated_launches;
+        assert_eq!(r.degradation_ratio(), 1.0);
+        r.num_simulated_launches = 0;
+        assert_eq!(r.degradation_ratio(), 0.0);
     }
 
     #[test]

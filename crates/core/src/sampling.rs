@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use tbpoint_emu::LaunchProfile;
 use tbpoint_ir::TbId;
-use tbpoint_obs::{EventKind, NullRecorder, Recorder};
+use tbpoint_obs::{DegradeReason, EventKind, NullRecorder, Recorder};
 use tbpoint_sim::{DispatchDecision, SamplingHook};
 
 /// Accounting produced by one sampled launch.
@@ -43,6 +43,10 @@ pub struct IntraOutcome {
     pub units_observed: u32,
     /// Regions entered (diagnostic).
     pub regions_entered: u32,
+    /// Regions abandoned because their IPC failed to stabilise within
+    /// the warming budget (each abandonment is a `DegradedMode` event;
+    /// the abandoned region's blocks are simulated in detail).
+    pub degraded_regions: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,10 +67,12 @@ pub struct RegionSampler<'a> {
     warming_threshold: f64,
     unit_tb_span: u32,
     warming_window: usize,
+    warming_budget: Option<u32>,
     recorder: &'a dyn Recorder,
     state: State,
     resident: BTreeSet<u32>,
     resident_region: Option<u32>, // cached "all residents in this region"
+    abandoned: BTreeSet<u32>,     // regions whose warming budget ran out
     designated: Option<u32>,
     need_designation: bool,
     unit_tbs_retired: u32,
@@ -106,6 +112,7 @@ pub struct RegionSamplerBuilder<'a> {
     threshold: f64,
     unit_tb_span: u32,
     warming_window: usize,
+    warming_budget: Option<u32>,
     recorder: &'a dyn Recorder,
 }
 
@@ -128,6 +135,17 @@ impl<'a> RegionSamplerBuilder<'a> {
     /// (see [`WARMING_WINDOW`]). Must be at least 2.
     pub fn warming_window(mut self, window: usize) -> Self {
         self.warming_window = window;
+        self
+    }
+
+    /// Bound the warming phase: if a region's per-unit IPC has not
+    /// converged after this many closed units, the region is *abandoned*
+    /// — a `DegradedMode` event is emitted and all of its blocks are
+    /// simulated in detail (graceful degradation instead of
+    /// fast-forwarding on an IPC that never stabilised). `None` (the
+    /// default, and the paper's behaviour) warms indefinitely.
+    pub fn warming_budget(mut self, budget: Option<u32>) -> Self {
+        self.warming_budget = budget;
         self
     }
 
@@ -165,16 +183,29 @@ impl<'a> RegionSamplerBuilder<'a> {
                 ),
             ));
         }
+        if let Some(budget) = self.warming_budget {
+            if (budget as usize) < self.warming_window {
+                return Err(invalid(
+                    "warming_budget",
+                    format!(
+                        "must allow at least warming_window = {} units (got {budget})",
+                        self.warming_window
+                    ),
+                ));
+            }
+        }
         Ok(RegionSampler {
             table: self.table,
             profile: self.profile,
             warming_threshold: self.threshold,
             unit_tb_span: self.unit_tb_span,
             warming_window: self.warming_window,
+            warming_budget: self.warming_budget,
             recorder: self.recorder,
             state: State::Outside,
             resident: BTreeSet::new(),
             resident_region: None,
+            abandoned: BTreeSet::new(),
             designated: None,
             need_designation: true,
             unit_tbs_retired: 0,
@@ -207,6 +238,7 @@ impl<'a> RegionSampler<'a> {
             threshold: 0.10,
             unit_tb_span: DEFAULT_UNIT_TB_SPAN,
             warming_window: WARMING_WINDOW,
+            warming_budget: None,
             recorder: &NullRecorder,
         }
     }
@@ -242,6 +274,11 @@ impl<'a> RegionSampler<'a> {
         }
         self.recompute_resident_region();
         if let Some(r) = self.resident_region {
+            if self.abandoned.contains(&r) {
+                // The region's warming budget already ran out: its blocks
+                // stay on the detailed-simulation path.
+                return;
+            }
             self.state = State::Warming(r);
             self.warm_ipcs.clear();
             self.outcome.regions_entered += 1;
@@ -261,25 +298,32 @@ impl SamplingHook for RegionSampler<'_> {
     fn on_dispatch(&mut self, tb: TbId, cycle: u64, issued: u64) -> DispatchDecision {
         let region = self.table.region_of(tb);
 
-        // Fast-forward: skip in-region blocks outright.
+        // Fast-forward: skip in-region blocks outright. A block missing
+        // from the profile (e.g. a truncated profile file) cannot be
+        // fast-forwarded — its instruction count is unknown — so it falls
+        // through to detailed simulation instead of indexing out of
+        // bounds.
         if let State::FastForward { region: r, ipc } = self.state {
             if region == Some(r) {
-                let insts = self.profile.tbs[tb.0 as usize].warp_insts;
-                self.outcome.skipped_tbs += 1;
-                self.outcome.skipped_warp_insts += insts;
-                if ipc > 0.0 {
-                    self.outcome.predicted_skipped_cycles += insts as f64 / ipc;
+                if let Some(tbp) = self.profile.tbs.get(tb.0 as usize) {
+                    let insts = tbp.warp_insts;
+                    self.outcome.skipped_tbs += 1;
+                    self.outcome.skipped_warp_insts += insts;
+                    if ipc > 0.0 {
+                        self.outcome.predicted_skipped_cycles += insts as f64 / ipc;
+                    }
+                    self.recorder.record(
+                        cycle,
+                        EventKind::BlockSkipped {
+                            tb: tb.0,
+                            warp_insts: insts,
+                        },
+                    );
+                    return DispatchDecision::Skip;
                 }
-                self.recorder.record(
-                    cycle,
-                    EventKind::BlockSkipped {
-                        tb: tb.0,
-                        warp_insts: insts,
-                    },
-                );
-                return DispatchDecision::Skip;
             }
-            // A block from elsewhere: the region exits (Fig. 7).
+            // A block from elsewhere (or unknown to the profile): the
+            // region exits (Fig. 7).
             self.exit_region(cycle);
         } else if let State::Warming(r) = self.state {
             if region != Some(r) {
@@ -335,6 +379,7 @@ impl SamplingHook for RegionSampler<'_> {
                     // `WARMING_WINDOW` units must be pairwise within the
                     // band, which rejects a sustained trend.
                     let n = self.warm_ipcs.len();
+                    let mut converged = false;
                     if n >= self.warming_window {
                         let window = &self.warm_ipcs[n - self.warming_window..];
                         let lo = window.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -342,6 +387,7 @@ impl SamplingHook for RegionSampler<'_> {
                         if lo > 0.0 && (hi - lo) / lo < self.warming_threshold {
                             // Stable: fast-forward, predicting with the
                             // last warm unit's IPC.
+                            converged = true;
                             self.state = State::FastForward {
                                 region: r,
                                 ipc: unit_ipc,
@@ -353,6 +399,25 @@ impl SamplingHook for RegionSampler<'_> {
                                     ipc: unit_ipc,
                                 },
                             );
+                        }
+                    }
+                    // Warming budget: a region still not converged after
+                    // `warming_budget` units is abandoned — its IPC is not
+                    // trustworthy, so its blocks keep simulating in detail
+                    // (graceful degradation) instead of fast-forwarding.
+                    if !converged {
+                        if let Some(budget) = self.warming_budget {
+                            if n >= budget as usize {
+                                self.abandoned.insert(r);
+                                self.outcome.degraded_regions += 1;
+                                self.recorder.record(
+                                    cycle,
+                                    EventKind::DegradedMode {
+                                        reason: DegradeReason::WarmingBudgetExceeded { region: r },
+                                    },
+                                );
+                                self.exit_region(cycle);
+                            }
                         }
                     }
                 }

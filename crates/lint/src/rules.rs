@@ -62,6 +62,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "baselines",
     "model",
     "ir",
+    "resilience",
 ];
 
 /// Crates where float `==`/`!=` on distances/features is NaN-hazardous.

@@ -110,6 +110,32 @@ pub enum EventKind {
         /// Warp instructions the block would have issued.
         warp_insts: u64,
     },
+
+    // --- resilience (tbpoint-core) ---
+    /// The pipeline fell back to detailed simulation instead of
+    /// fast-forwarding on untrustworthy data.
+    DegradedMode {
+        /// What triggered the fallback.
+        reason: DegradeReason,
+    },
+}
+
+/// Why the pipeline degraded to detailed simulation (payload of
+/// [`EventKind::DegradedMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// A representative launch's profile failed validation (wrong block
+    /// count, misnumbered blocks, or non-finite features): the launch is
+    /// simulated in full and its IPC taken from the simulator, not the
+    /// profile.
+    ProfileInvalid,
+    /// A region's per-unit IPC failed to stabilise within the configured
+    /// warming budget: the region is abandoned and its remaining blocks
+    /// simulated in detail.
+    WarmingBudgetExceeded {
+        /// The abandoned region's index.
+        region: u32,
+    },
 }
 
 impl EventKind {
@@ -129,6 +155,7 @@ impl EventKind {
             EventKind::UnitClosed { .. } => "UnitClosed",
             EventKind::FastForwardStarted { .. } => "FastForwardStarted",
             EventKind::BlockSkipped { .. } => "BlockSkipped",
+            EventKind::DegradedMode { .. } => "DegradedMode",
         }
     }
 }
@@ -231,8 +258,36 @@ impl TraceBundle {
     /// Parse text produced by [`TraceBundle::to_jsonl`] (or by
     /// `JsonlRecorder::finish`). Unknown line shapes are an error;
     /// blank lines are skipped.
+    ///
+    /// This parser is *lenient*: text truncated exactly at a newline
+    /// boundary parses as a valid shorter bundle, and a bit flip that
+    /// stays within JSON syntax goes unnoticed. Durable artifacts should
+    /// use [`TraceBundle::to_jsonl_checked`] /
+    /// [`TraceBundle::from_jsonl_checked`] instead.
     pub fn from_jsonl(text: &str) -> Result<TraceBundle, serde_json::Error> {
         crate::jsonl::parse_bundle(text)
+    }
+
+    /// [`TraceBundle::to_jsonl`] followed by an integrity trailer line
+    /// (non-empty line count + FNV-1a-64 checksum of the body). The
+    /// sealed text is still line-oriented JSON; parse it back with
+    /// [`TraceBundle::from_jsonl_checked`].
+    pub fn to_jsonl_checked(&self) -> String {
+        crate::integrity::seal(&self.to_jsonl())
+    }
+
+    /// Strict parse of text produced by [`TraceBundle::to_jsonl_checked`]:
+    /// the trailer is required, and any byte damage to the body —
+    /// truncation (even at a newline boundary), bit flips, spliced or
+    /// dropped records — fails verification before parsing begins.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::TraceError`] describing the first integrity violation, or
+    /// wrapping the parse error when the verified body is not a trace.
+    pub fn from_jsonl_checked(text: &str) -> Result<TraceBundle, crate::TraceError> {
+        let body = crate::integrity::verify(text)?;
+        crate::jsonl::parse_bundle(body).map_err(|e| crate::TraceError::Parse(e.to_string()))
     }
 }
 

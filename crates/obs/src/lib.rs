@@ -33,9 +33,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod event;
+mod integrity;
 mod jsonl;
 mod recorder;
 
-pub use event::{Counter, Event, EventKind, GaugeSummary, Span, TraceBundle};
+pub use event::{Counter, DegradeReason, Event, EventKind, GaugeSummary, Span, TraceBundle};
+pub use integrity::{fnv1a64, seal, verify, TraceError};
 pub use jsonl::{event_line, parse_event};
 pub use recorder::{CollectingRecorder, JsonlRecorder, NullRecorder, Recorder};

@@ -1,0 +1,357 @@
+//! The fault taxonomy and deterministic injectors.
+//!
+//! Every injector is a pure function of `(input, fault, seed)` built on
+//! the stateless [`tbpoint_stats`] mixers, so a failing matrix cell can
+//! be replayed exactly from its `(fault, seed)` coordinates.
+//!
+//! Faults target the pipeline's two trust boundaries:
+//!
+//! * **profile faults** ([`inject_profile`]) perturb the one-time
+//!   emulator profile that inter-launch clustering and region sampling
+//!   trust: stall-probability jitter, dropped/duplicated epoch-sized
+//!   runs of thread blocks, and noise on the counters behind the Eq. 2
+//!   inter-launch feature vectors;
+//! * **trace faults** ([`corrupt_text`]) damage a checksummed JSONL
+//!   trace bundle in transit: truncation, bit flips and mid-record
+//!   splices.
+
+use serde::{Deserialize, Serialize};
+use tbpoint_emu::RunProfile;
+use tbpoint_stats::unit_f64;
+
+/// Thread blocks per "epoch" chunk for the drop/duplicate faults — an
+/// occupancy-sized run, matching how the intra-launch clusterer groups
+/// TBs into epochs (Eq. 4).
+pub const EPOCH_CHUNK: usize = 32;
+
+/// One injectable fault. Magnitudes are relative: `0.1` means counters
+/// move by up to ±10%, fractions are the share of epoch chunks affected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Jitter each TB's `mem_requests` (the stall-probability numerator,
+    /// Eq. 5) by a factor in `1 ± magnitude`. The profile stays
+    /// structurally valid; region identification sees noisy stall
+    /// probabilities.
+    StallJitter {
+        /// Maximum relative perturbation (e.g. `0.2` = ±20%).
+        magnitude: f64,
+    },
+    /// Remove epoch-sized runs of TB profiles from every launch. The
+    /// block roster no longer matches the launch spec, so profile
+    /// validation must fail and the pipeline must degrade, not index
+    /// out of bounds.
+    DropEpochs {
+        /// Share of epoch chunks to remove (at least one when positive).
+        fraction: f64,
+    },
+    /// Duplicate epoch-sized runs of TB profiles in every launch
+    /// (roster too long and misnumbered — again must degrade).
+    DuplicateEpochs {
+        /// Share of epoch chunks to duplicate (at least one when
+        /// positive).
+        fraction: f64,
+    },
+    /// Scale each launch's instruction and memory counters by
+    /// per-launch factors in `1 ± magnitude`, shifting its Eq. 2
+    /// inter-launch feature vector while keeping the profile valid.
+    FeatureNoise {
+        /// Maximum relative perturbation.
+        magnitude: f64,
+    },
+    /// Cut a sealed JSONL trace at a seeded byte offset.
+    TruncateTrace,
+    /// Flip one low bit of a seeded byte of a sealed JSONL trace.
+    BitFlipTrace,
+    /// Delete a seeded byte range spanning a record boundary, splicing
+    /// two records into one malformed line.
+    SpliceTrace,
+}
+
+impl Fault {
+    /// Short stable name for reports and artifact files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::StallJitter { .. } => "stall-jitter",
+            Fault::DropEpochs { .. } => "drop-epochs",
+            Fault::DuplicateEpochs { .. } => "duplicate-epochs",
+            Fault::FeatureNoise { .. } => "feature-noise",
+            Fault::TruncateTrace => "truncate-trace",
+            Fault::BitFlipTrace => "bit-flip-trace",
+            Fault::SpliceTrace => "splice-trace",
+        }
+    }
+
+    /// Whether this fault perturbs a [`RunProfile`] (as opposed to a
+    /// serialized trace bundle).
+    pub fn is_profile_fault(&self) -> bool {
+        !matches!(
+            self,
+            Fault::TruncateTrace | Fault::BitFlipTrace | Fault::SpliceTrace
+        )
+    }
+
+    /// The default matrix roster: every fault kind once, at magnitudes
+    /// large enough to be visible but small enough that the sampler is
+    /// still exercised (not just rejected at the door).
+    pub fn default_matrix() -> Vec<Fault> {
+        vec![
+            Fault::StallJitter { magnitude: 0.3 },
+            Fault::DropEpochs { fraction: 0.25 },
+            Fault::DuplicateEpochs { fraction: 0.25 },
+            Fault::FeatureNoise { magnitude: 0.3 },
+            Fault::TruncateTrace,
+            Fault::BitFlipTrace,
+            Fault::SpliceTrace,
+        ]
+    }
+}
+
+/// Scale a counter by a factor, saturating at the `u64` range.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn scale_count(x: u64, factor: f64) -> u64 {
+    let v = (x as f64 * factor).round();
+    if v <= 0.0 {
+        0
+    } else if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        v as u64
+    }
+}
+
+/// A deterministic factor in `1 ± magnitude` keyed by coordinates.
+fn jitter_factor(coords: &[u64], magnitude: f64) -> f64 {
+    1.0 + magnitude * (2.0 * unit_f64(coords) - 1.0)
+}
+
+/// Seeded index into a collection of `n` elements. The cast cannot
+/// truncate: `n` comes from an in-memory collection's length, so the
+/// result fits `usize`.
+#[allow(clippy::cast_possible_truncation)]
+fn seeded_index(coords: &[u64], n: usize) -> usize {
+    tbpoint_stats::unit_index(coords, n as u64) as usize
+}
+
+/// Apply a profile fault in place, deterministically under `seed`.
+/// Trace faults leave the profile untouched (use [`corrupt_text`]).
+pub fn inject_profile(profile: &mut RunProfile, fault: Fault, seed: u64) {
+    match fault {
+        Fault::StallJitter { magnitude } => {
+            for (l, lp) in profile.launches.iter_mut().enumerate() {
+                for (i, tb) in lp.tbs.iter_mut().enumerate() {
+                    let f = jitter_factor(&[seed, 1, l as u64, i as u64], magnitude);
+                    tb.mem_requests = scale_count(tb.mem_requests, f);
+                }
+            }
+        }
+        Fault::FeatureNoise { magnitude } => {
+            for (l, lp) in profile.launches.iter_mut().enumerate() {
+                // One factor per feature per launch, so the launch's
+                // whole feature vector shifts coherently.
+                let ft = jitter_factor(&[seed, 2, l as u64, 0], magnitude);
+                let fw = jitter_factor(&[seed, 2, l as u64, 1], magnitude);
+                let fm = jitter_factor(&[seed, 2, l as u64, 2], magnitude);
+                for tb in &mut lp.tbs {
+                    tb.thread_insts = scale_count(tb.thread_insts, ft);
+                    tb.warp_insts = scale_count(tb.warp_insts, fw);
+                    tb.mem_requests = scale_count(tb.mem_requests, fm);
+                }
+            }
+        }
+        Fault::DropEpochs { fraction } => {
+            for (l, lp) in profile.launches.iter_mut().enumerate() {
+                let n_chunks = lp.tbs.len().div_ceil(EPOCH_CHUNK).max(1);
+                let mut keep: Vec<bool> = (0..n_chunks)
+                    .map(|c| unit_f64(&[seed, 3, l as u64, c as u64]) >= fraction)
+                    .collect();
+                // A positive fraction must drop something, or the cell
+                // silently tests nothing.
+                if fraction > 0.0 && keep.iter().all(|&k| k) {
+                    let c = seeded_index(&[seed, 4, l as u64], n_chunks);
+                    keep[c] = false;
+                }
+                let mut kept = Vec::with_capacity(lp.tbs.len());
+                for (i, tb) in lp.tbs.drain(..).enumerate() {
+                    if keep[i / EPOCH_CHUNK] {
+                        kept.push(tb);
+                    }
+                }
+                lp.tbs = kept;
+            }
+        }
+        Fault::DuplicateEpochs { fraction } => {
+            for (l, lp) in profile.launches.iter_mut().enumerate() {
+                let n_chunks = lp.tbs.len().div_ceil(EPOCH_CHUNK).max(1);
+                let mut dup: Vec<bool> = (0..n_chunks)
+                    .map(|c| unit_f64(&[seed, 5, l as u64, c as u64]) < fraction)
+                    .collect();
+                if fraction > 0.0 && !dup.iter().any(|&d| d) {
+                    let c = seeded_index(&[seed, 6, l as u64], n_chunks);
+                    dup[c] = true;
+                }
+                let mut out = Vec::with_capacity(lp.tbs.len() * 2);
+                for (c, chunk) in lp.tbs.chunks(EPOCH_CHUNK).enumerate() {
+                    out.extend_from_slice(chunk);
+                    if dup[c] {
+                        out.extend_from_slice(chunk);
+                    }
+                }
+                lp.tbs = out;
+            }
+        }
+        Fault::TruncateTrace | Fault::BitFlipTrace | Fault::SpliceTrace => {}
+    }
+}
+
+/// Damage serialized trace text, deterministically under `seed`.
+/// Guaranteed to return text different from the input whenever the
+/// input is at least 4 bytes; profile faults return the input unchanged.
+pub fn corrupt_text(text: &str, fault: Fault, seed: u64) -> String {
+    let bytes = text.as_bytes();
+    if bytes.len() < 4 {
+        return text.to_string();
+    }
+    match fault {
+        Fault::TruncateTrace => {
+            // Cut somewhere in [1, len-1]: always removes at least one
+            // byte, never returns the empty string.
+            let cut = 1 + seeded_index(&[seed, 10], bytes.len() - 1);
+            String::from_utf8_lossy(&bytes[..cut]).into_owned()
+        }
+        Fault::BitFlipTrace => {
+            let pos = seeded_index(&[seed, 11], bytes.len());
+            let bit = seeded_index(&[seed, 12], 5); // bits 0..4 keep ASCII
+            let mut out = bytes.to_vec();
+            out[pos] ^= 1 << bit;
+            String::from_utf8_lossy(&out).into_owned()
+        }
+        Fault::SpliceTrace => {
+            // Remove a range centred on a record boundary: two records
+            // merge into one malformed line (and the line count drops).
+            let newlines: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b == b'\n')
+                .map(|(i, _)| i)
+                .collect();
+            if newlines.is_empty() {
+                return corrupt_text(text, Fault::TruncateTrace, seed);
+            }
+            let nl = newlines[seeded_index(&[seed, 13], newlines.len())];
+            let lo = nl.saturating_sub(1 + seeded_index(&[seed, 14], 8));
+            let hi = (nl + 1 + seeded_index(&[seed, 15], 8)).min(bytes.len());
+            let mut out = bytes[..lo].to_vec();
+            out.extend_from_slice(&bytes[hi..]);
+            String::from_utf8_lossy(&out).into_owned()
+        }
+        _ => text.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbpoint_emu::profile_run;
+    use tbpoint_ir::{AddrPattern, KernelBuilder, KernelRun, LaunchId, LaunchSpec, Op, TripCount};
+
+    fn tiny_run() -> KernelRun {
+        let mut b = KernelBuilder::new("tiny", 7, 64);
+        let body = b.block(&[
+            Op::IAlu,
+            Op::LdGlobal(AddrPattern::Coalesced {
+                region: 0,
+                stride: 4,
+            }),
+        ]);
+        let n = b.loop_(TripCount::Const(10), body);
+        let kernel = b.finish(n);
+        KernelRun {
+            kernel,
+            launches: (0..2)
+                .map(|i| LaunchSpec {
+                    launch_id: LaunchId(i),
+                    num_blocks: 96,
+                    work_scale: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn injectors_are_deterministic_in_the_seed() {
+        let base = profile_run(&tiny_run(), 1);
+        for fault in Fault::default_matrix() {
+            if !fault.is_profile_fault() {
+                continue;
+            }
+            let mut a = base.clone();
+            let mut b = base.clone();
+            let mut c = base.clone();
+            inject_profile(&mut a, fault, 42);
+            inject_profile(&mut b, fault, 42);
+            inject_profile(&mut c, fault, 43);
+            assert_eq!(a, b, "{} not deterministic", fault.name());
+            assert_ne!(a, c, "{} ignores the seed", fault.name());
+            assert_ne!(a, base, "{} changed nothing", fault.name());
+        }
+    }
+
+    #[test]
+    fn drop_and_duplicate_change_the_roster_length() {
+        let base = profile_run(&tiny_run(), 1);
+        let mut dropped = base.clone();
+        inject_profile(&mut dropped, Fault::DropEpochs { fraction: 0.5 }, 7);
+        assert!(dropped.launches[0].tbs.len() < base.launches[0].tbs.len());
+
+        let mut duped = base.clone();
+        inject_profile(&mut duped, Fault::DuplicateEpochs { fraction: 0.5 }, 7);
+        assert!(duped.launches[0].tbs.len() > base.launches[0].tbs.len());
+    }
+
+    #[test]
+    fn jitter_preserves_structure() {
+        let base = profile_run(&tiny_run(), 1);
+        let mut j = base.clone();
+        inject_profile(&mut j, Fault::StallJitter { magnitude: 0.5 }, 9);
+        assert_eq!(j.launches.len(), base.launches.len());
+        for (a, b) in j.launches.iter().zip(&base.launches) {
+            assert_eq!(a.tbs.len(), b.tbs.len());
+            // Only mem_requests moved.
+            for (ta, tb) in a.tbs.iter().zip(&b.tbs) {
+                assert_eq!(ta.warp_insts, tb.warp_insts);
+                assert_eq!(ta.thread_insts, tb.thread_insts);
+            }
+        }
+    }
+
+    #[test]
+    fn text_corruptors_always_change_the_text() {
+        let text = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n";
+        for fault in [
+            Fault::TruncateTrace,
+            Fault::BitFlipTrace,
+            Fault::SpliceTrace,
+        ] {
+            for seed in 0..32u64 {
+                let out = corrupt_text(text, fault, seed);
+                assert_ne!(out, text, "{} seed {seed} was a no-op", fault.name());
+                assert_eq!(
+                    out,
+                    corrupt_text(text, fault, seed),
+                    "{} seed {seed} not deterministic",
+                    fault.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_names_are_stable_and_serializable() {
+        for f in Fault::default_matrix() {
+            let json = serde_json::to_string(&f).expect("serialize");
+            let back: Fault = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, f);
+            assert!(!f.name().is_empty());
+        }
+    }
+}

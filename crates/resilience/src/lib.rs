@@ -1,0 +1,43 @@
+// Tests assert by panicking and compare exact floats on purpose.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
+//! # tbpoint-resilience
+//!
+//! Deterministic fault injection for the TBPoint pipeline's trust
+//! boundaries, and the matrix runner that asserts every fault is
+//! *contained*: the pipeline returns `Err` or degrades gracefully —
+//! it never panics, and corrupted trace bundles never parse silently.
+//!
+//! * [`fault`] — the fault taxonomy ([`Fault`]) and seeded injectors:
+//!   profile perturbations ([`inject_profile`]) and serialized-trace
+//!   damage ([`corrupt_text`]). Everything is a pure function of
+//!   `(input, fault, seed)`, so a failing cell replays exactly.
+//! * [`matrix`] — [`run_fault_matrix`] executes every
+//!   `(benchmark, fault, seed)` cell under `catch_unwind` and
+//!   classifies the [`Outcome`]; [`error_growth`] sweeps injected
+//!   stall-probability noise and quantifies how the sampling error
+//!   grows with it, empirically bracketing the paper's ~10% claim.
+//!
+//! The graceful-degradation behaviour itself lives in `tbpoint-core`
+//! (`TbpointConfig::{warming_budget, cycle_budget}`,
+//! `TbpointResult::degradation_ratio`) and `tbpoint-obs`
+//! (`DegradedMode` events, checksummed JSONL); this crate supplies the
+//! adversarial inputs and the containment report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod matrix;
+
+pub use fault::{corrupt_text, inject_profile, Fault, EPOCH_CHUNK};
+pub use matrix::{
+    error_growth, run_fault_matrix, GrowthPoint, MatrixCell, MatrixOptions, MatrixReport, Outcome,
+};

@@ -48,6 +48,59 @@ impl SamplingHook for NullSampling {
     fn on_retire(&mut self, _tb: TbId, _cycle: u64, _issued: u64) {}
 }
 
+/// Watchdog wrapper: forwards to an inner hook until the simulated clock
+/// passes `budget` cycles, then skips every further dispatch so the
+/// launch drains quickly instead of running away.
+///
+/// Skipped-past-budget blocks consume no SM resources, so once the
+/// budget trips the simulation finishes in at most the lifetime of the
+/// already-resident blocks. The caller checks [`CycleBudgetHook::exceeded`]
+/// after simulation and must treat a tripped run's numbers as garbage
+/// (TBPoint's pipeline surfaces it as `TbError::BudgetExceeded`).
+#[derive(Debug)]
+pub struct CycleBudgetHook<'a, H: SamplingHook + ?Sized> {
+    inner: &'a mut H,
+    budget: u64,
+    exceeded: bool,
+}
+
+impl<'a, H: SamplingHook + ?Sized> CycleBudgetHook<'a, H> {
+    /// Wrap `inner`, aborting dispatch once `cycle > budget`.
+    pub fn new(inner: &'a mut H, budget: u64) -> Self {
+        CycleBudgetHook {
+            inner,
+            budget,
+            exceeded: false,
+        }
+    }
+
+    /// True once a dispatch arrived past the budget (the run's results
+    /// are then meaningless).
+    pub fn exceeded(&self) -> bool {
+        self.exceeded
+    }
+}
+
+impl<H: SamplingHook + ?Sized> SamplingHook for CycleBudgetHook<'_, H> {
+    fn on_dispatch(&mut self, tb: TbId, cycle: u64, issued: u64) -> DispatchDecision {
+        if cycle > self.budget {
+            self.exceeded = true;
+        }
+        if self.exceeded {
+            // Drain mode: don't consult the inner hook (its accounting is
+            // already invalid) — just get the launch over with.
+            return DispatchDecision::Skip;
+        }
+        self.inner.on_dispatch(tb, cycle, issued)
+    }
+
+    fn on_retire(&mut self, tb: TbId, cycle: u64, issued: u64) {
+        if !self.exceeded {
+            self.inner.on_retire(tb, cycle, issued);
+        }
+    }
+}
+
 /// Test helper: skip an explicit set of TB ids (used by simulator tests;
 /// real policies live in `tbpoint-core`).
 #[derive(Debug, Clone, Default)]

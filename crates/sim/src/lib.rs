@@ -53,7 +53,7 @@ pub mod stats;
 pub mod units;
 
 pub use config::{CacheConfig, GpuConfig, SchedPolicy};
-pub use dispatch::{DispatchDecision, NullSampling, SamplingHook};
+pub use dispatch::{CycleBudgetHook, DispatchDecision, NullSampling, SamplingHook};
 pub use simulator::{
     simulate_launch, simulate_launch_obs, simulate_run, LaunchSimResult, RunSimResult,
 };

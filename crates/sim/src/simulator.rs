@@ -462,6 +462,31 @@ mod tests {
     }
 
     #[test]
+    fn cycle_budget_hook_bounds_a_run() {
+        let k = compute_kernel();
+        let cfg = GpuConfig::fermi();
+        // Enough blocks that dispatch continues well past the first wave
+        // (a budget can only trip on a dispatch event).
+        let n = cfg.num_sms * 40;
+        let full = simulate_launch(&k, &launch(n), &cfg, &mut NullSampling, None);
+
+        // A generous budget never trips and changes nothing.
+        let mut inner = NullSampling;
+        let mut hook = crate::dispatch::CycleBudgetHook::new(&mut inner, full.cycles * 2);
+        let r = simulate_launch(&k, &launch(n), &cfg, &mut hook, None);
+        assert!(!hook.exceeded());
+        assert_eq!(r.issued_warp_insts, full.issued_warp_insts);
+
+        // A tiny budget trips and drains the launch quickly.
+        let mut inner = NullSampling;
+        let mut hook = crate::dispatch::CycleBudgetHook::new(&mut inner, 1);
+        let r = simulate_launch(&k, &launch(n), &cfg, &mut hook, None);
+        assert!(hook.exceeded());
+        assert!(r.cycles < full.cycles, "drained run must finish early");
+        assert!(r.skipped_tbs > 0);
+    }
+
+    #[test]
     fn determinism_across_runs() {
         let k = memory_kernel();
         let cfg = GpuConfig::fermi();
