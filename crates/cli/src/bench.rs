@@ -1,0 +1,468 @@
+//! `tbpoint bench` — the recorded performance trajectory.
+//!
+//! Times the two eval stages (functional profile, cycle-level simulate)
+//! for every Table VI workload over the shared `tbpoint-workloads`
+//! fixtures (the same roster the Criterion benches in `crates/bench`
+//! draw from) and writes a schema'd artifact (`BENCH_PR4.json`) holding
+//! per-stage wall times, throughputs and interner hit counts — plus the
+//! frozen pre-optimisation baseline for the speedup comparison. Each
+//! future perf PR regenerates the artifact (seeding `baseline` from the
+//! previous one), growing a measured trajectory instead of anecdotes.
+//!
+//! Methodology: per workload, `reps` measurements of each stage
+//! (single-threaded, whole-launch) and the **minimum** is kept — the
+//! standard wall-clock estimator under scheduler noise. The pinned scale
+//! for the committed artifact is `dev`; `--quick` (CI's `perf-smoke`
+//! job) runs one rep at `tiny` and compares against the artifact's
+//! `quick` section with a deliberately generous regression threshold.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tbpoint_sim::{simulate_launch_perf, GpuConfig, NullSampling, SimPerf};
+use tbpoint_workloads::{all_benchmarks, Scale};
+
+/// Artifact schema identifier; bump on breaking shape changes.
+pub const SCHEMA: &str = "tbpoint-bench/v1";
+
+/// Default artifact path (repo root, committed).
+pub const DEFAULT_ARTIFACT: &str = "BENCH_PR4.json";
+
+/// Fail `--check` when current throughput falls below `committed / 2` —
+/// generous on purpose: CI runners are noisy, and the check exists to
+/// catch order-of-magnitude hot-path regressions, not 10% drift.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// One workload's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WorkloadBench {
+    /// Table VI abbreviation.
+    pub name: String,
+    /// `regular` or `irregular` (Fig. 8 Type II / Type I).
+    pub kind: String,
+    /// Launches in the run.
+    pub launches: u64,
+    /// Total thread blocks across launches.
+    pub blocks: u64,
+    /// Functional-profile stage wall time (best of `reps`).
+    pub profile_ms: f64,
+    /// Cycle-level simulation wall time for every launch (best of `reps`).
+    pub simulate_ms: f64,
+    /// `profile_ms + simulate_ms`.
+    pub eval_ms: f64,
+    /// Warp instructions issued by the simulation.
+    pub warp_insts: u64,
+    /// Simulated cycles summed over launches.
+    pub cycles: u64,
+    /// Simulation throughput: `warp_insts / simulate_ms`.
+    pub warp_insts_per_sec: f64,
+    /// Simulation throughput: `cycles / simulate_ms`.
+    pub cycles_per_sec: f64,
+    /// Warp traces served from the interner.
+    pub intern_hits: u64,
+    /// Warp traces emulated and cached.
+    pub intern_misses: u64,
+    /// Warp traces emulated with caching bypassed (thread-varying).
+    pub intern_uncacheable: u64,
+}
+
+/// Suite-wide sums.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct BenchTotals {
+    /// Sum of per-workload profile times.
+    pub profile_ms: f64,
+    /// Sum of per-workload simulate times.
+    pub simulate_ms: f64,
+    /// Sum of per-workload eval times.
+    pub eval_ms: f64,
+    /// Total warp instructions.
+    pub warp_insts: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// `warp_insts / simulate_ms`.
+    pub warp_insts_per_sec: f64,
+}
+
+/// One workload of the frozen pre-optimisation baseline (no interner
+/// existed there, so no hit counts).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BaselineWorkload {
+    /// Table VI abbreviation.
+    pub name: String,
+    /// Functional-profile stage wall time.
+    pub profile_ms: f64,
+    /// Cycle-level simulation wall time.
+    pub simulate_ms: f64,
+    /// `profile_ms + simulate_ms`.
+    pub eval_ms: f64,
+    /// Warp instructions issued (must match the current build's).
+    pub warp_insts: u64,
+    /// Simulated cycles (must match the current build's).
+    pub cycles: u64,
+}
+
+/// The frozen reference build's measurements, embedded in the artifact
+/// and carried over verbatim when the artifact is regenerated.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BaselineSection {
+    /// Human description of the reference build.
+    pub build: String,
+    /// Scale of `workloads` (matches the artifact's pinned scale).
+    pub scale: String,
+    /// Repetitions (minimum taken).
+    pub reps: u32,
+    /// Per-workload baseline at the pinned scale.
+    pub workloads: Vec<BaselineWorkload>,
+    /// Per-workload baseline at the `--quick` scale.
+    pub quick: Vec<BaselineWorkload>,
+}
+
+/// The committed artifact.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BenchReport {
+    /// Must equal [`SCHEMA`].
+    pub schema: String,
+    /// Build description of the measured binary.
+    pub build: String,
+    /// Pinned scale of `workloads`.
+    pub scale: String,
+    /// Repetitions per stage (minimum taken).
+    pub reps: u32,
+    /// Per-workload measurements at the pinned scale.
+    pub workloads: Vec<WorkloadBench>,
+    /// Suite-wide sums at the pinned scale.
+    pub totals: BenchTotals,
+    /// Scale of the `quick` section (CI smoke runs).
+    pub quick_scale: String,
+    /// One-rep measurements at `quick_scale`, compared by `--check`.
+    pub quick: Vec<WorkloadBench>,
+    /// The frozen pre-optimisation reference, if recorded.
+    pub baseline: Option<BaselineSection>,
+}
+
+/// Description of the currently-measured build (kept in lockstep with
+/// `[profile.release]` in the workspace `Cargo.toml` and the hot-path
+/// defaults in `tbpoint-sim`).
+pub fn build_label() -> String {
+    "release, thin LTO, codegen-units=1; trace interning + event horizon on".to_string()
+}
+
+/// Canonical scale tag used inside the artifact.
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Full => "full",
+        Scale::Dev => "dev",
+        Scale::Tiny => "tiny",
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn per_sec(count: u64, ms: f64) -> f64 {
+    if ms <= 0.0 {
+        0.0
+    } else {
+        (count as f64 / (ms / 1e3)).round()
+    }
+}
+
+/// Measure every Table VI workload at `scale`, `reps` times per stage,
+/// keeping the minimum. Progress lines go to stderr via `progress`.
+pub fn measure(scale: Scale, reps: u32, mut progress: impl FnMut(&str)) -> Vec<WorkloadBench> {
+    let cfg = GpuConfig::fermi();
+    let mut out = Vec::new();
+    for bench in all_benchmarks(scale) {
+        let mut best_profile = f64::MAX;
+        let mut best_sim = f64::MAX;
+        let mut warp_insts = 0u64;
+        let mut cycles = 0u64;
+        let mut perf = SimPerf::default();
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let profile = tbpoint_emu::profile_run(&bench.run, 1);
+            let profile_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            let mut wi = 0u64;
+            let mut cy = 0u64;
+            let mut p = SimPerf::default();
+            for spec in &bench.run.launches {
+                let (r, lp) =
+                    simulate_launch_perf(&bench.run.kernel, spec, &cfg, &mut NullSampling, None);
+                wi += r.issued_warp_insts;
+                cy += r.cycles;
+                p.accumulate(&lp);
+            }
+            let sim_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            // The two stages walk the same deterministic programs; a
+            // mismatch means the simulator dropped or duplicated work.
+            assert_eq!(
+                wi,
+                profile.total_warp_insts(),
+                "{}: simulate disagrees with profile",
+                bench.name
+            );
+            best_profile = best_profile.min(profile_ms);
+            best_sim = best_sim.min(sim_ms);
+            warp_insts = wi;
+            cycles = cy;
+            perf = p;
+        }
+        let eval_ms = best_profile + best_sim;
+        progress(&format!(
+            "{:8} {:>9.1} ms eval ({:>8.1} profile + {:>9.1} simulate), {} warp insts",
+            bench.name, eval_ms, best_profile, best_sim, warp_insts
+        ));
+        out.push(WorkloadBench {
+            name: bench.name.to_string(),
+            kind: match bench.kind {
+                tbpoint_workloads::KernelKind::Regular => "regular".to_string(),
+                tbpoint_workloads::KernelKind::Irregular => "irregular".to_string(),
+            },
+            launches: bench.run.num_launches() as u64,
+            blocks: bench.run.total_blocks(),
+            profile_ms: round2(best_profile),
+            simulate_ms: round2(best_sim),
+            eval_ms: round2(eval_ms),
+            warp_insts,
+            cycles,
+            warp_insts_per_sec: per_sec(warp_insts, best_sim),
+            cycles_per_sec: per_sec(cycles, best_sim),
+            intern_hits: perf.intern_hits,
+            intern_misses: perf.intern_misses,
+            intern_uncacheable: perf.intern_uncacheable,
+        });
+    }
+    out
+}
+
+/// Suite-wide sums of `workloads`.
+pub fn totals(workloads: &[WorkloadBench]) -> BenchTotals {
+    let mut t = BenchTotals::default();
+    for w in workloads {
+        t.profile_ms += w.profile_ms;
+        t.simulate_ms += w.simulate_ms;
+        t.eval_ms += w.eval_ms;
+        t.warp_insts += w.warp_insts;
+        t.cycles += w.cycles;
+    }
+    t.profile_ms = round2(t.profile_ms);
+    t.simulate_ms = round2(t.simulate_ms);
+    t.eval_ms = round2(t.eval_ms);
+    t.warp_insts_per_sec = per_sec(t.warp_insts, t.simulate_ms);
+    t
+}
+
+/// Parse and schema-check an artifact.
+pub fn parse_report(bytes: &[u8]) -> Result<BenchReport, String> {
+    let report: BenchReport =
+        serde_json::from_slice(bytes).map_err(|e| format!("artifact does not parse: {e}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "artifact schema {:?} != expected {:?}",
+            report.schema, SCHEMA
+        ));
+    }
+    if report.workloads.is_empty() {
+        return Err("artifact has no workloads".to_string());
+    }
+    Ok(report)
+}
+
+/// Compare a fresh `--quick` run against the committed artifact's
+/// `quick` section: every workload must retain at least
+/// `1 / REGRESSION_FACTOR` of the committed simulation throughput.
+/// Returns the list of failures (empty = pass).
+pub fn check_regressions(current: &[WorkloadBench], committed: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cur in current {
+        let Some(base) = committed.quick.iter().find(|w| w.name == cur.name) else {
+            failures.push(format!("{}: missing from committed artifact", cur.name));
+            continue;
+        };
+        // Simulated work must be reproducible exactly; a drift here is a
+        // correctness bug, not a perf regression.
+        if cur.warp_insts != base.warp_insts || cur.cycles != base.cycles {
+            failures.push(format!(
+                "{}: simulated work drifted (warp_insts {} vs {}, cycles {} vs {})",
+                cur.name, cur.warp_insts, base.warp_insts, cur.cycles, base.cycles
+            ));
+            continue;
+        }
+        let floor = base.warp_insts_per_sec / REGRESSION_FACTOR;
+        if cur.warp_insts_per_sec < floor {
+            failures.push(format!(
+                "{}: throughput {:.0} warp-insts/s below floor {:.0} (committed {:.0} / {})",
+                cur.name, cur.warp_insts_per_sec, floor, base.warp_insts_per_sec, REGRESSION_FACTOR
+            ));
+        }
+    }
+    failures
+}
+
+/// Render a human summary table; includes per-workload speedup columns
+/// when the baseline section covers the same scale.
+pub fn render_summary(report: &BenchReport) -> String {
+    let baseline = report.baseline.as_ref().filter(|b| b.scale == report.scale);
+    let mut headers = vec!["bench", "kind", "eval ms", "simulate ms", "Mwi/s", "hit%"];
+    if baseline.is_some() {
+        headers.push("speedup");
+    }
+    let mut rows = Vec::new();
+    let mut base_total = 0.0f64;
+    for w in &report.workloads {
+        let req = w.intern_hits + w.intern_misses + w.intern_uncacheable;
+        let hit_pct = if req == 0 {
+            0.0
+        } else {
+            100.0 * w.intern_hits as f64 / req as f64
+        };
+        let mut row = vec![
+            w.name.clone(),
+            w.kind.clone(),
+            format!("{:.1}", w.eval_ms),
+            format!("{:.1}", w.simulate_ms),
+            format!("{:.2}", w.warp_insts_per_sec / 1e6),
+            format!("{hit_pct:.0}"),
+        ];
+        if let Some(b) = baseline {
+            match b.workloads.iter().find(|bw| bw.name == w.name) {
+                Some(bw) if w.eval_ms > 0.0 => {
+                    base_total += bw.eval_ms;
+                    row.push(format!("{:.2}x", bw.eval_ms / w.eval_ms));
+                }
+                _ => row.push("-".to_string()),
+            }
+        }
+        rows.push(row);
+    }
+    let mut out = crate::output::render_table(&headers, &rows);
+    out.push_str(&format!(
+        "\ntotal eval: {:.1} ms ({} scale, best of {} reps; build: {})\n",
+        report.totals.eval_ms, report.scale, report.reps, report.build
+    ));
+    if let Some(b) = baseline {
+        if report.totals.eval_ms > 0.0 && base_total > 0.0 {
+            out.push_str(&format!(
+                "baseline:   {:.1} ms ({}) -> {:.2}x end-to-end\n",
+                base_total,
+                b.build,
+                base_total / report.totals.eval_ms
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(name: &str, wips: f64) -> WorkloadBench {
+        WorkloadBench {
+            name: name.to_string(),
+            kind: "regular".to_string(),
+            launches: 1,
+            blocks: 2,
+            profile_ms: 1.0,
+            simulate_ms: 10.0,
+            eval_ms: 11.0,
+            warp_insts: 1000,
+            cycles: 500,
+            warp_insts_per_sec: wips,
+            cycles_per_sec: 50_000.0,
+            intern_hits: 3,
+            intern_misses: 1,
+            intern_uncacheable: 0,
+        }
+    }
+
+    fn report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            build: build_label(),
+            scale: "dev".to_string(),
+            reps: 3,
+            workloads: vec![wl("stream", 100_000.0)],
+            totals: totals(&[wl("stream", 100_000.0)]),
+            quick_scale: "tiny".to_string(),
+            quick: vec![wl("stream", 100_000.0)],
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_schema_checks() {
+        let r = report();
+        let bytes = serde_json::to_vec(&r).unwrap();
+        let back = parse_report(&bytes).unwrap();
+        assert_eq!(back, r);
+
+        let mut bad = r.clone();
+        bad.schema = "tbpoint-bench/v0".to_string();
+        let bytes = serde_json::to_vec(&bad).unwrap();
+        assert!(parse_report(&bytes).unwrap_err().contains("schema"));
+
+        assert!(parse_report(b"not json").is_err());
+    }
+
+    #[test]
+    fn regression_check_trips_only_below_floor() {
+        let committed = report();
+        // Same throughput: pass. Half-ish: still pass (factor 2). Tenth: fail.
+        assert!(check_regressions(&[wl("stream", 100_000.0)], &committed).is_empty());
+        assert!(check_regressions(&[wl("stream", 51_000.0)], &committed).is_empty());
+        let fails = check_regressions(&[wl("stream", 10_000.0)], &committed);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("below floor"));
+    }
+
+    #[test]
+    fn regression_check_catches_work_drift() {
+        let committed = report();
+        let mut cur = wl("stream", 100_000.0);
+        cur.warp_insts += 1;
+        let fails = check_regressions(&[cur], &committed);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("drifted"));
+    }
+
+    #[test]
+    fn regression_check_catches_missing_workload() {
+        let committed = report();
+        let fails = check_regressions(&[wl("conv", 100_000.0)], &committed);
+        assert!(fails[0].contains("missing"));
+    }
+
+    #[test]
+    fn totals_sum_workloads() {
+        let t = totals(&[wl("a", 1.0), wl("b", 1.0)]);
+        assert_eq!(t.eval_ms, 22.0);
+        assert_eq!(t.warp_insts, 2000);
+        assert_eq!(t.warp_insts_per_sec, 100_000.0);
+    }
+
+    #[test]
+    fn summary_includes_speedup_against_baseline() {
+        let mut r = report();
+        r.baseline = Some(BaselineSection {
+            build: "pre-PR4".to_string(),
+            scale: "dev".to_string(),
+            reps: 3,
+            workloads: vec![BaselineWorkload {
+                name: "stream".to_string(),
+                profile_ms: 2.0,
+                simulate_ms: 20.0,
+                eval_ms: 22.0,
+                warp_insts: 1000,
+                cycles: 500,
+            }],
+            quick: vec![],
+        });
+        let s = render_summary(&r);
+        assert!(s.contains("2.00x"), "summary:\n{s}");
+        assert!(s.contains("end-to-end"));
+    }
+}

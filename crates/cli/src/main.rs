@@ -12,8 +12,19 @@
 //! tbpoint inspect <bench>             characterisation report
 //! tbpoint profile <bench>             save a one-time profile (JSON)
 //! tbpoint faultmatrix [--scale tiny]  fault-injection containment matrix
+//! tbpoint bench  [--quick]            perf baseline (BENCH_PR4.json)
 //! tbpoint all    [--scale dev]        everything above
 //! ```
+//!
+//! `bench` times profile + simulate for the whole roster and writes the
+//! committed perf artifact (see EXPERIMENTS.md, "Performance baseline"):
+//! the pinned `--scale dev` measurement plus a `tiny` quick section.
+//! `--quick` runs only the tiny pass (min of 2 reps) and, with
+//! `--check BENCH_PR4.json`, exits non-zero when throughput falls more
+//! than 2x below the committed numbers — CI's `perf-smoke` job.
+//! `--baseline <file>` seeds/replaces the frozen reference section;
+//! without it, a regeneration carries the existing artifact's baseline
+//! forward.
 //!
 //! Artefacts (JSON + CSV) land in `./artifacts/`.
 //!
@@ -54,6 +65,11 @@ struct Args {
     resume: bool,
     max_units: Option<usize>,
     cycle_budget: Option<u64>,
+    quick: bool,
+    reps: u32,
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    baseline: Option<PathBuf>,
 }
 
 /// Print an actionable error and exit non-zero. Every fallible I/O or
@@ -76,6 +92,11 @@ fn parse_args() -> Args {
         resume: false,
         max_units: None,
         cycle_budget: None,
+        quick: false,
+        reps: 3,
+        out: None,
+        check: None,
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -120,6 +141,35 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 };
                 args.cycle_budget = Some(n);
+            }
+            "--quick" => args.quick = true,
+            "--reps" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--reps needs a positive integer");
+                    std::process::exit(2);
+                };
+                args.reps = n;
+            }
+            "--out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                args.out = Some(PathBuf::from(v));
+            }
+            "--check" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--check needs a path");
+                    std::process::exit(2);
+                };
+                args.check = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                };
+                args.baseline = Some(PathBuf::from(v));
             }
             cmd if args.command.is_empty() && !cmd.starts_with('-') => {
                 args.command = cmd.to_string();
@@ -360,6 +410,90 @@ fn cmd_sensitivity(args: &Args, which: &str) {
     }
 }
 
+/// `tbpoint bench`: measure the roster, write/refresh the committed perf
+/// artifact, or (with `--quick [--check]`) run CI's regression smoke.
+fn cmd_bench(args: &Args) {
+    use tbpoint_cli::bench;
+    let progress = |line: &str| eprintln!("{line}");
+
+    if args.quick {
+        // Two reps, minimum kept: one rep is cheap but lets a single
+        // scheduling hiccup on a shared CI runner read as a 2x
+        // throughput regression.
+        eprintln!("quick bench: tiny scale, min of 2 reps");
+        let current = bench::measure(Scale::Tiny, 2, progress);
+        let t = bench::totals(&current);
+        println!(
+            "quick bench: {:.1} ms eval total, {:.2} M warp-insts/s simulate",
+            t.eval_ms,
+            t.warp_insts_per_sec / 1e6
+        );
+        if let Some(path) = &args.check {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| die(&format!("reading artifact {}", path.display()), e));
+            let committed = bench::parse_report(&bytes)
+                .unwrap_or_else(|e| die(&format!("artifact {}", path.display()), e));
+            let failures = bench::check_regressions(&current, &committed);
+            if failures.is_empty() {
+                println!(
+                    "perf-smoke OK: all {} workloads within {}x of {}",
+                    current.len(),
+                    bench::REGRESSION_FACTOR,
+                    path.display()
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("perf-smoke FAIL: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(bench::DEFAULT_ARTIFACT));
+    // The frozen reference: an explicit --baseline file wins; otherwise
+    // carry the existing artifact's baseline section forward.
+    let baseline = if let Some(bp) = &args.baseline {
+        let bytes = std::fs::read(bp)
+            .unwrap_or_else(|e| die(&format!("reading baseline {}", bp.display()), e));
+        let section: bench::BaselineSection = serde_json::from_slice(&bytes)
+            .unwrap_or_else(|e| die(&format!("parsing baseline {}", bp.display()), e));
+        Some(section)
+    } else {
+        std::fs::read(&out_path)
+            .ok()
+            .and_then(|bytes| bench::parse_report(&bytes).ok())
+            .and_then(|r| r.baseline)
+    };
+
+    eprintln!(
+        "bench: {} scale, best of {} reps (pinned protocol; see EXPERIMENTS.md)",
+        scale_tag(args.scale),
+        args.reps
+    );
+    let workloads = bench::measure(args.scale, args.reps, progress);
+    eprintln!("bench: quick section (tiny scale, min of 2 reps)");
+    let quick = bench::measure(Scale::Tiny, 2, progress);
+    let report = bench::BenchReport {
+        schema: bench::SCHEMA.to_string(),
+        build: bench::build_label(),
+        scale: scale_tag(args.scale).to_string(),
+        reps: args.reps,
+        totals: bench::totals(&workloads),
+        workloads,
+        quick_scale: "tiny".to_string(),
+        quick,
+        baseline,
+    };
+    write_json_or_die(&out_path, &report);
+    println!("{}", bench::render_summary(&report));
+    eprintln!("wrote {}", out_path.display());
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -517,6 +651,7 @@ fn main() {
             }
             println!("all faults contained: no panics, no silently accepted corruption");
         }
+        "bench" => cmd_bench(&args),
         "all" => {
             println!("Table VI\n{}", experiments::table6(args.scale));
             cmd_fig5(&args);
@@ -532,9 +667,10 @@ fn main() {
         }
         "" => {
             eprintln!(
-                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|all> \
+                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|bench|all> \
                  [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE] \
-                 [--resume] [--max-units K] [--cycle-budget N]"
+                 [--resume] [--max-units K] [--cycle-budget N] \
+                 [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE]"
             );
             std::process::exit(2);
         }

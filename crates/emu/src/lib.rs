@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod divergence;
+pub mod intern;
 pub mod profile;
 pub mod trace;
 pub mod walker;
 
 pub use divergence::DivergenceReport;
+pub use intern::{InternStats, TraceArena, TraceDeps, TraceKey};
 pub use profile::{
     profile_launch, profile_launch_obs, profile_run, profile_run_obs, InterFeatures, LaunchProfile,
     RunProfile, TbProfile,

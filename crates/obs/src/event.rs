@@ -238,19 +238,23 @@ impl TraceBundle {
 
     /// Serialise to deterministic JSON-lines text: one line per event in
     /// record order, then one per counter, then one per gauge summary.
+    ///
+    /// The output buffer is sized up front from the record count (big
+    /// traces reach millions of events, and repeated doubling of a
+    /// multi-megabyte `String` copies the whole prefix each time), and
+    /// each line is serialised directly into it rather than through a
+    /// per-record temporary.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        let records = self.events.len() + self.counters.len() + self.gauges.len();
+        let mut out = String::with_capacity(records * crate::jsonl::EST_LINE_BYTES);
         for ev in &self.events {
-            out.push_str(&crate::jsonl::event_line(ev));
-            out.push('\n');
+            crate::jsonl::push_event_line(&mut out, ev);
         }
         for c in &self.counters {
-            out.push_str(&crate::jsonl::counter_line(c));
-            out.push('\n');
+            crate::jsonl::push_counter_line(&mut out, c);
         }
         for g in &self.gauges {
-            out.push_str(&crate::jsonl::gauge_line(g));
-            out.push('\n');
+            crate::jsonl::push_gauge_line(&mut out, g);
         }
         out
     }

@@ -23,26 +23,45 @@ struct GaugeLine {
     gauge: GaugeSummary,
 }
 
+/// Rough bytes-per-line estimate used to pre-size serialization buffers.
+/// A typical event line (`{"cycle":123,"kind":{"TbDispatched":{"tb":1,
+/// "sm":0}}}`) runs 45–70 bytes; counter and gauge summary lines are in
+/// the same range. Oversizing slightly beats regrowing a multi-megabyte
+/// buffer several times.
+pub(crate) const EST_LINE_BYTES: usize = 72;
+
+/// Append one JSON line (newline included) for `value` to `out`.
+///
 /// The vendored `serde_json` only fails on unrepresentable values, which
 /// the trace types cannot contain (non-finite floats degrade to `null`);
 /// degrade to an empty line rather than panicking in a library crate.
-fn line<T: Serialize>(value: &T) -> String {
-    serde_json::to_string(value).unwrap_or_default()
+fn push_line<T: Serialize>(out: &mut String, value: &T) {
+    // On the (unreachable) error path nothing was appended and the blank
+    // line keeps the stream parseable.
+    serde_json::to_string_into(value, out).unwrap_or_default();
+    out.push('\n');
 }
 
 /// One JSON line (no trailing newline) for an event.
 pub fn event_line(ev: &Event) -> String {
-    line(ev)
+    let mut out = String::with_capacity(EST_LINE_BYTES);
+    serde_json::to_string_into(ev, &mut out).unwrap_or_default();
+    out
 }
 
-/// One JSON line for a counter summary.
-pub(crate) fn counter_line(c: &Counter) -> String {
-    line(&CounterLine { counter: c.clone() })
+/// Append an event line (newline included) to `out`.
+pub(crate) fn push_event_line(out: &mut String, ev: &Event) {
+    push_line(out, ev);
 }
 
-/// One JSON line for a gauge summary.
-pub(crate) fn gauge_line(g: &GaugeSummary) -> String {
-    line(&GaugeLine { gauge: g.clone() })
+/// Append a counter summary line (newline included) to `out`.
+pub(crate) fn push_counter_line(out: &mut String, c: &Counter) {
+    push_line(out, &CounterLine { counter: c.clone() });
+}
+
+/// Append a gauge summary line (newline included) to `out`.
+pub(crate) fn push_gauge_line(out: &mut String, g: &GaugeSummary) {
+    push_line(out, &GaugeLine { gauge: g.clone() })
 }
 
 /// Parse a single event line produced by [`event_line`].

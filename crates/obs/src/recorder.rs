@@ -197,12 +197,10 @@ impl JsonlRecorder {
         let mut out = self.lines.into_inner();
         let bundle = self.summary.into_inner().into_bundle();
         for c in &bundle.counters {
-            out.push_str(&crate::jsonl::counter_line(c));
-            out.push('\n');
+            crate::jsonl::push_counter_line(&mut out, c);
         }
         for g in &bundle.gauges {
-            out.push_str(&crate::jsonl::gauge_line(g));
-            out.push('\n');
+            crate::jsonl::push_gauge_line(&mut out, g);
         }
         out
     }
@@ -214,10 +212,11 @@ impl Recorder for JsonlRecorder {
     }
 
     fn record(&self, cycle: u64, kind: EventKind) {
+        // Serialise straight into the long-lived buffer: no per-event
+        // `String`, and amortised growth instead of one allocation per
+        // record.
         let ev = Event { cycle, kind };
-        let mut lines = self.lines.borrow_mut();
-        lines.push_str(&crate::jsonl::event_line(&ev));
-        lines.push('\n');
+        crate::jsonl::push_event_line(&mut self.lines.borrow_mut(), &ev);
     }
 
     fn counter(&self, name: &'static str, delta: u64) {

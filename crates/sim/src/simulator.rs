@@ -7,8 +7,76 @@ use crate::memory::MemorySystem;
 use crate::sm::SmCore;
 use crate::units::{UnitCollector, UnitRecord, UnitsConfig};
 use serde::{Deserialize, Serialize};
+use tbpoint_emu::{InternStats, TraceArena};
 use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LaunchSpec, TbId};
 use tbpoint_obs::{EventKind, NullRecorder, Recorder};
+
+/// Hot-path switches for [`simulate_launch_with_options`]. Both default
+/// to on; turning one off selects the slow reference implementation the
+/// bit-identity golden suite compares against. Results are identical
+/// either way — only wall time changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Serve dispatch traces from a per-launch [`TraceArena`] instead of
+    /// re-emulating every warp.
+    pub intern_traces: bool,
+    /// Use cached per-SM `ready_hint`s to skip provably-idle scheduling
+    /// scans and to jump the cycle loop across machine-wide idle spans
+    /// in one step (instead of stepping cycle by cycle).
+    pub event_horizon: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            intern_traces: true,
+            event_horizon: true,
+        }
+    }
+}
+
+/// Hot-path effectiveness counters for one simulated launch, returned by
+/// [`simulate_launch_perf`]. Kept out of [`LaunchSimResult`] so the
+/// result's serialised form (pinned by golden files) is unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimPerf {
+    /// Warp traces served from the interner.
+    pub intern_hits: u64,
+    /// Warp traces emulated and cached.
+    pub intern_misses: u64,
+    /// Warp traces emulated with caching bypassed (thread-varying
+    /// kernels have per-warp-unique traces by construction).
+    pub intern_uncacheable: u64,
+    /// Trace instructions whose emulation the interner avoided.
+    pub reused_warp_insts: u64,
+    /// Trace instructions actually emulated.
+    pub traced_warp_insts: u64,
+    /// Machine-wide idle spans crossed in a single jump.
+    pub idle_jumps: u64,
+    /// Cycles those jumps skipped.
+    pub idle_cycles_skipped: u64,
+}
+
+impl SimPerf {
+    fn absorb_intern(&mut self, s: &InternStats) {
+        self.intern_hits = s.hits;
+        self.intern_misses = s.misses;
+        self.intern_uncacheable = s.uncacheable;
+        self.reused_warp_insts = s.reused_warp_insts;
+        self.traced_warp_insts = s.traced_warp_insts;
+    }
+
+    /// Merge counters from another launch (for run-level totals).
+    pub fn accumulate(&mut self, other: &SimPerf) {
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
+        self.intern_uncacheable += other.intern_uncacheable;
+        self.reused_warp_insts += other.reused_warp_insts;
+        self.traced_warp_insts += other.traced_warp_insts;
+        self.idle_jumps += other.idle_jumps;
+        self.idle_cycles_skipped += other.idle_cycles_skipped;
+    }
+}
 
 /// Result of simulating one kernel launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,10 +180,64 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
     units: Option<UnitsConfig>,
     rec: &R,
 ) -> LaunchSimResult {
+    simulate_launch_core(kernel, spec, cfg, hook, units, SimOptions::default(), rec).0
+}
+
+/// [`simulate_launch`] plus the hot-path counters ([`SimPerf`]) the
+/// `tbpoint bench` command reports. The simulated result is identical to
+/// [`simulate_launch`]'s.
+pub fn simulate_launch_perf(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+) -> (LaunchSimResult, SimPerf) {
+    simulate_launch_core(
+        kernel,
+        spec,
+        cfg,
+        hook,
+        units,
+        SimOptions::default(),
+        &NullRecorder,
+    )
+}
+
+/// [`simulate_launch`] with explicit [`SimOptions`] — exists so the
+/// golden test suite can pin interned==fresh and skipped==stepped
+/// bit-identity; not part of the supported API surface.
+#[doc(hidden)]
+pub fn simulate_launch_with_options(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+    opts: SimOptions,
+) -> LaunchSimResult {
+    simulate_launch_core(kernel, spec, cfg, hook, units, opts, &NullRecorder).0
+}
+
+fn simulate_launch_core<R: Recorder + ?Sized>(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+    opts: SimOptions,
+    rec: &R,
+) -> (LaunchSimResult, SimPerf) {
     let occupancy = cfg.sm_occupancy(kernel);
     let mut sms: Vec<SmCore> = (0..cfg.num_sms)
-        .map(|i| SmCore::new(i as usize, occupancy, cfg))
+        .map(|i| {
+            let mut sm = SmCore::new(i as usize, occupancy, cfg);
+            sm.set_event_horizon(opts.event_horizon);
+            sm
+        })
         .collect();
+    let mut arena = TraceArena::with_caching(kernel, opts.intern_traces);
+    let mut perf = SimPerf::default();
     let mut mem = MemorySystem::new(cfg);
     let mut collector = units.map(|u| UnitCollector::new(u, kernel.num_basic_blocks as usize));
 
@@ -142,6 +264,7 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
     // having closer thread block IDs are likely to be running
     // concurrently").
     let fill = |sms: &mut Vec<SmCore>,
+                arena: &mut TraceArena,
                 next_tb: &mut u32,
                 outstanding: &mut u32,
                 simulated: &mut u32,
@@ -186,7 +309,7 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
                         cycle
                     };
                     let insta_retire =
-                        sms[sm_idx].dispatch(slot, kernel, make_ctx(tb.0), tb, cycle, start);
+                        sms[sm_idx].dispatch(slot, kernel, make_ctx(tb.0), tb, cycle, start, arena);
                     rec.record(
                         cycle,
                         EventKind::TbDispatched {
@@ -218,6 +341,7 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
 
     fill(
         &mut sms,
+        &mut arena,
         &mut next_tb,
         &mut outstanding,
         &mut simulated_tbs,
@@ -260,6 +384,7 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
         if any_retired {
             fill(
                 &mut sms,
+                &mut arena,
                 &mut next_tb,
                 &mut outstanding,
                 &mut simulated_tbs,
@@ -279,13 +404,28 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
             cycle += 1;
         } else {
             // Nothing issueable this cycle: jump to the next wake-up.
-            let next = sms.iter().filter_map(SmCore::next_ready).min();
+            // With the event horizon on, every SM's last scheduling scan
+            // failed this cycle (issuing would have set `any_issued`), so
+            // each `ready_hint` is the exact per-SM minimum and their min
+            // is the machine-wide wake cycle — no rescan needed. The
+            // stepped reference recomputes it by scanning every warp and
+            // then advances one cycle at a time.
+            let next = if opts.event_horizon {
+                sms.iter()
+                    .map(SmCore::ready_hint)
+                    .min()
+                    .filter(|&t| t != u64::MAX)
+            } else {
+                sms.iter().filter_map(SmCore::next_ready).min()
+            };
             match next {
-                Some(t) if t > cycle => {
+                Some(t) if t > cycle && opts.event_horizon => {
                     rec.record(cycle, EventKind::IdleJump { cycles: t - cycle });
                     for sm in &mut sms {
                         sm.credit_resident_cycles(t - cycle);
                     }
+                    perf.idle_jumps += 1;
+                    perf.idle_cycles_skipped += t - cycle;
                     cycle = t;
                 }
                 Some(_) => {
@@ -310,9 +450,17 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
         }
     }
 
+    perf.absorb_intern(&arena.stats);
+    if rec.enabled() {
+        // Aggregate interner traffic, once per launch (per-dispatch
+        // events would swamp the stream for 100k-block launches).
+        rec.counter("trace_intern_hits", perf.intern_hits);
+        rec.counter("trace_intern_misses", perf.intern_misses);
+        rec.counter("trace_intern_uncacheable", perf.intern_uncacheable);
+    }
     let issued_warp_insts: u64 = sms.iter().map(|s| s.issued_warp_insts).sum();
     let issued_thread_insts: u64 = sms.iter().map(|s| s.issued_thread_insts).sum();
-    LaunchSimResult {
+    let result = LaunchSimResult {
         launch_id: spec.launch_id,
         cycles: cycle,
         issued_warp_insts,
@@ -325,7 +473,8 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
         dram_avg_wait: mem.dram_avg_wait(),
         units: collector.map(|c| c.finish(cycle)).unwrap_or_default(),
         sm_stats: sms.iter().map(|s| s.stats).collect(),
-    }
+    };
+    (result, perf)
 }
 
 /// Simulate every launch of a run with the same hook (e.g. Full

@@ -3,14 +3,19 @@
 use crate::config::{GpuConfig, SchedPolicy};
 use crate::memory::MemorySystem;
 use crate::stats::SmStats;
-use tbpoint_emu::{trace_warp, WarpTrace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use tbpoint_emu::{TraceArena, TraceInst};
 use tbpoint_ir::{ExecCtx, Kernel, LatencyClass, Op, TbId};
 use tbpoint_obs::{NullRecorder, Recorder};
 
 /// Runtime state of one resident warp.
 #[derive(Debug)]
 struct WarpRt {
-    trace: WarpTrace,
+    /// Interned trace — identical warps across blocks share one
+    /// allocation (see [`tbpoint_emu::TraceArena`]).
+    trace: Arc<[TraceInst]>,
     pc: usize,
     ready_at: u64,
     at_barrier: bool,
@@ -45,6 +50,22 @@ pub struct SmCore {
     /// This SM's index (selects its L1/MSHRs in the memory system).
     pub id: usize,
     slots: Vec<Option<ResidentBlock>>,
+    /// Free slot indices, min-first — `free_slot` must keep returning the
+    /// *lowest* free index (slot order feeds the round-robin scheduler,
+    /// so any other order would perturb issue order).
+    free_slots: BinaryHeap<Reverse<u32>>,
+    /// Resident-block count, maintained at dispatch/retire so occupancy
+    /// queries stop scanning `slots`.
+    resident: u32,
+    /// Conservative lower bound on the next cycle at which some warp
+    /// could issue; `u64::MAX` when nothing is issueable. Lowered at
+    /// dispatch, reset to `now` on every issue, raised to the exact
+    /// candidate minimum by a failed scheduling scan. `try_issue` returns
+    /// without scanning while `now < ready_hint`.
+    ready_hint: u64,
+    /// Event-horizon switch: when false, `try_issue` always scans (the
+    /// pre-optimisation reference behaviour golden tests compare against).
+    use_hint: bool,
     rr_cursor: usize,
     gto_current: Option<(usize, usize)>,
     sched: SchedPolicy,
@@ -65,6 +86,10 @@ impl SmCore {
         SmCore {
             id,
             slots: (0..occupancy).map(|_| None).collect(),
+            free_slots: (0..occupancy).map(Reverse).collect(),
+            resident: 0,
+            ready_hint: u64::MAX,
+            use_hint: true,
             rr_cursor: 0,
             gto_current: None,
             sched: cfg.sched,
@@ -77,22 +102,50 @@ impl SmCore {
         }
     }
 
-    /// Index of a free block slot, if any.
+    /// Index of a free block slot, if any — always the lowest free index,
+    /// matching the linear scan this replaced.
     pub fn free_slot(&self) -> Option<usize> {
-        self.slots.iter().position(Option::is_none)
+        self.free_slots.peek().map(|&Reverse(s)| s as usize)
     }
 
     /// Number of resident blocks.
     pub fn resident_blocks(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.resident as usize
     }
 
-    /// Materialise traces for `tb_id` and install it in `slot`; the
-    /// block's warps first become ready at `start` (>= now), letting the
-    /// dispatcher stagger the initial fill.
+    /// Disable the `ready_hint` fast path so every `try_issue` performs a
+    /// full scheduling scan (the cycle-stepped reference the bit-identity
+    /// golden suite compares the event horizon against).
+    #[doc(hidden)]
+    pub fn set_event_horizon(&mut self, on: bool) {
+        self.use_hint = on;
+    }
+
+    /// Remove `slot` from the free pool (it is about to be occupied).
+    fn take_free_slot(&mut self, slot: usize) {
+        match self.free_slots.peek() {
+            // The dispatcher grabs slots via `free_slot`, so the common
+            // case is popping the minimum.
+            Some(&Reverse(s)) if s as usize == slot => {
+                self.free_slots.pop();
+            }
+            _ => {
+                let mut v = std::mem::take(&mut self.free_slots).into_vec();
+                v.retain(|&Reverse(s)| s as usize != slot);
+                self.free_slots = v.into();
+            }
+        }
+    }
+
+    /// Materialise (or intern) traces for `tb_id` and install it in
+    /// `slot`; the block's warps first become ready at `start` (>= now),
+    /// letting the dispatcher stagger the initial fill.
     ///
     /// Returns `Some(tb_id)` immediately if every warp's trace is empty
     /// (the block retires without issuing anything).
+    // Eight arguments: the dispatcher's full per-block context. Bundling
+    // them into a one-shot struct would only move the same fields.
+    #[allow(clippy::too_many_arguments)]
     pub fn dispatch(
         &mut self,
         slot: usize,
@@ -101,11 +154,12 @@ impl SmCore {
         tb_id: TbId,
         now: u64,
         start: u64,
+        arena: &mut TraceArena,
     ) -> Option<TbId> {
         assert!(self.slots[slot].is_none(), "dispatch into occupied slot");
         let mut warps = Vec::with_capacity(kernel.warps_per_block() as usize);
         for w in 0..kernel.warps_per_block() {
-            let trace = trace_warp(kernel, &ctx, w);
+            let trace = arena.warp_trace(kernel, &ctx, w);
             let done = trace.is_empty();
             warps.push(WarpRt {
                 trace,
@@ -123,6 +177,11 @@ impl SmCore {
         if live == 0 {
             return Some(tb_id); // degenerate block, retires instantly
         }
+        self.take_free_slot(slot);
+        self.resident += 1;
+        // New warps wake at `start` — lower the hint so the fast path
+        // cannot skip past them.
+        self.ready_hint = self.ready_hint.min(now.max(start));
         self.slots[slot] = Some(ResidentBlock {
             tb_id,
             ctx,
@@ -133,11 +192,17 @@ impl SmCore {
         None
     }
 
+    /// Select a warp to issue at `now`, maintaining `ready_hint` as a
+    /// side effect: a successful pick resets it to `now` (forcing a full
+    /// scan next cycle, so scheduler bookkeeping such as `gto_current`
+    /// stays exactly as in the always-scan reference), and a failed scan
+    /// raises it to the exact minimum `ready_at` among candidate warps
+    /// (`u64::MAX` when none exist).
     fn pick_warp(&mut self, now: u64) -> Option<(usize, usize)> {
         let ready = |w: &WarpRt| !w.done && !w.at_barrier && w.ready_at <= now;
         // Flatten candidates as (slot, warp) pairs.
-        match self.sched {
-            SchedPolicy::RoundRobin => {
+        let picked = match self.sched {
+            SchedPolicy::RoundRobin => 'rr: {
                 // Walk (slot, warp) pairs starting from the cursor; the
                 // cursor advances past each issued warp, giving loose
                 // round-robin. Fixed-capacity scratch avoids allocating on
@@ -159,9 +224,11 @@ impl SmCore {
                     }
                 }
                 if len == 0 {
-                    return None;
+                    break 'rr None;
                 }
                 let start = self.rr_cursor % len;
+                let mut pick = None;
+                let mut wake = u64::MAX;
                 for k in 0..len {
                     let (s, w) = order[(start + k) % len];
                     let (s, w) = (s as usize, w as usize);
@@ -169,38 +236,58 @@ impl SmCore {
                     let Some(b) = self.slots[s].as_ref() else {
                         continue;
                     };
-                    if ready(&b.warps[w]) {
+                    let warp = &b.warps[w];
+                    if ready(warp) {
                         self.rr_cursor = (start + k + 1) % len;
-                        return Some((s, w));
+                        pick = Some((s, w));
+                        break;
+                    }
+                    if !warp.done && !warp.at_barrier {
+                        wake = wake.min(warp.ready_at);
                     }
                 }
-                None
+                if pick.is_none() {
+                    self.ready_hint = wake;
+                }
+                pick
             }
-            SchedPolicy::Gto => {
+            SchedPolicy::Gto => 'gto: {
                 // Stick with the current warp while it is ready.
                 if let Some((s, w)) = self.gto_current {
                     if let Some(b) = self.slots[s].as_ref() {
                         if w < b.warps.len() && ready(&b.warps[w]) {
-                            return Some((s, w));
+                            break 'gto Some((s, w));
                         }
                     }
                 }
                 // Otherwise the oldest ready warp.
                 let mut best: Option<(u64, usize, usize)> = None;
+                let mut wake = u64::MAX;
                 for (s, blk) in self.slots.iter().enumerate() {
                     if let Some(b) = blk {
                         for (w, warp) in b.warps.iter().enumerate() {
-                            if ready(warp) && best.is_none_or(|(bb, _, _)| warp.birth < bb) {
-                                best = Some((warp.birth, s, w));
+                            if ready(warp) {
+                                if best.is_none_or(|(bb, _, _)| warp.birth < bb) {
+                                    best = Some((warp.birth, s, w));
+                                }
+                            } else if !warp.done && !warp.at_barrier {
+                                wake = wake.min(warp.ready_at);
                             }
                         }
                     }
                 }
                 let pick = best.map(|(_, s, w)| (s, w));
                 self.gto_current = pick;
+                if pick.is_none() {
+                    self.ready_hint = wake;
+                }
                 pick
             }
+        };
+        if picked.is_some() {
+            self.ready_hint = now;
         }
+        picked
     }
 
     /// Attempt to issue one warp instruction at cycle `now`.
@@ -217,6 +304,21 @@ impl SmCore {
         mem: &mut MemorySystem,
         rec: &R,
     ) -> IssueResult {
+        // Event-horizon fast path. `now < ready_hint` implies a *failed*
+        // scan already ran since the last issue (issuing resets the hint
+        // to its cycle, so the first attempt after it always scans) and
+        // proved no warp wakes before `ready_hint`; nothing lowers the
+        // hint below `now` except dispatch, which maintains it. A repeat
+        // scan would fail again and failed scans are idempotent (the
+        // first one already cleared `gto_current`), so skipping them is
+        // free of observable effects.
+        if self.use_hint && now < self.ready_hint {
+            return IssueResult {
+                issued_bb: None,
+                issued_lanes: 0,
+                retired: None,
+            };
+        }
         let Some((s, w)) = self.pick_warp(now) else {
             return IssueResult {
                 issued_bb: None,
@@ -303,6 +405,10 @@ impl SmCore {
                 retired = Some(block.tb_id);
                 self.stats.blocks_retired += 1;
                 self.slots[s] = None;
+                self.resident -= 1;
+                // Slot indices are occupancy-bounded (tens), far below u32.
+                #[allow(clippy::cast_possible_truncation)]
+                self.free_slots.push(Reverse(s as u32));
                 if self.gto_current == Some((s, w)) {
                     self.gto_current = None;
                 }
@@ -345,9 +451,18 @@ impl SmCore {
         best
     }
 
+    /// The maintained lower bound on this SM's next issueable cycle
+    /// (`u64::MAX` when nothing is issueable). Exact whenever the last
+    /// scheduling scan failed — which is the case on every SM when the
+    /// machine as a whole is idle, making `min` over the hints the global
+    /// event horizon the cycle loop can jump to.
+    pub fn ready_hint(&self) -> u64 {
+        self.ready_hint
+    }
+
     /// True when no blocks are resident.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+        self.resident == 0
     }
 
     /// Credit `delta` cycles of residency if any block is resident

@@ -1,0 +1,46 @@
+//! Regenerate the launch-simulation golden file used by
+//! `tests/golden_sim.rs`.
+//!
+//! ```text
+//! cargo run --release --example gen_goldens
+//! ```
+//!
+//! For every Table-VI workload at Tiny scale this simulates every launch
+//! with the default (full-detail) dispatch hook and serialises the
+//! complete [`tbpoint_sim::RunSimResult`] to
+//! `tests/goldens/launch_sim_tiny.json`. The golden test compares the
+//! simulator's current output byte-for-byte against the committed file,
+//! so any change that perturbs a single cycle count, issue total or hit
+//! rate — however small — fails loudly.
+//!
+//! Only regenerate (and commit the diff) when a simulator change is
+//! *supposed* to alter results; performance work must leave this file
+//! untouched. See EXPERIMENTS.md ("Bit-identity goldens").
+
+use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint_workloads::{all_benchmarks, Scale};
+
+fn main() {
+    let cfg = GpuConfig::fermi();
+    let mut out = String::from("{\n");
+    let benches = all_benchmarks(Scale::Tiny);
+    for (i, bench) in benches.iter().enumerate() {
+        let r = simulate_run(&bench.run, &cfg, &mut NullSampling, None);
+        let line = serde_json::to_string(&r).expect("RunSimResult serialises");
+        out.push_str(&format!("\"{}\": {line}", bench.name));
+        out.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+        eprintln!(
+            "{:8} {:3} launches, {:>12} cycles total",
+            bench.name,
+            r.launches.len(),
+            r.total_cycles()
+        );
+    }
+    out.push_str("}\n");
+    let path = std::path::Path::new("tests/goldens/launch_sim_tiny.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create goldens dir");
+    }
+    std::fs::write(path, &out).expect("write golden file");
+    println!("wrote {} ({} bytes)", path.display(), out.len());
+}

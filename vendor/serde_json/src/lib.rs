@@ -2,7 +2,8 @@
 //!
 //! JSON text printing and parsing over the vendored `serde` value tree
 //! (see `vendor/serde`). Supports the workspace's usage: `to_string`,
-//! `to_string_pretty`, `to_vec`, `from_str`, `from_slice`.
+//! `to_string_into`, `to_string_pretty`, `to_vec`, `from_str`,
+//! `from_slice`.
 //!
 //! Output is deterministic: object keys keep struct-field order and floats
 //! print via Rust's shortest-round-trip formatting, so equal values always
@@ -52,6 +53,16 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), None, 0);
     Ok(out)
+}
+
+/// Serialize a value as compact JSON appended to `out`, reusing the
+/// caller's buffer instead of allocating a fresh `String` per value.
+/// Hot serialization loops (e.g. JSON-lines sinks) call this with one
+/// long-lived, pre-sized buffer. Produces byte-identical text to
+/// [`to_string`].
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(out, &value.to_value(), None, 0);
+    Ok(())
 }
 
 /// Serialize a value to human-readable JSON text (2-space indent).
@@ -449,6 +460,18 @@ mod tests {
         assert_eq!(parse("\"a\\nb\"").expect("str"), Value::Str("a\nb".into()));
         assert_eq!(parse("true").expect("bool"), Value::Bool(true));
         assert_eq!(parse("null").expect("null"), Value::Null);
+    }
+
+    #[test]
+    fn to_string_into_appends_identically() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Str("x\"y".into())),
+        ]);
+        let mut buf = String::from("prefix:");
+        to_string_into(&v, &mut buf).expect("serialize");
+        let direct = to_string(&v).expect("serialize");
+        assert_eq!(buf, format!("prefix:{direct}"));
     }
 
     #[test]
