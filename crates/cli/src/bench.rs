@@ -3,9 +3,10 @@
 //! Times the two eval stages (functional profile, cycle-level simulate)
 //! for every Table VI workload over the shared `tbpoint-workloads`
 //! fixtures (the same roster the Criterion benches in `crates/bench`
-//! draw from) and writes a schema'd artifact (`BENCH_PR4.json`) holding
-//! per-stage wall times, throughputs and interner hit counts — plus the
-//! frozen pre-optimisation baseline for the speedup comparison. Each
+//! draw from) and writes a schema'd artifact (`BENCH_PR5.json`) holding
+//! per-stage wall times, throughputs, interner hit counts and the
+//! SM-sharded parallel-simulation speedup — plus the previous PR's
+//! numbers as the frozen baseline for the speedup comparison. Each
 //! future perf PR regenerates the artifact (seeding `baseline` from the
 //! previous one), growing a measured trajectory instead of anecdotes.
 //!
@@ -22,10 +23,18 @@ use tbpoint_sim::{simulate_launch_perf, GpuConfig, NullSampling, SimPerf};
 use tbpoint_workloads::{all_benchmarks, Scale};
 
 /// Artifact schema identifier; bump on breaking shape changes.
-pub const SCHEMA: &str = "tbpoint-bench/v1";
+pub const SCHEMA: &str = "tbpoint-bench/v2";
+
+/// The previous PR's schema; still readable, but only to seed the new
+/// artifact's baseline section (see [`baseline_from_v1`]).
+pub const V1_SCHEMA: &str = "tbpoint-bench/v1";
 
 /// Default artifact path (repo root, committed).
-pub const DEFAULT_ARTIFACT: &str = "BENCH_PR4.json";
+pub const DEFAULT_ARTIFACT: &str = "BENCH_PR5.json";
+
+/// The previous PR's committed artifact, consumed as the default
+/// baseline when the new artifact is first generated.
+pub const V1_ARTIFACT: &str = "BENCH_PR4.json";
 
 /// Fail `--check` when current throughput falls below `committed / 2` —
 /// generous on purpose: CI runners are noisy, and the check exists to
@@ -63,6 +72,14 @@ pub struct WorkloadBench {
     pub intern_misses: u64,
     /// Warp traces emulated with caching bypassed (thread-varying).
     pub intern_uncacheable: u64,
+    /// Worker threads inside each launch simulation for the parallel
+    /// leg (`SimOptions::jobs`); 1 = the leg was skipped.
+    pub jobs: u64,
+    /// Cycle-level simulation wall time at `jobs` workers (best of
+    /// `reps`); equals `simulate_ms` when `jobs` is 1.
+    pub simulate_par_ms: f64,
+    /// `simulate_ms / simulate_par_ms` — intra-launch parallel speedup.
+    pub par_speedup: f64,
 }
 
 /// Suite-wide sums.
@@ -123,6 +140,11 @@ pub struct BenchReport {
     pub schema: String,
     /// Build description of the measured binary.
     pub build: String,
+    /// Logical CPUs visible to the measuring process. Context for the
+    /// parallel columns: `par_speedup > 1` is only attainable when this
+    /// exceeds 1 — on a single-CPU host the parallel leg measures pure
+    /// coordination overhead.
+    pub host_cpus: u64,
     /// Pinned scale of `workloads`.
     pub scale: String,
     /// Repetitions per stage (minimum taken).
@@ -139,11 +161,20 @@ pub struct BenchReport {
     pub baseline: Option<BaselineSection>,
 }
 
+/// Logical CPUs available to this process (1 if undeterminable).
+pub fn host_cpus() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
 /// Description of the currently-measured build (kept in lockstep with
 /// `[profile.release]` in the workspace `Cargo.toml` and the hot-path
 /// defaults in `tbpoint-sim`).
 pub fn build_label() -> String {
-    "release, thin LTO, codegen-units=1; trace interning + event horizon on".to_string()
+    "release, thin LTO, codegen-units=1; trace interning + event horizon on; \
+     SM-sharded parallel simulate available (--jobs)"
+        .to_string()
 }
 
 /// Canonical scale tag used inside the artifact.
@@ -168,13 +199,23 @@ fn per_sec(count: u64, ms: f64) -> f64 {
 }
 
 /// Measure every Table VI workload at `scale`, `reps` times per stage,
-/// keeping the minimum. Progress lines go to stderr via `progress`.
-pub fn measure(scale: Scale, reps: u32, mut progress: impl FnMut(&str)) -> Vec<WorkloadBench> {
+/// keeping the minimum. When `jobs > 1` an extra leg times the same
+/// simulations under the SM-sharded parallel simulator and asserts the
+/// counted work is identical — the parallel speedup is measured *and*
+/// its bit-identity spot-checked in the same breath. Progress lines go
+/// to stderr via `progress`.
+pub fn measure(
+    scale: Scale,
+    reps: u32,
+    jobs: usize,
+    mut progress: impl FnMut(&str),
+) -> Vec<WorkloadBench> {
     let cfg = GpuConfig::fermi();
     let mut out = Vec::new();
     for bench in all_benchmarks(scale) {
         let mut best_profile = f64::MAX;
         let mut best_sim = f64::MAX;
+        let mut best_par = f64::MAX;
         let mut warp_insts = 0u64;
         let mut cycles = 0u64;
         let mut perf = SimPerf::default();
@@ -189,7 +230,7 @@ pub fn measure(scale: Scale, reps: u32, mut progress: impl FnMut(&str)) -> Vec<W
             let mut p = SimPerf::default();
             for spec in &bench.run.launches {
                 let (r, lp) =
-                    simulate_launch_perf(&bench.run.kernel, spec, &cfg, &mut NullSampling, None);
+                    simulate_launch_perf(&bench.run.kernel, spec, &cfg, &mut NullSampling, None, 1);
                 wi += r.issued_warp_insts;
                 cy += r.cycles;
                 p.accumulate(&lp);
@@ -204,16 +245,57 @@ pub fn measure(scale: Scale, reps: u32, mut progress: impl FnMut(&str)) -> Vec<W
                 "{}: simulate disagrees with profile",
                 bench.name
             );
+
+            if jobs > 1 {
+                let t2 = Instant::now();
+                let mut wi_par = 0u64;
+                let mut cy_par = 0u64;
+                for spec in &bench.run.launches {
+                    let (r, _) = simulate_launch_perf(
+                        &bench.run.kernel,
+                        spec,
+                        &cfg,
+                        &mut NullSampling,
+                        None,
+                        jobs,
+                    );
+                    wi_par += r.issued_warp_insts;
+                    cy_par += r.cycles;
+                }
+                let par_ms = t2.elapsed().as_secs_f64() * 1e3;
+                // The whole point of the sharded simulator: same bits,
+                // less wall clock. A count drift is a correctness bug.
+                assert_eq!(
+                    (wi_par, cy_par),
+                    (wi, cy),
+                    "{}: parallel simulation (jobs={jobs}) disagrees with serial",
+                    bench.name
+                );
+                best_par = best_par.min(par_ms);
+            }
+
             best_profile = best_profile.min(profile_ms);
             best_sim = best_sim.min(sim_ms);
             warp_insts = wi;
             cycles = cy;
             perf = p;
         }
+        if jobs <= 1 {
+            best_par = best_sim;
+        }
         let eval_ms = best_profile + best_sim;
         progress(&format!(
-            "{:8} {:>9.1} ms eval ({:>8.1} profile + {:>9.1} simulate), {} warp insts",
-            bench.name, eval_ms, best_profile, best_sim, warp_insts
+            "{:8} {:>9.1} ms eval ({:>8.1} profile + {:>9.1} simulate{}), {} warp insts",
+            bench.name,
+            eval_ms,
+            best_profile,
+            best_sim,
+            if jobs > 1 {
+                format!(" serial, {best_par:.1} at jobs={jobs}")
+            } else {
+                String::new()
+            },
+            warp_insts
         ));
         out.push(WorkloadBench {
             name: bench.name.to_string(),
@@ -233,6 +315,13 @@ pub fn measure(scale: Scale, reps: u32, mut progress: impl FnMut(&str)) -> Vec<W
             intern_hits: perf.intern_hits,
             intern_misses: perf.intern_misses,
             intern_uncacheable: perf.intern_uncacheable,
+            jobs: jobs.max(1) as u64,
+            simulate_par_ms: round2(best_par),
+            par_speedup: if best_par > 0.0 {
+                round2(best_sim / best_par)
+            } else {
+                0.0
+            },
         });
     }
     out
@@ -271,6 +360,107 @@ pub fn parse_report(bytes: &[u8]) -> Result<BenchReport, String> {
     Ok(report)
 }
 
+/// The v1 (PR4) workload shape, decoded only to seed a new artifact's
+/// baseline section from the previous PR's committed measurements.
+#[derive(Debug, Clone, Deserialize)]
+struct WorkloadBenchV1 {
+    name: String,
+    kind: String,
+    launches: u64,
+    blocks: u64,
+    profile_ms: f64,
+    simulate_ms: f64,
+    eval_ms: f64,
+    warp_insts: u64,
+    cycles: u64,
+    warp_insts_per_sec: f64,
+    cycles_per_sec: f64,
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_uncacheable: u64,
+}
+
+/// The v1 (PR4) artifact shape.
+#[derive(Debug, Clone, Deserialize)]
+struct BenchReportV1 {
+    schema: String,
+    build: String,
+    scale: String,
+    reps: u32,
+    workloads: Vec<WorkloadBenchV1>,
+    totals: BenchTotals,
+    quick_scale: String,
+    quick: Vec<WorkloadBenchV1>,
+    baseline: Option<BaselineSection>,
+}
+
+/// Convert the previous PR's committed v1 artifact into a baseline
+/// section for the v2 artifact: its *measurements* become the frozen
+/// reference the new build's speedup columns compare against. (The
+/// vendored serde has no `#[serde(default)]`, so the version upgrade is
+/// an explicit conversion, not a lenient parse.)
+pub fn baseline_from_v1(bytes: &[u8]) -> Result<BaselineSection, String> {
+    let v1: BenchReportV1 =
+        serde_json::from_slice(bytes).map_err(|e| format!("v1 artifact does not parse: {e}"))?;
+    if v1.schema != V1_SCHEMA {
+        return Err(format!(
+            "expected a {V1_SCHEMA:?} artifact, got schema {:?}",
+            v1.schema
+        ));
+    }
+    let strip = |ws: &[WorkloadBenchV1]| {
+        ws.iter()
+            .map(|w| BaselineWorkload {
+                name: w.name.clone(),
+                profile_ms: w.profile_ms,
+                simulate_ms: w.simulate_ms,
+                eval_ms: w.eval_ms,
+                warp_insts: w.warp_insts,
+                cycles: w.cycles,
+            })
+            .collect()
+    };
+    // Touch the fields the conversion deliberately drops so the v1
+    // mirror stays an exact decode of the committed artifact.
+    let _ = (
+        &v1.totals,
+        &v1.baseline,
+        &v1.quick_scale,
+        v1.workloads.first().map(|w| {
+            (
+                &w.kind,
+                w.launches,
+                w.blocks,
+                w.warp_insts_per_sec,
+                w.cycles_per_sec,
+                w.intern_hits,
+                w.intern_misses,
+                w.intern_uncacheable,
+            )
+        }),
+    );
+    Ok(BaselineSection {
+        build: format!("{} [{}]", v1.build, V1_ARTIFACT),
+        scale: v1.scale,
+        reps: v1.reps,
+        workloads: strip(&v1.workloads),
+        quick: strip(&v1.quick),
+    })
+}
+
+/// Render the per-workload simulated-work counts (name, warp
+/// instructions, cycles) as stable one-per-line text. CI writes this
+/// for a `--jobs 1` and a `--jobs 2` quick run and `cmp`s the files
+/// byte-for-byte — the cheapest possible cross-process bit-identity
+/// check.
+pub fn render_counts(workloads: &[WorkloadBench]) -> String {
+    let mut out = String::new();
+    for w in workloads {
+        out.push_str(&format!("{} {} {}\n", w.name, w.warp_insts, w.cycles));
+    }
+    out
+}
+
 /// Compare a fresh `--quick` run against the committed artifact's
 /// `quick` section: every workload must retain at least
 /// `1 / REGRESSION_FACTOR` of the committed simulation throughput.
@@ -306,7 +496,11 @@ pub fn check_regressions(current: &[WorkloadBench], committed: &BenchReport) -> 
 /// when the baseline section covers the same scale.
 pub fn render_summary(report: &BenchReport) -> String {
     let baseline = report.baseline.as_ref().filter(|b| b.scale == report.scale);
+    let parallel = report.workloads.iter().any(|w| w.jobs > 1);
     let mut headers = vec!["bench", "kind", "eval ms", "simulate ms", "Mwi/s", "hit%"];
+    if parallel {
+        headers.push("par x");
+    }
     if baseline.is_some() {
         headers.push("speedup");
     }
@@ -327,6 +521,13 @@ pub fn render_summary(report: &BenchReport) -> String {
             format!("{:.2}", w.warp_insts_per_sec / 1e6),
             format!("{hit_pct:.0}"),
         ];
+        if parallel {
+            row.push(if w.jobs > 1 {
+                format!("{:.2}x@{}", w.par_speedup, w.jobs)
+            } else {
+                "-".to_string()
+            });
+        }
         if let Some(b) = baseline {
             match b.workloads.iter().find(|bw| bw.name == w.name) {
                 Some(bw) if w.eval_ms > 0.0 => {
@@ -340,8 +541,13 @@ pub fn render_summary(report: &BenchReport) -> String {
     }
     let mut out = crate::output::render_table(&headers, &rows);
     out.push_str(&format!(
-        "\ntotal eval: {:.1} ms ({} scale, best of {} reps; build: {})\n",
-        report.totals.eval_ms, report.scale, report.reps, report.build
+        "\ntotal eval: {:.1} ms ({} scale, best of {} reps, {} host CPU{}; build: {})\n",
+        report.totals.eval_ms,
+        report.scale,
+        report.reps,
+        report.host_cpus,
+        if report.host_cpus == 1 { "" } else { "s" },
+        report.build
     ));
     if let Some(b) = baseline {
         if report.totals.eval_ms > 0.0 && base_total > 0.0 {
@@ -376,6 +582,9 @@ mod tests {
             intern_hits: 3,
             intern_misses: 1,
             intern_uncacheable: 0,
+            jobs: 1,
+            simulate_par_ms: 10.0,
+            par_speedup: 1.0,
         }
     }
 
@@ -383,6 +592,7 @@ mod tests {
         BenchReport {
             schema: SCHEMA.to_string(),
             build: build_label(),
+            host_cpus: 4,
             scale: "dev".to_string(),
             reps: 3,
             workloads: vec![wl("stream", 100_000.0)],
@@ -434,6 +644,61 @@ mod tests {
         let committed = report();
         let fails = check_regressions(&[wl("conv", 100_000.0)], &committed);
         assert!(fails[0].contains("missing"));
+    }
+
+    #[test]
+    fn v1_artifact_converts_into_a_baseline_section() {
+        let v1 = r#"{"schema":"tbpoint-bench/v1","build":"old build","scale":"dev","reps":3,
+            "workloads":[{"name":"stream","kind":"regular","launches":1,"blocks":2,
+                "profile_ms":1.5,"simulate_ms":20.0,"eval_ms":21.5,"warp_insts":1000,
+                "cycles":500,"warp_insts_per_sec":50000.0,"cycles_per_sec":25000.0,
+                "intern_hits":3,"intern_misses":1,"intern_uncacheable":0}],
+            "totals":{"profile_ms":1.5,"simulate_ms":20.0,"eval_ms":21.5,
+                "warp_insts":1000,"cycles":500,"warp_insts_per_sec":50000.0},
+            "quick_scale":"tiny","quick":[],"baseline":null}"#;
+        let b = baseline_from_v1(v1.as_bytes()).unwrap();
+        assert_eq!(b.scale, "dev");
+        assert!(b.build.contains("BENCH_PR4.json"));
+        assert_eq!(b.workloads.len(), 1);
+        assert_eq!(b.workloads[0].simulate_ms, 20.0);
+        assert_eq!(b.workloads[0].warp_insts, 1000);
+        assert!(b.quick.is_empty());
+
+        // A v2 artifact must be rejected as a v1 baseline source.
+        let v2 = v1.replace("tbpoint-bench/v1", "tbpoint-bench/v2");
+        assert!(baseline_from_v1(v2.as_bytes())
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn counts_render_one_stable_line_per_workload() {
+        let text = render_counts(&[wl("a", 1.0), wl("b", 1.0)]);
+        assert_eq!(
+            text,
+            "a 1000 500
+b 1000 500
+"
+        );
+    }
+
+    #[test]
+    fn summary_shows_parallel_speedup_column() {
+        let mut r = report();
+        r.workloads[0].jobs = 4;
+        r.workloads[0].simulate_par_ms = 4.0;
+        r.workloads[0].par_speedup = 2.5;
+        let s = render_summary(&r);
+        assert!(
+            s.contains("par x"),
+            "summary:
+{s}"
+        );
+        assert!(
+            s.contains("2.50x@4"),
+            "summary:
+{s}"
+        );
     }
 
     #[test]

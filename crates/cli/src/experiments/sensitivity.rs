@@ -119,8 +119,13 @@ pub fn sensitivity_bench(
         .collect()
 }
 
-/// Run the sensitivity sweep.
-pub fn sensitivity(scale: Scale, threads: usize) -> Result<SensitivityResult, TbError> {
+/// Run the sensitivity sweep with `tb_cfg` (thresholds, budgets, and
+/// the intra-launch `sim_jobs` knob all flow through it).
+pub fn sensitivity(
+    scale: Scale,
+    threads: usize,
+    tb_cfg: &TbpointConfig,
+) -> Result<SensitivityResult, TbError> {
     let benches = all_benchmarks(scale);
     let mut rows: Vec<Option<Vec<SensitivityCell>>> = (0..benches.len()).map(|_| None).collect();
 
@@ -143,7 +148,7 @@ pub fn sensitivity(scale: Scale, threads: usize) -> Result<SensitivityResult, Tb
                 if i >= benches.len() {
                     break;
                 }
-                match sensitivity_bench(&benches[i], &TbpointConfig::default()) {
+                match sensitivity_bench(&benches[i], tb_cfg) {
                     Ok(row) => {
                         slots
                             .lock()
@@ -182,6 +187,7 @@ pub fn sensitivity(scale: Scale, threads: usize) -> Result<SensitivityResult, Tb
 pub fn sensitivity_traced(
     scale: Scale,
     threads: usize,
+    tb_cfg: &TbpointConfig,
 ) -> Result<(SensitivityResult, Vec<TraceEntry>), TbError> {
     let benches = all_benchmarks(scale);
     let profiles: Vec<_> = benches
@@ -194,8 +200,7 @@ pub fn sensitivity_traced(
         for (w, s) in CONFIGS {
             let gpu = GpuConfig::with_occupancy(w, s);
             let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-            let (tbp, traces) =
-                run_tbpoint_traced(&bench.run, &profiles[bi], &TbpointConfig::default(), &gpu)?;
+            let (tbp, traces) = run_tbpoint_traced(&bench.run, &profiles[bi], tb_cfg, &gpu)?;
             entries.extend(traces.into_iter().map(|t| TraceEntry {
                 label: format!("{}@W{w}S{s}", bench.name),
                 launch: t.launch,

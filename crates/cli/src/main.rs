@@ -12,19 +12,28 @@
 //! tbpoint inspect <bench>             characterisation report
 //! tbpoint profile <bench>             save a one-time profile (JSON)
 //! tbpoint faultmatrix [--scale tiny]  fault-injection containment matrix
-//! tbpoint bench  [--quick]            perf baseline (BENCH_PR4.json)
+//! tbpoint bench  [--quick]            perf baseline (BENCH_PR5.json)
 //! tbpoint all    [--scale dev]        everything above
 //! ```
 //!
+//! Simulating subcommands accept `--jobs N` (or the `TBPOINT_JOBS` env
+//! var; the flag wins): each launch's SMs are sharded across N threads
+//! with bit-identical results — see DESIGN.md, "Deterministic parallel
+//! simulation". `--jobs` parallelises *within* a launch and composes
+//! with `--threads`, which parallelises across launches.
+//!
 //! `bench` times profile + simulate for the whole roster and writes the
 //! committed perf artifact (see EXPERIMENTS.md, "Performance baseline"):
-//! the pinned `--scale dev` measurement plus a `tiny` quick section.
-//! `--quick` runs only the tiny pass (min of 2 reps) and, with
-//! `--check BENCH_PR4.json`, exits non-zero when throughput falls more
-//! than 2x below the committed numbers — CI's `perf-smoke` job.
+//! the pinned `--scale dev` measurement plus a `tiny` quick section,
+//! with a parallel leg per workload when `--jobs > 1`, and the host's
+//! CPU count for context. `--quick` runs only the tiny pass (min of 2
+//! reps) and, with `--check BENCH_PR5.json`, exits non-zero when
+//! throughput falls more than 2x below the committed numbers — CI's
+//! `perf-smoke` job, which also `cmp`s `--counts-out` files from a
+//! `--jobs 1` and a `--jobs 2` run byte-for-byte.
 //! `--baseline <file>` seeds/replaces the frozen reference section;
 //! without it, a regeneration carries the existing artifact's baseline
-//! forward.
+//! forward (seeding from `BENCH_PR4.json` if neither exists).
 //!
 //! Artefacts (JSON + CSV) land in `./artifacts/`.
 //!
@@ -67,6 +76,8 @@ struct Args {
     cycle_budget: Option<u64>,
     quick: bool,
     reps: u32,
+    jobs: Option<usize>,
+    counts_out: Option<PathBuf>,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
     baseline: Option<PathBuf>,
@@ -94,6 +105,8 @@ fn parse_args() -> Args {
         cycle_budget: None,
         quick: false,
         reps: 3,
+        jobs: None,
+        counts_out: None,
         out: None,
         check: None,
         baseline: None,
@@ -143,6 +156,20 @@ fn parse_args() -> Args {
                 args.cycle_budget = Some(n);
             }
             "--quick" => args.quick = true,
+            "--counts-out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--counts-out needs a path");
+                    std::process::exit(2);
+                };
+                args.counts_out = Some(PathBuf::from(v));
+            }
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--jobs needs a job count");
+                    std::process::exit(2);
+                };
+                args.jobs = Some(n);
+            }
             "--reps" => {
                 let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("--reps needs a positive integer");
@@ -257,6 +284,7 @@ fn eval_config(args: &Args) -> EvalConfig {
     let mut cfg = EvalConfig::new(args.scale);
     cfg.threads = args.threads;
     cfg.tbpoint.cycle_budget = args.cycle_budget;
+    cfg.tbpoint.sim_jobs = experiments::resolve_jobs(args.jobs);
     cfg
 }
 
@@ -370,7 +398,12 @@ fn cmd_sensitivity(args: &Args, which: &str) {
             r
         }
         None if args.trace_out.is_some() => {
-            match experiments::sensitivity_traced(args.scale, args.threads) {
+            let tb_cfg = tbpoint_core::predict::TbpointConfig {
+                cycle_budget: args.cycle_budget,
+                sim_jobs: experiments::resolve_jobs(args.jobs),
+                ..Default::default()
+            };
+            match experiments::sensitivity_traced(args.scale, args.threads, &tb_cfg) {
                 Ok((r, traces)) => {
                     if let Some(trace_path) = &args.trace_out {
                         dump_traces(trace_path, &traces);
@@ -387,6 +420,7 @@ fn cmd_sensitivity(args: &Args, which: &str) {
             let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
             let tb_cfg = tbpoint_core::predict::TbpointConfig {
                 cycle_budget: args.cycle_budget,
+                sim_jobs: experiments::resolve_jobs(args.jobs),
                 ..Default::default()
             };
             let plan = sweep_plan(args, format!("sensitivity_{}", scale_tag(args.scale)));
@@ -415,19 +449,27 @@ fn cmd_sensitivity(args: &Args, which: &str) {
 fn cmd_bench(args: &Args) {
     use tbpoint_cli::bench;
     let progress = |line: &str| eprintln!("{line}");
+    let jobs = experiments::resolve_jobs(args.jobs);
 
     if args.quick {
         // Two reps, minimum kept: one rep is cheap but lets a single
         // scheduling hiccup on a shared CI runner read as a 2x
         // throughput regression.
-        eprintln!("quick bench: tiny scale, min of 2 reps");
-        let current = bench::measure(Scale::Tiny, 2, progress);
+        eprintln!("quick bench: tiny scale, min of 2 reps, jobs={jobs}");
+        let current = bench::measure(Scale::Tiny, 2, jobs, progress);
         let t = bench::totals(&current);
         println!(
             "quick bench: {:.1} ms eval total, {:.2} M warp-insts/s simulate",
             t.eval_ms,
             t.warp_insts_per_sec / 1e6
         );
+        if let Some(path) = &args.counts_out {
+            // Stable per-workload work counts; CI `cmp`s the files from
+            // a --jobs 1 and a --jobs 2 run byte-for-byte.
+            std::fs::write(path, bench::render_counts(&current))
+                .unwrap_or_else(|e| die(&format!("writing {}", path.display()), e));
+            eprintln!("wrote {}", path.display());
+        }
         if let Some(path) = &args.check {
             let bytes = std::fs::read(path)
                 .unwrap_or_else(|e| die(&format!("reading artifact {}", path.display()), e));
@@ -455,8 +497,9 @@ fn cmd_bench(args: &Args) {
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from(bench::DEFAULT_ARTIFACT));
-    // The frozen reference: an explicit --baseline file wins; otherwise
-    // carry the existing artifact's baseline section forward.
+    // The frozen reference: an explicit --baseline file wins; then the
+    // existing artifact's baseline section carries forward; then the
+    // previous PR's committed artifact (BENCH_PR4.json) seeds it.
     let baseline = if let Some(bp) = &args.baseline {
         let bytes = std::fs::read(bp)
             .unwrap_or_else(|e| die(&format!("reading baseline {}", bp.display()), e));
@@ -468,19 +511,33 @@ fn cmd_bench(args: &Args) {
             .ok()
             .and_then(|bytes| bench::parse_report(&bytes).ok())
             .and_then(|r| r.baseline)
+            .or_else(|| {
+                let v1 = std::fs::read(bench::V1_ARTIFACT).ok()?;
+                match bench::baseline_from_v1(&v1) {
+                    Ok(section) => {
+                        eprintln!("baseline: seeded from {}", bench::V1_ARTIFACT);
+                        Some(section)
+                    }
+                    Err(e) => {
+                        eprintln!("warning: ignoring {}: {e}", bench::V1_ARTIFACT);
+                        None
+                    }
+                }
+            })
     };
 
     eprintln!(
-        "bench: {} scale, best of {} reps (pinned protocol; see EXPERIMENTS.md)",
+        "bench: {} scale, best of {} reps, jobs={jobs} (pinned protocol; see EXPERIMENTS.md)",
         scale_tag(args.scale),
         args.reps
     );
-    let workloads = bench::measure(args.scale, args.reps, progress);
+    let workloads = bench::measure(args.scale, args.reps, jobs, progress);
     eprintln!("bench: quick section (tiny scale, min of 2 reps)");
-    let quick = bench::measure(Scale::Tiny, 2, progress);
+    let quick = bench::measure(Scale::Tiny, 2, jobs, progress);
     let report = bench::BenchReport {
         schema: bench::SCHEMA.to_string(),
         build: bench::build_label(),
+        host_cpus: bench::host_cpus(),
         scale: scale_tag(args.scale).to_string(),
         reps: args.reps,
         totals: bench::totals(&workloads),
@@ -669,8 +726,8 @@ fn main() {
             eprintln!(
                 "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|bench|all> \
                  [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE] \
-                 [--resume] [--max-units K] [--cycle-budget N] \
-                 [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE]"
+                 [--resume] [--max-units K] [--cycle-budget N] [--jobs N] \
+                 [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE] [--counts-out FILE]"
             );
             std::process::exit(2);
         }

@@ -35,7 +35,10 @@ use tbpoint_ir::LaunchSpec;
 use tbpoint_obs::{
     CollectingRecorder, DegradeReason, EventKind, NullRecorder, Recorder, Span, TraceBundle,
 };
-use tbpoint_sim::{simulate_launch_obs, CycleBudgetHook, GpuConfig, NullSampling, SamplingHook};
+use tbpoint_sim::{
+    simulate_launch_obs_with_options, CycleBudgetHook, GpuConfig, NullSampling, SamplingHook,
+    SimOptions,
+};
 
 /// Full TBPoint configuration (paper defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,6 +62,11 @@ pub struct TbpointConfig {
     /// Worker threads for simulating independent representative launches
     /// (1 = serial; results are identical at any count).
     pub sim_threads: usize,
+    /// Worker threads *inside* each launch simulation (SM-sharded cycle
+    /// windows; see `tbpoint_sim::SimOptions::jobs`). 1 = serial; any
+    /// value is bit-identical to serial. Composes with `sim_threads`:
+    /// total simulator threads ≈ `sim_threads * sim_jobs`.
+    pub sim_jobs: usize,
     /// Bound on warming units per region before the sampler abandons the
     /// region and degrades to detailed simulation (`None` = warm
     /// indefinitely, the paper's behaviour). Must be at least
@@ -81,6 +89,7 @@ impl Default for TbpointConfig {
             inter_enabled: true,
             intra_enabled: true,
             sim_threads: 1,
+            sim_jobs: 1,
             warming_budget: None,
             cycle_budget: None,
         }
@@ -97,8 +106,9 @@ impl TbpointConfig {
     /// [`TbError::InvalidConfig`] when a clustering σ is non-finite or
     /// non-positive, the variation factor is negative, the warming
     /// threshold is non-finite or non-positive, `unit_tb_span` is zero,
-    /// or `warming_window` is below 2. `sim_threads` is deliberately not
-    /// validated: any value is safe (0 is treated as 1).
+    /// or `warming_window` is below 2. `sim_threads` and `sim_jobs` are
+    /// deliberately not validated: any value is safe (0 is treated as 1,
+    /// and `sim_jobs` additionally clamps to the SM count).
     pub fn validate(&self) -> Result<(), TbError> {
         self.inter.validate()?;
         self.intra.validate()?;
@@ -301,19 +311,33 @@ fn validate_launch_profile(spec: &LaunchSpec, lp: &LaunchProfile) -> Result<(), 
 }
 
 /// Run one launch simulation under the optional cycle-budget watchdog.
+#[allow(clippy::too_many_arguments)]
 fn simulate_guarded<R: Recorder>(
     run: &KernelRun,
     spec: &LaunchSpec,
     gpu: &GpuConfig,
     hook: &mut dyn SamplingHook,
     cycle_budget: Option<u64>,
+    jobs: usize,
     rep: usize,
     rec: &R,
 ) -> Result<tbpoint_sim::LaunchSimResult, TbError> {
+    let opts = SimOptions {
+        jobs,
+        ..SimOptions::default()
+    };
     match cycle_budget {
         Some(budget) => {
             let mut guard = CycleBudgetHook::new(hook, budget);
-            let r = simulate_launch_obs(&run.kernel, spec, gpu, &mut guard, None, rec);
+            let r = simulate_launch_obs_with_options(
+                &run.kernel,
+                spec,
+                gpu,
+                &mut guard,
+                None,
+                opts,
+                rec,
+            );
             if guard.exceeded() {
                 Err(TbError::BudgetExceeded {
                     launch: rep,
@@ -323,7 +347,15 @@ fn simulate_guarded<R: Recorder>(
                 Ok(r)
             }
         }
-        None => Ok(simulate_launch_obs(&run.kernel, spec, gpu, hook, None, rec)),
+        None => Ok(simulate_launch_obs_with_options(
+            &run.kernel,
+            spec,
+            gpu,
+            hook,
+            None,
+            opts,
+            rec,
+        )),
     }
 }
 
@@ -374,7 +406,16 @@ fn simulate_rep<R: Recorder>(
             .warming_budget(cfg.warming_budget)
             .recorder(rec)
             .build()?;
-        let r = simulate_guarded(run, spec, gpu, &mut sampler, cfg.cycle_budget, rep, rec)?;
+        let r = simulate_guarded(
+            run,
+            spec,
+            gpu,
+            &mut sampler,
+            cfg.cycle_budget,
+            cfg.sim_jobs,
+            rep,
+            rec,
+        )?;
         let o = sampler.outcome();
         let launch_insts = launch_profile.warp_insts();
         let predicted_cycles = r.cycles as f64 + o.predicted_skipped_cycles;
@@ -403,6 +444,7 @@ fn simulate_rep<R: Recorder>(
         gpu,
         &mut NullSampling,
         cfg.cycle_budget,
+        cfg.sim_jobs,
         rep,
         rec,
     )?;

@@ -62,9 +62,15 @@ impl MshrPool {
     }
 }
 
-/// The full memory system shared by all SMs.
-pub struct MemorySystem {
-    l1s: Vec<Cache>,
+/// Everything *behind* the per-SM L1s: MSHRs, the shared L2 and DRAM.
+///
+/// Split out of [`MemorySystem`] so the sharded parallel simulator can
+/// keep the L1s shard-local (each SM's L1 is touched only by that SM)
+/// while replaying the cross-SM coupling — MSHR arbitration, L2
+/// occupancy, DRAM bank queues — at window barriers in canonical order.
+/// The serial path composes the same two halves, so the request walk is
+/// one piece of code for both.
+pub(crate) struct SharedMemPath {
     mshrs: Vec<MshrPool>,
     l2: Cache,
     dram: Dram,
@@ -73,11 +79,9 @@ pub struct MemorySystem {
     dram_base_latency: u64,
 }
 
-impl MemorySystem {
-    /// Build the hierarchy for `cfg.num_sms` SMs.
-    pub fn new(cfg: &GpuConfig) -> Self {
-        MemorySystem {
-            l1s: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1)).collect(),
+impl SharedMemPath {
+    pub(crate) fn new(cfg: &GpuConfig) -> Self {
+        SharedMemPath {
             mshrs: (0..cfg.num_sms)
                 .map(|_| MshrPool::new(cfg.mshrs_per_sm as usize))
                 .collect(),
@@ -89,18 +93,16 @@ impl MemorySystem {
         }
     }
 
-    /// Issue a load for `line_addr` from SM `sm` at cycle `now`; returns
-    /// the completion cycle.
-    pub fn load(&mut self, sm: usize, line_addr: u64, now: u64) -> u64 {
-        self.load_obs(sm, line_addr, now, &NullRecorder)
-    }
-
-    /// [`MemorySystem::load`] with cache/DRAM observability: emits
-    /// hit/miss counters, an `MshrStall` event when the request queues
-    /// behind a full MSHR pool, and a `DramAccess` event per L2 miss.
-    /// Recording is observation-only — the returned completion cycle is
-    /// identical for every recorder.
-    pub fn load_obs<R: Recorder + ?Sized>(
+    /// The shared half of a load that already missed SM `sm`'s L1:
+    /// MSHR admission, L2 probe, DRAM on an L2 miss. Returns the
+    /// completion cycle. The caller is responsible for the L1 probe and
+    /// its `l1_hit`/`l1_miss` counters, so both the serial walk and the
+    /// barrier replay produce identical state transitions and events.
+    ///
+    /// Completion is never earlier than `now + l1_hit + l2_hit` — the
+    /// invariant the parallel window length rests on (see
+    /// DESIGN.md, "Deterministic parallel simulation").
+    pub(crate) fn miss_load_obs<R: Recorder + ?Sized>(
         &mut self,
         sm: usize,
         line_addr: u64,
@@ -109,11 +111,6 @@ impl MemorySystem {
     ) -> u64 {
         // SM indices are config-bounded (tens), far below u32::MAX.
         let sm_u32 = u32::try_from(sm).unwrap_or(u32::MAX);
-        if self.l1s[sm].access_load(line_addr) {
-            rec.counter("l1_hit", 1);
-            return now + self.l1_hit_latency;
-        }
-        rec.counter("l1_miss", 1);
         let issue = self.mshrs[sm].issue_time(now);
         if issue > now {
             rec.record(
@@ -153,6 +150,95 @@ impl MemorySystem {
         complete
     }
 
+    /// The shared half of a store: the L2 probe (write-through,
+    /// no-allocate). The L1 probe and the `store` counter happen on the
+    /// issuing side. Returns the nominal drain cycle (diagnostics).
+    pub(crate) fn store_line(&mut self, line_addr: u64, now: u64) -> u64 {
+        if self.l2.access_store(line_addr) {
+            now + self.l1_hit_latency + self.l2_hit_latency
+        } else {
+            now + self.l1_hit_latency + self.l2_hit_latency + self.dram_base_latency
+        }
+    }
+
+    pub(crate) fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+
+    pub(crate) fn dram_row_hit_rate(&self) -> f64 {
+        self.dram.row_hit_rate()
+    }
+
+    pub(crate) fn dram_avg_wait(&self) -> f64 {
+        self.dram.avg_wait()
+    }
+
+    fn flush(&mut self) {
+        for m in &mut self.mshrs {
+            m.clear();
+        }
+        self.l2.flush();
+        self.dram.flush();
+    }
+}
+
+/// Aggregate hit rate over a set of L1 caches (the serial system's own
+/// vector, or the shard-local caches gathered back at the end of a
+/// parallel launch).
+pub(crate) fn l1_hit_rate_over<'a>(caches: impl Iterator<Item = &'a Cache>) -> f64 {
+    let (h, m) = caches
+        .map(Cache::stats)
+        .fold((0, 0), |(ah, am), (h, m)| (ah + h, am + m));
+    if h + m == 0 {
+        0.0
+    } else {
+        h as f64 / (h + m) as f64
+    }
+}
+
+/// The full memory system shared by all SMs.
+pub struct MemorySystem {
+    l1s: Vec<Cache>,
+    shared: SharedMemPath,
+    l1_hit_latency: u64,
+}
+
+impl MemorySystem {
+    /// Build the hierarchy for `cfg.num_sms` SMs.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        MemorySystem {
+            l1s: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1)).collect(),
+            shared: SharedMemPath::new(cfg),
+            l1_hit_latency: cfg.l1_hit_latency as u64,
+        }
+    }
+
+    /// Issue a load for `line_addr` from SM `sm` at cycle `now`; returns
+    /// the completion cycle.
+    pub fn load(&mut self, sm: usize, line_addr: u64, now: u64) -> u64 {
+        self.load_obs(sm, line_addr, now, &NullRecorder)
+    }
+
+    /// [`MemorySystem::load`] with cache/DRAM observability: emits
+    /// hit/miss counters, an `MshrStall` event when the request queues
+    /// behind a full MSHR pool, and a `DramAccess` event per L2 miss.
+    /// Recording is observation-only — the returned completion cycle is
+    /// identical for every recorder.
+    pub fn load_obs<R: Recorder + ?Sized>(
+        &mut self,
+        sm: usize,
+        line_addr: u64,
+        now: u64,
+        rec: &R,
+    ) -> u64 {
+        if self.l1s[sm].access_load(line_addr) {
+            rec.counter("l1_hit", 1);
+            return now + self.l1_hit_latency;
+        }
+        rec.counter("l1_miss", 1);
+        self.shared.miss_load_obs(sm, line_addr, now, rec)
+    }
+
     /// Issue a store (write-through, no-allocate, fire-and-forget): the
     /// traffic probes the caches for statistics, but does not occupy DRAM
     /// banks. Memory controllers hold writes in a write buffer and drain
@@ -175,11 +261,7 @@ impl MemorySystem {
     ) -> u64 {
         rec.counter("store", 1);
         self.l1s[sm].access_store(line_addr);
-        if self.l2.access_store(line_addr) {
-            now + self.l1_hit_latency + self.l2_hit_latency
-        } else {
-            now + self.l1_hit_latency + self.l2_hit_latency + self.dram_base_latency
-        }
+        self.shared.store_line(line_addr, now)
     }
 
     /// Invalidate caches, banks and MSHRs (between launches).
@@ -187,40 +269,27 @@ impl MemorySystem {
         for c in &mut self.l1s {
             c.flush();
         }
-        for m in &mut self.mshrs {
-            m.clear();
-        }
-        self.l2.flush();
-        self.dram.flush();
+        self.shared.flush();
     }
 
     /// Aggregate L1 hit rate across SMs.
     pub fn l1_hit_rate(&self) -> f64 {
-        let (h, m) = self
-            .l1s
-            .iter()
-            .map(Cache::stats)
-            .fold((0, 0), |(ah, am), (h, m)| (ah + h, am + m));
-        if h + m == 0 {
-            0.0
-        } else {
-            h as f64 / (h + m) as f64
-        }
+        l1_hit_rate_over(self.l1s.iter())
     }
 
     /// L2 hit rate.
     pub fn l2_hit_rate(&self) -> f64 {
-        self.l2.hit_rate()
+        self.shared.l2_hit_rate()
     }
 
     /// DRAM row-buffer hit rate.
     pub fn dram_row_hit_rate(&self) -> f64 {
-        self.dram.row_hit_rate()
+        self.shared.dram_row_hit_rate()
     }
 
     /// Average DRAM wait (service + queuing) per access, cycles.
     pub fn dram_avg_wait(&self) -> f64 {
-        self.dram.avg_wait()
+        self.shared.dram_avg_wait()
     }
 }
 

@@ -7,14 +7,16 @@ use crate::memory::MemorySystem;
 use crate::sm::SmCore;
 use crate::units::{UnitCollector, UnitRecord, UnitsConfig};
 use serde::{Deserialize, Serialize};
+use std::borrow::BorrowMut;
 use tbpoint_emu::{InternStats, TraceArena};
 use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LaunchSpec, TbId};
 use tbpoint_obs::{EventKind, NullRecorder, Recorder};
 
-/// Hot-path switches for [`simulate_launch_with_options`]. Both default
-/// to on; turning one off selects the slow reference implementation the
-/// bit-identity golden suite compares against. Results are identical
-/// either way — only wall time changes.
+/// Hot-path switches for [`simulate_launch_with_options`]. The boolean
+/// switches default to on; turning one off selects the slow reference
+/// implementation the bit-identity golden suite compares against.
+/// Results are identical under every combination — only wall time
+/// changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
     /// Serve dispatch traces from a per-launch [`TraceArena`] instead of
@@ -24,6 +26,12 @@ pub struct SimOptions {
     /// scans and to jump the cycle loop across machine-wide idle spans
     /// in one step (instead of stepping cycle by cycle).
     pub event_horizon: bool,
+    /// Worker threads simulating SM shards inside this launch. Clamped
+    /// to `[1, num_sms]`; `1` (the default) runs the serial cycle loop
+    /// unchanged, larger values run the SM-sharded windowed simulator
+    /// (see DESIGN.md, "Deterministic parallel simulation") whose
+    /// [`LaunchSimResult`] is bit-identical to serial for every value.
+    pub jobs: usize,
 }
 
 impl Default for SimOptions {
@@ -31,6 +39,7 @@ impl Default for SimOptions {
         SimOptions {
             intern_traces: true,
             event_horizon: true,
+            jobs: 1,
         }
     }
 }
@@ -58,7 +67,7 @@ pub struct SimPerf {
 }
 
 impl SimPerf {
-    fn absorb_intern(&mut self, s: &InternStats) {
+    pub(crate) fn absorb_intern(&mut self, s: &InternStats) {
         self.intern_hits = s.hits;
         self.intern_misses = s.misses;
         self.intern_uncacheable = s.uncacheable;
@@ -184,14 +193,17 @@ pub fn simulate_launch_obs<R: Recorder + ?Sized>(
 }
 
 /// [`simulate_launch`] plus the hot-path counters ([`SimPerf`]) the
-/// `tbpoint bench` command reports. The simulated result is identical to
-/// [`simulate_launch`]'s.
+/// `tbpoint bench` command reports, at a chosen intra-launch parallelism
+/// (`jobs` worker threads over SM shards; `1` is the serial path). The
+/// simulated result is identical to [`simulate_launch`]'s for every
+/// `jobs` value.
 pub fn simulate_launch_perf(
     kernel: &Kernel,
     spec: &LaunchSpec,
     cfg: &GpuConfig,
     hook: &mut dyn SamplingHook,
     units: Option<UnitsConfig>,
+    jobs: usize,
 ) -> (LaunchSimResult, SimPerf) {
     simulate_launch_core(
         kernel,
@@ -199,7 +211,10 @@ pub fn simulate_launch_perf(
         cfg,
         hook,
         units,
-        SimOptions::default(),
+        SimOptions {
+            jobs,
+            ..SimOptions::default()
+        },
         &NullRecorder,
     )
 }
@@ -219,6 +234,141 @@ pub fn simulate_launch_with_options(
     simulate_launch_core(kernel, spec, cfg, hook, units, opts, &NullRecorder).0
 }
 
+/// [`simulate_launch_obs`] with explicit [`SimOptions`] — the fully
+/// general entry point: observability *and* hot-path switches, including
+/// intra-launch parallelism via [`SimOptions::jobs`]. This is what
+/// `tbpoint-core` uses to thread its configured job count into the
+/// per-launch detailed simulations.
+pub fn simulate_launch_obs_with_options<R: Recorder + ?Sized>(
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    cfg: &GpuConfig,
+    hook: &mut dyn SamplingHook,
+    units: Option<UnitsConfig>,
+    opts: SimOptions,
+    rec: &R,
+) -> LaunchSimResult {
+    simulate_launch_core(kernel, spec, cfg, hook, units, opts, rec).0
+}
+
+/// Dispatch-side progress counters, shared between the serial cycle loop
+/// and the parallel coordinator.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct DispatchState {
+    /// Next thread-block id to consult the hook about.
+    pub next_tb: u32,
+    /// Dispatched-and-simulating TBs.
+    pub outstanding: u32,
+    /// TBs the hook chose to simulate.
+    pub simulated: u32,
+    /// TBs the hook skipped.
+    pub skipped: u32,
+}
+
+/// Greedy dispatch: fill every free slot, consulting the hook per TB.
+/// Breadth-first over SMs (fewest-resident first, lowest index on ties)
+/// so that consecutive TB ids spread across SMs — the behaviour the
+/// paper's epoch construction assumes ("thread blocks having closer
+/// thread block IDs are likely to be running concurrently").
+///
+/// Generic over `BorrowMut<SmCore>` so the serial loop passes its own
+/// `Vec<SmCore>` and the parallel coordinator passes a view of
+/// `&mut SmCore`s gathered from the shard mutexes — one dispatcher, one
+/// behaviour.
+// The dispatcher's full per-launch context; bundling more would just
+// move the same fields.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_fill<R: Recorder + ?Sized, S: BorrowMut<SmCore>>(
+    sms: &mut [S],
+    arena: &mut TraceArena,
+    kernel: &Kernel,
+    spec: &LaunchSpec,
+    stagger: u64,
+    ds: &mut DispatchState,
+    hook: &mut dyn SamplingHook,
+    cycle: u64,
+    issued_total: u64,
+    rec: &R,
+) {
+    let total_tbs = spec.num_blocks;
+    let make_ctx = |block_id: u32| ExecCtx {
+        kernel_seed: kernel.seed,
+        launch_id: spec.launch_id,
+        block_id,
+        num_blocks: spec.num_blocks,
+        work_scale: spec.work_scale,
+    };
+    loop {
+        if ds.next_tb >= total_tbs {
+            return;
+        }
+        // Find the SM with a free slot that currently hosts the fewest
+        // blocks (breadth-first fill), and grab the slot while at it so
+        // dispatch below cannot fail.
+        let target = sms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sm)| {
+                let sm: &SmCore = sm.borrow();
+                sm.free_slot().map(|s| (i, s, sm.resident_blocks()))
+            })
+            .min_by_key(|&(_, _, r)| r)
+            .map(|(i, s, _)| (i, s));
+        let Some((sm_idx, slot)) = target else { return };
+        // SM indices are config-bounded (tens), far below u32::MAX.
+        let sm_u32 = u32::try_from(sm_idx).unwrap_or(u32::MAX);
+        let tb = TbId(ds.next_tb);
+        ds.next_tb += 1;
+        match hook.on_dispatch(tb, cycle, issued_total) {
+            DispatchDecision::Skip => {
+                ds.skipped += 1;
+                rec.record(cycle, EventKind::TbSkipped { tb: tb.0 });
+                // Skipped blocks vanish: no resources, no sim events.
+                continue;
+            }
+            DispatchDecision::Simulate => {
+                ds.simulated += 1;
+                // Serial dispatch: during the initial fill every block
+                // starts `stagger` cycles after the previous one.
+                // Mid-launch refills inherit natural staggering from
+                // retirement times, so no extra delay is added there.
+                let start = if cycle == 0 {
+                    ds.simulated as u64 * stagger
+                } else {
+                    cycle
+                };
+                let target_sm: &mut SmCore = sms[sm_idx].borrow_mut();
+                let insta_retire =
+                    target_sm.dispatch(slot, kernel, make_ctx(tb.0), tb, cycle, start, arena);
+                rec.record(
+                    cycle,
+                    EventKind::TbDispatched {
+                        tb: tb.0,
+                        sm: sm_u32,
+                    },
+                );
+                if let Some(rtb) = insta_retire {
+                    rec.record(
+                        cycle,
+                        EventKind::TbRetired {
+                            tb: rtb.0,
+                            sm: sm_u32,
+                        },
+                    );
+                    hook.on_retire(rtb, cycle, issued_total);
+                } else {
+                    ds.outstanding += 1;
+                    if rec.enabled() {
+                        let filled: &SmCore = sms[sm_idx].borrow();
+                        let resident = u64::try_from(filled.resident_blocks()).unwrap_or(u64::MAX);
+                        rec.gauge("sm_resident_blocks", sm_u32, resident);
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn simulate_launch_core<R: Recorder + ?Sized>(
     kernel: &Kernel,
     spec: &LaunchSpec,
@@ -228,6 +378,12 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
     opts: SimOptions,
     rec: &R,
 ) -> (LaunchSimResult, SimPerf) {
+    let jobs = opts.jobs.clamp(1, cfg.num_sms.max(1) as usize);
+    if jobs > 1 {
+        return crate::parallel::simulate_launch_sharded(
+            kernel, spec, cfg, hook, units, opts, jobs, rec,
+        );
+    }
     let occupancy = cfg.sm_occupancy(kernel);
     let mut sms: Vec<SmCore> = (0..cfg.num_sms)
         .map(|i| {
@@ -242,116 +398,25 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
     let mut collector = units.map(|u| UnitCollector::new(u, kernel.num_basic_blocks as usize));
 
     let total_tbs = spec.num_blocks;
-    let mut next_tb: u32 = 0;
-    let mut outstanding: u32 = 0; // dispatched-and-simulating TBs
-    let mut simulated_tbs: u32 = 0;
-    let mut skipped_tbs: u32 = 0;
+    let mut ds = DispatchState::default();
     let mut cycle: u64 = 0;
     let mut issued_total: u64 = 0;
-
-    let make_ctx = |block_id: u32| ExecCtx {
-        kernel_seed: kernel.seed,
-        launch_id: spec.launch_id,
-        block_id,
-        num_blocks: spec.num_blocks,
-        work_scale: spec.work_scale,
-    };
     let stagger = cfg.dispatch_stagger_cycles as u64;
 
-    // Greedy dispatch: fill every free slot, consulting the hook per TB.
-    // Round-robin over SMs so that consecutive TB ids spread across SMs —
-    // the behaviour the paper's epoch construction assumes ("thread blocks
-    // having closer thread block IDs are likely to be running
-    // concurrently").
-    let fill = |sms: &mut Vec<SmCore>,
-                arena: &mut TraceArena,
-                next_tb: &mut u32,
-                outstanding: &mut u32,
-                simulated: &mut u32,
-                skipped: &mut u32,
-                hook: &mut dyn SamplingHook,
-                cycle: u64,
-                issued_total: u64| {
-        loop {
-            if *next_tb >= total_tbs {
-                return;
-            }
-            // Find the SM with a free slot that currently hosts the fewest
-            // blocks (breadth-first fill), and grab the slot while at it so
-            // dispatch below cannot fail.
-            let target = sms
-                .iter()
-                .enumerate()
-                .filter_map(|(i, sm)| sm.free_slot().map(|s| (i, s, sm.resident_blocks())))
-                .min_by_key(|&(_, _, r)| r)
-                .map(|(i, s, _)| (i, s));
-            let Some((sm_idx, slot)) = target else { return };
-            // SM indices are config-bounded (tens), far below u32::MAX.
-            let sm_u32 = u32::try_from(sm_idx).unwrap_or(u32::MAX);
-            let tb = TbId(*next_tb);
-            *next_tb += 1;
-            match hook.on_dispatch(tb, cycle, issued_total) {
-                DispatchDecision::Skip => {
-                    *skipped += 1;
-                    rec.record(cycle, EventKind::TbSkipped { tb: tb.0 });
-                    // Skipped blocks vanish: no resources, no sim events.
-                    continue;
-                }
-                DispatchDecision::Simulate => {
-                    *simulated += 1;
-                    // Serial dispatch: during the initial fill every block
-                    // starts `stagger` cycles after the previous one.
-                    // Mid-launch refills inherit natural staggering from
-                    // retirement times, so no extra delay is added there.
-                    let start = if cycle == 0 {
-                        *simulated as u64 * stagger
-                    } else {
-                        cycle
-                    };
-                    let insta_retire =
-                        sms[sm_idx].dispatch(slot, kernel, make_ctx(tb.0), tb, cycle, start, arena);
-                    rec.record(
-                        cycle,
-                        EventKind::TbDispatched {
-                            tb: tb.0,
-                            sm: sm_u32,
-                        },
-                    );
-                    if let Some(rtb) = insta_retire {
-                        rec.record(
-                            cycle,
-                            EventKind::TbRetired {
-                                tb: rtb.0,
-                                sm: sm_u32,
-                            },
-                        );
-                        hook.on_retire(rtb, cycle, issued_total);
-                    } else {
-                        *outstanding += 1;
-                        if rec.enabled() {
-                            let resident =
-                                u64::try_from(sms[sm_idx].resident_blocks()).unwrap_or(u64::MAX);
-                            rec.gauge("sm_resident_blocks", sm_u32, resident);
-                        }
-                    }
-                }
-            }
-        }
-    };
-
-    fill(
+    greedy_fill(
         &mut sms,
         &mut arena,
-        &mut next_tb,
-        &mut outstanding,
-        &mut simulated_tbs,
-        &mut skipped_tbs,
+        kernel,
+        spec,
+        stagger,
+        &mut ds,
         hook,
         cycle,
         issued_total,
+        rec,
     );
 
-    while outstanding > 0 || next_tb < total_tbs {
+    while ds.outstanding > 0 || ds.next_tb < total_tbs {
         let mut any_issued = false;
         let mut any_retired = false;
         for (sm_idx, sm) in sms.iter_mut().enumerate() {
@@ -364,7 +429,7 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
                 }
             }
             if let Some(tb) = r.retired {
-                outstanding -= 1;
+                ds.outstanding -= 1;
                 any_retired = true;
                 if rec.enabled() {
                     let sm_u32 = u32::try_from(sm_idx).unwrap_or(u32::MAX);
@@ -382,19 +447,20 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
             }
         }
         if any_retired {
-            fill(
+            greedy_fill(
                 &mut sms,
                 &mut arena,
-                &mut next_tb,
-                &mut outstanding,
-                &mut simulated_tbs,
-                &mut skipped_tbs,
+                kernel,
+                spec,
+                stagger,
+                &mut ds,
                 hook,
                 cycle,
                 issued_total,
+                rec,
             );
         }
-        if outstanding == 0 && next_tb >= total_tbs {
+        if ds.outstanding == 0 && ds.next_tb >= total_tbs {
             break;
         }
         if any_issued {
@@ -442,8 +508,9 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
                     // returning a silently wrong cycle count.
                     // tbpoint-lint: allow(no-panic-in-library)
                     panic!(
-                        "simulator deadlock at cycle {cycle}: outstanding={outstanding}, \
-                         next_tb={next_tb}/{total_tbs}"
+                        "simulator deadlock at cycle {cycle}: outstanding={}, \
+                         next_tb={}/{total_tbs}",
+                        ds.outstanding, ds.next_tb
                     );
                 }
             }
@@ -465,8 +532,8 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
         cycles: cycle,
         issued_warp_insts,
         issued_thread_insts,
-        simulated_tbs,
-        skipped_tbs,
+        simulated_tbs: ds.simulated,
+        skipped_tbs: ds.skipped,
         l1_hit_rate: mem.l1_hit_rate(),
         l2_hit_rate: mem.l2_hit_rate(),
         dram_row_hit_rate: mem.dram_row_hit_rate(),
