@@ -1,0 +1,255 @@
+//! Intra-procedural use-def chains ("taint") over a function body.
+//!
+//! The barrier-phase rule needs to know when a local binding *is* a
+//! handle to cross-SM shared state, so that
+//! `let shared = SharedMemPath::new(cfg); ... shared.miss_load_obs(..)`
+//! is caught even though the second statement never names a roster type
+//! or field directly. Full pointer analysis is overkill: in this
+//! workspace shared handles flow only through `let` bindings and
+//! parameters, so a flat scan for `let <name> = <rhs> ;` statements plus
+//! a fixpoint over "rhs mentions something tainted" covers every real
+//! chain while staying a few dozen lines.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Result of taint propagation over one function body.
+#[derive(Debug, Default)]
+pub struct Taint {
+    /// Binding names considered handles to shared state.
+    pub names: BTreeSet<String>,
+    /// Token indices (into the full stream) of the binding occurrences
+    /// themselves — `shared` in `let shared = ...` — so a use-site scan
+    /// can skip the definition.
+    pub binding_sites: BTreeSet<usize>,
+}
+
+/// One parsed `let` statement: binding name, its token index, and the
+/// token range of the right-hand side.
+struct LetStmt {
+    name: String,
+    name_idx: usize,
+    rhs: Range<usize>,
+}
+
+/// Compute the tainted binding set for `body` (a token index range into
+/// `tokens`). `seed_names` are bindings tainted from outside (parameters
+/// whose type mentions a roster type); `types` and `fields` are the
+/// roster of shared type and field names that taint a right-hand side.
+pub fn tainted_bindings(
+    tokens: &[Tok],
+    body: Range<usize>,
+    seed_names: &[String],
+    types: &[&str],
+    fields: &[&str],
+) -> Taint {
+    let mut taint = Taint {
+        names: seed_names.iter().cloned().collect(),
+        binding_sites: BTreeSet::new(),
+    };
+    let lets = collect_lets(tokens, body);
+
+    // Fixpoint: a binding becomes tainted when its RHS mentions a roster
+    // type, a roster field access, or an already-tainted binding. Chains
+    // are at most a handful deep; the loop is bounded by |lets| rounds.
+    loop {
+        let mut changed = false;
+        for stmt in &lets {
+            if taint.names.contains(&stmt.name) {
+                continue;
+            }
+            if rhs_is_tainted(tokens, stmt.rhs.clone(), &taint.names, types, fields) {
+                taint.names.insert(stmt.name.clone());
+                taint.binding_sites.insert(stmt.name_idx);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Even untainted let bindings of tainted names shadow them; this
+    // workspace never shadows a shared handle, so we accept the
+    // (conservative, error-side) imprecision.
+    taint
+}
+
+/// Scan a body for `let [mut] <name> [: ty] = <rhs> ;` statements.
+/// Destructuring patterns (`let (a, b) = ..`, `let Some(x) = ..`) are
+/// skipped: they never bind shared handles in this workspace.
+fn collect_lets(tokens: &[Tok], body: Range<usize>) -> Vec<LetStmt> {
+    let mut lets = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        if ident_at(tokens, i) != Some("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if ident_at(tokens, j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = ident_at(tokens, j) else {
+            i += 1;
+            continue;
+        };
+        let name_idx = j;
+        j += 1;
+        // Reject enum/struct patterns (`let Some(x) = ..`, `let Ok { .. }`,
+        // `let path::Variant(..)`) — the "name" is a constructor there.
+        if matches!(punct_at(tokens, j), Some('(') | Some('{'))
+            || (punct_at(tokens, j) == Some(':') && punct_at(tokens, j + 1) == Some(':'))
+        {
+            i = j;
+            continue;
+        }
+        // Skip an optional `: Type` to the `=` at depth 0.
+        let mut depth = 0i64;
+        let mut eq = None;
+        while j < body.end {
+            match punct_at(tokens, j) {
+                Some('(') | Some('[') | Some('<') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('>') if punct_at(tokens, j.wrapping_sub(1)) != Some('-') => depth -= 1,
+                Some('=') if depth == 0 => {
+                    // `==` or `=>` would not follow a let pattern here;
+                    // a plain `=` begins the initializer.
+                    eq = Some(j);
+                    break;
+                }
+                Some(';') | Some('{') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i += 1;
+            continue;
+        };
+        // RHS: from past `=` to the terminating `;` at delimiter depth 0.
+        let mut depth = 0i64;
+        let mut k = eq + 1;
+        while k < body.end {
+            match punct_at(tokens, k) {
+                Some('(') | Some('[') | Some('{') => depth += 1,
+                Some(')') | Some(']') | Some('}') => depth -= 1,
+                Some(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        lets.push(LetStmt {
+            name: name.to_string(),
+            name_idx,
+            rhs: eq + 1..k.min(body.end),
+        });
+        i = k + 1;
+    }
+    lets
+}
+
+/// Whether an RHS token range mentions tainted state.
+fn rhs_is_tainted(
+    tokens: &[Tok],
+    rhs: Range<usize>,
+    tainted: &BTreeSet<String>,
+    types: &[&str],
+    fields: &[&str],
+) -> bool {
+    for i in rhs.clone() {
+        let Some(name) = ident_at(tokens, i) else {
+            continue;
+        };
+        if types.contains(&name) {
+            return true;
+        }
+        if punct_at(tokens, i.wrapping_sub(1)) == Some('.') && fields.contains(&name) {
+            return true;
+        }
+        if tainted.contains(name) && punct_at(tokens, i.wrapping_sub(1)) != Some('.') {
+            return true;
+        }
+    }
+    false
+}
+
+fn ident_at(tokens: &[Tok], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Tok], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parser;
+
+    fn taint_of(src: &str, seeds: &[&str]) -> Taint {
+        let lexed = lexer::lex(src);
+        let tree = parser::parse(&lexed.tokens, &lexed.markers);
+        let seed_names: Vec<String> = seeds.iter().map(|s| (*s).to_string()).collect();
+        tainted_bindings(
+            &lexed.tokens,
+            tree.fns[0].body.clone(),
+            &seed_names,
+            &["SharedMemPath"],
+            &["shared"],
+        )
+    }
+
+    #[test]
+    fn direct_constructor_taints() {
+        let t = taint_of(
+            "fn f() { let mut s = SharedMemPath::new(cfg); s.load(); }",
+            &[],
+        );
+        assert!(t.names.contains("s"));
+    }
+
+    #[test]
+    fn chained_bindings_taint_transitively() {
+        let t = taint_of(
+            "fn f() { let a = SharedMemPath::new(cfg); let b = a; let c = b; }",
+            &[],
+        );
+        assert!(t.names.contains("c"));
+    }
+
+    #[test]
+    fn field_access_taints() {
+        let t = taint_of("fn f(sys: &Mem) { let s = sys.shared; s.probe(); }", &[]);
+        assert!(t.names.contains("s"));
+    }
+
+    #[test]
+    fn unrelated_bindings_stay_clean() {
+        let t = taint_of("fn f() { let n = cycles + 1; let m = n * 2; }", &[]);
+        assert!(t.names.is_empty());
+    }
+
+    #[test]
+    fn enum_patterns_are_not_bindings() {
+        let t = taint_of(
+            "fn f() { let s = SharedMemPath::new(cfg); if let Some(x) = s.get() { x; } }",
+            &[],
+        );
+        assert!(t.names.contains("s"));
+        assert!(!t.names.contains("Some"));
+    }
+
+    #[test]
+    fn seeds_propagate() {
+        let t = taint_of("fn f(mem: &mut M) { let alias = mem; }", &["mem"]);
+        assert!(t.names.contains("alias"));
+    }
+}

@@ -28,6 +28,20 @@
 //!   non-test library code.
 //! * `no-lossy-cast` — no truncating `as` casts on counter-like values in
 //!   `sim`/`core` hot paths.
+//! * `barrier-phase-discipline` — cross-SM shared state (MSHRs, L2, DRAM,
+//!   `MemorySystem` handles) only from functions annotated as
+//!   coordinator-phase; see [`parser`] for the annotation grammar.
+//! * `no-alloc-in-hot-path` — no per-call allocation inside functions
+//!   annotated as hot.
+//! * `canonical-order-sort` — `(cycle, sm)` event sorts must use the one
+//!   blessed comparator (`tbpoint_sim::order::cycle_sm_key`).
+//! * `unused-allow-directive` — an allow directive that suppresses
+//!   nothing is stale and reported (warning).
+//!
+//! Beyond the token scan, the analyzer builds a per-file item tree
+//! ([`parser`]) and intra-procedural use-def chains ([`dataflow`]) so
+//! the phase rule can track shared-state handles through `let` bindings
+//! and parameters — still with no rustc or `syn` dependency.
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions, `tests/`,
 //! `benches/`, `examples/` trees) is exempt: panics and ad-hoc hashing are
@@ -38,10 +52,13 @@
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
 
 /// Diagnostic severity. `Error` fails the run; `Warning` fails only under
 /// `--deny-warnings`.
@@ -99,20 +116,60 @@ impl FileContext {
     }
 }
 
+/// Per-rule and per-severity violation counts, keyed by stable names so
+/// the JSON form is machine-diffable across runs.
+#[derive(Debug, Default, Serialize)]
+pub struct Summary {
+    /// Violation count per rule name (rules with zero hits are omitted).
+    pub by_rule: BTreeMap<String, usize>,
+    /// Violation count per severity (`error`/`warning`).
+    pub by_severity: BTreeMap<String, usize>,
+}
+
 /// Full analysis result over a file set.
 #[derive(Debug, Serialize)]
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// All violations, in (file, line) order.
+    /// All violations, in (file, line, rule) order.
     pub violations: Vec<Diagnostic>,
     /// Count of error-severity violations.
     pub errors: usize,
     /// Count of warning-severity violations.
     pub warnings: usize,
+    /// Aggregated counts for machine consumers.
+    pub summary: Summary,
 }
 
 impl Report {
+    /// Build a report from raw diagnostics: sorts them into the canonical
+    /// `(file, line, rule)` order and aggregates the summary, so every
+    /// construction path (CLI, tests) produces identical output for
+    /// identical findings.
+    pub fn from_violations(files_scanned: usize, mut violations: Vec<Diagnostic>) -> Report {
+        violations.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        let errors = violations
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = violations.len() - errors;
+        let mut summary = Summary::default();
+        for d in &violations {
+            *summary.by_rule.entry(d.rule.clone()).or_insert(0) += 1;
+            *summary
+                .by_severity
+                .entry(d.severity.to_string())
+                .or_insert(0) += 1;
+        }
+        Report {
+            files_scanned,
+            violations,
+            errors,
+            warnings,
+            summary,
+        }
+    }
+
     /// Whether the run should exit non-zero.
     pub fn failed(&self, deny_warnings: bool) -> bool {
         self.errors > 0 || (deny_warnings && self.warnings > 0)
@@ -133,24 +190,89 @@ pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         is_library: class.is_library,
     };
     let lexed = lexer::lex(src);
-    let tokens = strip_test_ranges(&lexed.tokens);
+    let (tokens, removed_spans) = strip_test_ranges_spans(&lexed.tokens);
+    // Markers inside stripped test ranges must not attach to the next
+    // surviving fn — drop them before parsing.
+    let live_markers: Vec<lexer::Marker> = lexed
+        .markers
+        .iter()
+        .filter(|m| !in_spans(&removed_spans, m.line))
+        .cloned()
+        .collect();
+    let tree = parser::parse(&tokens, &live_markers);
     let mut diags = Vec::new();
-    rules::check_file(&ctx, &tokens, &mut diags);
+    rules::check_file(&ctx, &tokens, &tree, &mut diags);
 
     // Apply allow directives: a trailing comment (on a line that has code)
     // suppresses its own line; a standalone comment suppresses the next.
+    // Track which directives fire so stale ones become findings.
     let code_lines: std::collections::BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut used = vec![false; lexed.allows.len()];
     diags.retain(|d| {
-        !lexed.allows.iter().any(|a| {
+        let mut suppressed = false;
+        for (i, a) in lexed.allows.iter().enumerate() {
             let covered = if code_lines.contains(&a.line) {
                 a.line == d.line
             } else {
                 a.line + 1 == d.line
             };
-            covered && a.rules.iter().any(|r| r == &d.rule)
-        })
+            if covered && a.rules.iter().any(|r| r == &d.rule) {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
     });
+
+    // A directive that suppressed nothing is stale. Directives covering
+    // test-only code are exempt (the code they covered was stripped, so
+    // "suppressed nothing" is expected, not stale), as are whole files
+    // outside rule scope. The warning itself is deliberately not
+    // allow-listable: silencing "this silencer is dead" with another
+    // silencer would defeat the point.
+    if ctx.is_library {
+        for (i, a) in lexed.allows.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let covered_line = if code_lines.contains(&a.line) {
+                a.line
+            } else {
+                a.line + 1
+            };
+            if in_spans(&removed_spans, a.line) || in_spans(&removed_spans, covered_line) {
+                continue;
+            }
+            let unknown: Vec<&str> = a
+                .rules
+                .iter()
+                .filter(|r| !rules::RULE_NAMES.contains(&r.as_str()))
+                .map(String::as_str)
+                .collect();
+            let detail = if unknown.is_empty() {
+                "it suppresses no diagnostic — remove it (or the fix regressed \
+                 and the rule no longer fires here)"
+                    .to_string()
+            } else {
+                format!(
+                    "it names unknown rule(s) {unknown:?} and suppresses no \
+                     diagnostic; check `--list-rules` for valid names"
+                )
+            };
+            diags.push(ctx.diagnostic(
+                rules::UNUSED_ALLOW_DIRECTIVE,
+                Severity::Warning,
+                a.line,
+                format!("stale allow directive for {:?}: {detail}", a.rules),
+            ));
+        }
+    }
     diags
+}
+
+/// True if `line` falls inside any of the (inclusive) line spans.
+fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
 }
 
 /// How a path participates in analysis.
@@ -193,23 +315,34 @@ fn classify(rel_path: &str) -> Option<Classification> {
 /// Remove token ranges belonging to test-only items: any item annotated
 /// `#[cfg(test)]` or `#[test]` (attributes may stack).
 pub fn strip_test_ranges(tokens: &[Tok]) -> Vec<Tok> {
+    strip_test_ranges_spans(tokens).0
+}
+
+/// Like [`strip_test_ranges`], but also reports the inclusive line spans
+/// of the removed items, so comment directives (allows, annotations)
+/// inside test-only code can be exempted from staleness/attachment.
+pub fn strip_test_ranges_spans(tokens: &[Tok]) -> (Vec<Tok>, Vec<(u32, u32)>) {
     let mut out = Vec::with_capacity(tokens.len());
+    let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
         if is_test_attr(tokens, i) {
             // Consume this attribute, any further attributes, then the
             // whole annotated item.
+            let start = i;
             i = skip_attr(tokens, i);
             while is_attr(tokens, i) {
                 i = skip_attr(tokens, i);
             }
             i = skip_item(tokens, i);
+            let last = i.saturating_sub(1).min(tokens.len().saturating_sub(1));
+            spans.push((tokens[start].line, tokens[last].line));
         } else {
             out.push(tokens[i].clone());
             i += 1;
         }
     }
-    out
+    (out, spans)
 }
 
 fn is_attr(tokens: &[Tok], i: usize) -> bool {
@@ -369,18 +502,7 @@ pub fn run(root: &Path, paths: &[PathBuf]) -> std::io::Result<Report> {
         scanned += 1;
         violations.extend(analyze_source(&rel, &src));
     }
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    let errors = violations
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    let warnings = violations.len() - errors;
-    Ok(Report {
-        files_scanned: scanned,
-        violations,
-        errors,
-        warnings,
-    })
+    Ok(Report::from_violations(scanned, violations))
 }
 
 /// Render a report for terminals: one rustc-style block per violation.
@@ -396,6 +518,9 @@ pub fn render_human(report: &Report) -> String {
         "{} file(s) scanned: {} error(s), {} warning(s)\n",
         report.files_scanned, report.errors, report.warnings
     ));
+    for (rule, count) in &report.summary.by_rule {
+        out.push_str(&format!("  {rule}: {count}\n"));
+    }
     out
 }
 
@@ -456,6 +581,107 @@ mod tests {
             fn f() { x.unwrap(); }
         ";
         let diags = analyze_source("crates/sim/src/x.rs", src);
-        assert_eq!(diags.len(), 1);
+        // The unwrap error survives, and the no-op directive is itself
+        // reported as stale.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == rules::NO_PANIC_IN_LIBRARY));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == rules::UNUSED_ALLOW_DIRECTIVE && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn used_allow_is_not_stale() {
+        let src = "
+            fn f() {
+                // tbpoint-lint: allow(no-panic-in-library)
+                x.unwrap();
+            }
+        ";
+        let diags = analyze_source("crates/sim/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_inside_test_code_is_exempt_from_staleness() {
+        let src = "
+            fn lib_code() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    // tbpoint-lint: allow(no-panic-in-library)
+                    y.unwrap();
+                }
+            }
+        ";
+        let diags = analyze_source("crates/sim/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_rule_names_are_called_out() {
+        let src = "
+            // tbpoint-lint: allow(no-such-rule)
+            fn f() {}
+        ";
+        let diags = analyze_source("crates/sim/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("no-such-rule"), "{diags:?}");
+    }
+
+    #[test]
+    fn report_sorts_by_file_line_rule_and_summarizes() {
+        let mk = |file: &str, line: u32, rule: &str, sev: Severity| Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            severity: sev,
+            message: String::new(),
+        };
+        let report = Report::from_violations(
+            3,
+            vec![
+                mk("b.rs", 1, "zz-rule", Severity::Warning),
+                mk("a.rs", 9, "m-rule", Severity::Error),
+                mk("a.rs", 9, "a-rule", Severity::Error),
+                mk("a.rs", 2, "zz-rule", Severity::Error),
+            ],
+        );
+        let order: Vec<(&str, u32, &str)> = report
+            .violations
+            .iter()
+            .map(|d| (d.file.as_str(), d.line, d.rule.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, "zz-rule"),
+                ("a.rs", 9, "a-rule"),
+                ("a.rs", 9, "m-rule"),
+                ("b.rs", 1, "zz-rule"),
+            ]
+        );
+        assert_eq!(report.errors, 3);
+        assert_eq!(report.warnings, 1);
+        assert_eq!(report.summary.by_rule.get("zz-rule"), Some(&2));
+        assert_eq!(report.summary.by_severity.get("error"), Some(&3));
+        assert_eq!(report.summary.by_severity.get("warning"), Some(&1));
+    }
+
+    #[test]
+    fn markers_in_test_code_do_not_leak_onto_library_fns() {
+        // The hot annotation sits inside a stripped test module; the
+        // allocation in `lib_code` must not be flagged.
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                // tbpoint-hot
+                fn helper() {}
+            }
+            fn lib_code() { let v = Vec::new(); v }
+        ";
+        let diags = analyze_source("crates/sim/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

@@ -1,11 +1,16 @@
-//! Command-line driver for the `tbpoint-lint` analyzer.
+//! Command-line driver for the `tbpoint-lint` / `tbpoint-analyze`
+//! workspace analyzer.
 //!
 //! ```text
 //! tbpoint-lint [--root DIR] [--format human|json] [--deny-warnings]
-//!              [--list-rules] [PATH ...]
+//!              [--quiet] [--list-rules] [PATH ...]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! `--quiet` suppresses the report body (CI legs that only gate on the
+//! exit code); `--format json` emits a deterministic report — violations
+//! sorted by `(file, line, rule)` plus a `summary` object with per-rule
+//! and per-severity counts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,13 +26,14 @@ struct Args {
     root: PathBuf,
     format: Format,
     deny_warnings: bool,
+    quiet: bool,
     list_rules: bool,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: tbpoint-lint [--root DIR] [--format human|json] [--deny-warnings] \
-     [--list-rules] [PATH ...]"
+     [--quiet] [--list-rules] [PATH ...]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -35,6 +41,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         root: PathBuf::from("."),
         format: Format::Human,
         deny_warnings: false,
+        quiet: false,
         list_rules: false,
         paths: Vec::new(),
     };
@@ -58,6 +65,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
             }
             "--deny-warnings" => args.deny_warnings = true,
+            "--quiet" => args.quiet = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
@@ -98,9 +106,11 @@ fn main() -> ExitCode {
         }
     };
 
-    match args.format {
-        Format::Human => print!("{}", render_human(&report)),
-        Format::Json => println!("{}", render_json(&report)),
+    if !args.quiet {
+        match args.format {
+            Format::Human => print!("{}", render_human(&report)),
+            Format::Json => println!("{}", render_json(&report)),
+        }
     }
 
     if report.failed(args.deny_warnings) {

@@ -5,7 +5,12 @@
 //! scoped to. See DESIGN.md ("Determinism invariants & static analysis")
 //! for the rationale behind each rule.
 
+pub mod hot;
+pub mod order;
+pub mod phase;
+
 use crate::lexer::{Tok, TokKind};
+use crate::parser::ItemTree;
 use crate::{Diagnostic, FileContext, Severity};
 
 /// Names of all rules, in reporting order.
@@ -14,6 +19,10 @@ pub const RULE_NAMES: &[&str] = &[
     NO_NAN_UNSAFE_ORDERING,
     NO_PANIC_IN_LIBRARY,
     NO_LOSSY_CAST,
+    BARRIER_PHASE_DISCIPLINE,
+    NO_ALLOC_IN_HOT_PATH,
+    CANONICAL_ORDER_SORT,
+    UNUSED_ALLOW_DIRECTIVE,
 ];
 
 /// Forbid wall-clock and OS-entropy randomness plus hash-order iteration.
@@ -24,6 +33,14 @@ pub const NO_NAN_UNSAFE_ORDERING: &str = "no-nan-unsafe-ordering";
 pub const NO_PANIC_IN_LIBRARY: &str = "no-panic-in-library";
 /// Flag truncating `as` casts on counter-like values in hot paths.
 pub const NO_LOSSY_CAST: &str = "no-lossy-cast";
+/// Cross-SM shared state only from coordinator-phase functions.
+pub const BARRIER_PHASE_DISCIPLINE: &str = "barrier-phase-discipline";
+/// No allocation inside `tbpoint-hot` regions.
+pub const NO_ALLOC_IN_HOT_PATH: &str = "no-alloc-in-hot-path";
+/// `(cycle, sm)` event sorts must use the blessed comparator.
+pub const CANONICAL_ORDER_SORT: &str = "canonical-order-sort";
+/// An allow directive that suppressed nothing is itself a finding.
+pub const UNUSED_ALLOW_DIRECTIVE: &str = "unused-allow-directive";
 
 /// One-line description per rule (for `--list-rules`).
 pub fn describe(rule: &str) -> &'static str {
@@ -43,6 +60,24 @@ pub fn describe(rule: &str) -> &'static str {
         NO_LOSSY_CAST => {
             "flags truncating `as` casts on counter-like identifiers (cycle/block/\
              inst/warp/...) in sim and core hot paths; use try_from or u64 math"
+        }
+        BARRIER_PHASE_DISCIPLINE => {
+            "cross-SM shared state (MSHRs/L2/DRAM, MemorySystem handles) may only \
+             be touched by functions annotated `tbpoint-phase: coordinator`; \
+             shard-phase or unannotated access is an error"
+        }
+        NO_ALLOC_IN_HOT_PATH => {
+            "forbids Vec::new/Box::new/collect/format!/to_string/clone and \
+             friends inside functions annotated `tbpoint-hot` — steady-state \
+             windows must stay allocation-free"
+        }
+        CANONICAL_ORDER_SORT => {
+            "sorts keyed on (cycle, sm) event order must go through the blessed \
+             tbpoint_sim::order::cycle_sm_key comparator, not ad-hoc key tuples"
+        }
+        UNUSED_ALLOW_DIRECTIVE => {
+            "a tbpoint-lint allow(...) directive that suppresses no diagnostic \
+             is stale and must be removed (warning; promoted by --deny-warnings)"
         }
         _ => "unknown rule",
     }
@@ -78,11 +113,12 @@ const COUNTER_HINTS: &[&str] = &["cycle", "inst", "block", "warp", "request", "e
 /// Integer types an `as` cast can silently truncate a 64-bit counter to.
 const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
-/// Run every applicable rule over one file's tokens.
+/// Run every applicable rule over one file's tokens and item tree.
 ///
 /// `tokens` must already have test-only ranges removed (see
-/// [`crate::strip_test_ranges`]).
-pub fn check_file(ctx: &FileContext, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+/// [`crate::strip_test_ranges`]), and `tree` must have been parsed from
+/// that same stripped stream.
+pub fn check_file(ctx: &FileContext, tokens: &[Tok], tree: &ItemTree, out: &mut Vec<Diagnostic>) {
     if !ctx.is_library {
         return;
     }
@@ -92,16 +128,19 @@ pub fn check_file(ctx: &FileContext, tokens: &[Tok], out: &mut Vec<Diagnostic>) 
     if LOSSY_CAST_CRATES.contains(&ctx.crate_name.as_str()) {
         check_lossy_cast(ctx, tokens, out);
     }
+    phase::check(ctx, tokens, tree, out);
+    hot::check(ctx, tokens, tree, out);
+    order::check(ctx, tokens, out);
 }
 
-fn ident(tok: Option<&Tok>) -> Option<&str> {
+pub(crate) fn ident(tok: Option<&Tok>) -> Option<&str> {
     match tok.map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct(tok: Option<&Tok>) -> Option<char> {
+pub(crate) fn punct(tok: Option<&Tok>) -> Option<char> {
     match tok.map(|t| &t.kind) {
         Some(TokKind::Punct(c)) => Some(*c),
         _ => None,

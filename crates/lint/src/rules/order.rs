@@ -1,0 +1,89 @@
+//! `canonical-order-sort`: `(cycle, sm)` event sorts go through one
+//! blessed comparator.
+//!
+//! Replay order *is* the parallel simulator's determinism contract:
+//! buffered cross-SM requests are applied at the barrier sorted by
+//! `(cycle, sm)`. Two call sites sorting by subtly different key tuples
+//! — `(cycle, sm)` here, `(sm, cycle)` there, or a tuple that drops the
+//! tiebreaker — would each be deterministic alone yet disagree with each
+//! other, which is exactly the class of bug bit-identity tests catch
+//! late and painfully. So the workspace defines one key function,
+//! `tbpoint_sim::order::cycle_sm_key`, and this rule flags any sort
+//! whose key closure mentions both `cycle` and `sm` identifiers without
+//! routing them through it.
+
+use super::{ident, punct, CANONICAL_ORDER_SORT};
+use crate::lexer::Tok;
+use crate::{Diagnostic, FileContext, Severity};
+
+/// Crates whose event buffers carry the `(cycle, sm)` contract.
+const ORDER_CRATES: &[&str] = &["sim"];
+
+/// Sorting methods whose key/comparator closure we inspect.
+const SORT_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// The one blessed key function.
+pub const BLESSED_KEY_FN: &str = "cycle_sm_key";
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileContext, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+    if !ORDER_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(name) = ident(Some(tok)) else {
+            continue;
+        };
+        if !SORT_METHODS.contains(&name)
+            || punct(tokens.get(i.wrapping_sub(1))) != Some('.')
+            || punct(tokens.get(i + 1)) != Some('(')
+        {
+            continue;
+        }
+        // Scan the argument (the key/comparator closure) to the matching
+        // close paren and collect the identifiers inside.
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        let mut has_cycle = false;
+        let mut has_sm = false;
+        let mut has_blessed = false;
+        while j < tokens.len() {
+            match punct(tokens.get(j)) {
+                Some('(') => depth += 1,
+                Some(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            match ident(tokens.get(j)) {
+                Some("cycle") => has_cycle = true,
+                Some("sm") => has_sm = true,
+                Some(BLESSED_KEY_FN) => has_blessed = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_cycle && has_sm && !has_blessed {
+            out.push(ctx.diagnostic(
+                CANONICAL_ORDER_SORT,
+                Severity::Error,
+                tok.line,
+                format!(
+                    "`.{name}(..)` builds an ad-hoc (cycle, sm) key; replay order is \
+                     the determinism contract — route the key through \
+                     `crate::order::{BLESSED_KEY_FN}` so every event buffer agrees \
+                     on one canonical order"
+                ),
+            ));
+        }
+    }
+}

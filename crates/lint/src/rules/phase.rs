@@ -1,0 +1,174 @@
+//! `barrier-phase-discipline`: cross-SM shared state may only be touched
+//! from coordinator-phase functions.
+//!
+//! The sharded parallel simulator is bit-identical to serial only
+//! because shard workers never touch MSHR/L2/DRAM state mid-window; all
+//! cross-SM coupling happens at window barriers, on one thread, in
+//! canonical order. This rule makes that convention checkable: functions
+//! in `crates/sim` declare their phase with an annotation comment
+//! (`tbpoint-phase:` followed by `coordinator` or `shard`, anchored at
+//! the start of a plain `//` comment directly above the `fn`), and any
+//! function that touches the shared-state roster without being declared
+//! `coordinator` is an error — whether it is explicitly `shard` or
+//! simply unannotated. New code cannot silently grow a shared-state
+//! access path.
+//!
+//! "Touches" is computed three ways: direct roster field access
+//! (`.mshrs`, `.l2`, `.dram`, `.shared`, `.mem`), roster type use
+//! (`SharedMemPath::...`), and use of a local binding the dataflow pass
+//! proved to be a handle to shared state (seeded from constructor calls
+//! and from parameters whose type names a roster type). A shard-phase
+//! function calling a same-file coordinator function by name is also an
+//! error, so discipline cannot be laundered through one level of
+//! indirection.
+
+use super::{ident, punct, BARRIER_PHASE_DISCIPLINE};
+use crate::dataflow;
+use crate::lexer::Tok;
+use crate::parser::{FnItem, ItemTree, Phase};
+use crate::{Diagnostic, FileContext, Severity};
+
+/// Crates where the shared-state roster below is meaningful. The roster
+/// names concrete types/fields of the simulator's memory system; other
+/// crates reuse the annotation grammar but have no roster to enforce.
+const PHASE_CRATES: &[&str] = &["sim"];
+
+/// Types whose values are cross-SM shared state.
+pub const SHARED_TYPES: &[&str] = &["SharedMemPath", "MemorySystem"];
+
+/// Field names that hold cross-SM shared state (exact match after `.`).
+pub const SHARED_FIELDS: &[&str] = &["shared", "mshrs", "l2", "dram", "mem"];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileContext, tokens: &[Tok], tree: &ItemTree, out: &mut Vec<Diagnostic>) {
+    // Annotation hygiene applies wherever the grammar is used.
+    for marker in &tree.dangling {
+        out.push(
+            ctx.diagnostic(
+                BARRIER_PHASE_DISCIPLINE,
+                Severity::Warning,
+                marker.line,
+                "annotation attaches to no function (no `fn` at or below this line); \
+             move it directly above the item it describes or remove it"
+                    .to_string(),
+            ),
+        );
+    }
+    for f in &tree.fns {
+        if f.phase_conflict {
+            out.push(ctx.diagnostic(
+                BARRIER_PHASE_DISCIPLINE,
+                Severity::Error,
+                f.sig_line,
+                format!(
+                    "fn `{}` carries conflicting phase annotations; a function is \
+                     either coordinator or shard, never both",
+                    f.name
+                ),
+            ));
+        }
+        for (line, value) in &f.invalid_phases {
+            out.push(ctx.diagnostic(
+                BARRIER_PHASE_DISCIPLINE,
+                Severity::Error,
+                *line,
+                format!(
+                    "unknown phase `{value}`; the grammar accepts `coordinator` or \
+                     `shard`"
+                ),
+            ));
+        }
+    }
+
+    if !PHASE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+
+    let coordinator_fns: Vec<&str> = tree
+        .fns
+        .iter()
+        .filter(|f| f.phase == Some(Phase::Coordinator))
+        .map(|f| f.name.as_str())
+        .collect();
+
+    for f in &tree.fns {
+        if f.body.is_empty() || f.phase == Some(Phase::Coordinator) {
+            continue;
+        }
+        check_fn(ctx, tokens, f, &coordinator_fns, out);
+    }
+}
+
+/// Check one non-coordinator fn for shared-state accesses.
+fn check_fn(
+    ctx: &FileContext,
+    tokens: &[Tok],
+    f: &FnItem,
+    coordinator_fns: &[&str],
+    out: &mut Vec<Diagnostic>,
+) {
+    let seeds: Vec<String> = f
+        .params
+        .iter()
+        .filter(|p| {
+            p.type_idents
+                .iter()
+                .any(|t| SHARED_TYPES.contains(&t.as_str()))
+        })
+        .map(|p| p.name.clone())
+        .collect();
+    let taint =
+        dataflow::tainted_bindings(tokens, f.body.clone(), &seeds, SHARED_TYPES, SHARED_FIELDS);
+
+    // One diagnostic per line keeps multi-access lines readable.
+    let mut flagged_lines = std::collections::BTreeSet::new();
+    for i in f.body.clone() {
+        let Some(name) = ident(tokens.get(i)) else {
+            continue;
+        };
+        let line = tokens[i].line;
+        let prev = punct(tokens.get(i.wrapping_sub(1)));
+        let what = if prev == Some('.') && SHARED_FIELDS.contains(&name) {
+            Some(format!("field `.{name}`"))
+        } else if SHARED_TYPES.contains(&name)
+            && punct(tokens.get(i + 1)) == Some(':')
+            && punct(tokens.get(i + 2)) == Some(':')
+        {
+            Some(format!("type `{name}`"))
+        } else if prev != Some('.')
+            && taint.names.contains(name)
+            && !taint.binding_sites.contains(&i)
+        {
+            Some(format!("shared-state handle `{name}`"))
+        } else if f.phase == Some(Phase::Shard)
+            && prev != Some('.')
+            && prev != Some(':')
+            && punct(tokens.get(i + 1)) == Some('(')
+            && coordinator_fns.contains(&name)
+        {
+            Some(format!("coordinator-phase fn `{name}`"))
+        } else {
+            None
+        };
+        let Some(what) = what else { continue };
+        if !flagged_lines.insert(line) {
+            continue;
+        }
+        let message = match f.phase {
+            Some(Phase::Shard) => format!(
+                "shard-phase fn `{}` touches cross-SM shared state ({what}); shards \
+                 may only buffer requests — move the access to a coordinator-phase \
+                 function that runs at the window barrier",
+                f.name
+            ),
+            _ => format!(
+                "fn `{}` touches cross-SM shared state ({what}) without a phase \
+                 annotation; declare its barrier discipline with a comment line \
+                 reading `tbpoint-phase: coordinator` (or restructure so the shard \
+                 buffers the request)",
+                f.name
+            ),
+        };
+        out.push(ctx.diagnostic(BARRIER_PHASE_DISCIPLINE, Severity::Error, line, message));
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a one-off allocation in a hot fn via the escape hatch.
+
+// tbpoint-hot
+fn hot_with_waiver(xs: &[u64]) -> u64 {
+    // Grows once on first use, then amortises to zero.
+    // tbpoint-lint: allow(no-alloc-in-hot-path)
+    let buf: Vec<u64> = xs.to_vec();
+    buf.iter().sum()
+}

@@ -1,0 +1,14 @@
+//! Fixture: allocations in a hot function.
+
+// tbpoint-hot
+fn hot_with_allocs(xs: &[u64]) -> u64 {
+    let mut buf = Vec::new();
+    for &x in xs {
+        buf.push(x);
+    }
+    let doubled: Vec<u64> = xs.iter().map(|&x| x * 2).collect();
+    let label = format!("{}", doubled.len());
+    let copy = buf.clone();
+    let tag = label.to_string();
+    copy.iter().sum::<u64>() + tag.len() as u64
+}

@@ -1,0 +1,17 @@
+//! Fixture: hot functions reusing caller-owned scratch pass; cold
+//! functions may allocate freely.
+
+// tbpoint-hot
+fn hot_reuses_scratch(scratch: &mut Vec<u64>, xs: &[u64]) -> u64 {
+    scratch.clear();
+    for &x in xs {
+        scratch.push(x);
+    }
+    scratch.iter().sum()
+}
+
+fn cold_allocates(n: usize) -> Vec<u64> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0);
+    v
+}

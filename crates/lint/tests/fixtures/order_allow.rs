@@ -1,0 +1,7 @@
+//! Fixture: a deliberately reversed replay order via the escape hatch.
+
+fn reverse_replay(reqs: &mut Vec<Req>) {
+    // Diagnostic mode replays newest-first on purpose.
+    // tbpoint-lint: allow(canonical-order-sort)
+    reqs.sort_unstable_by_key(|r| (u64::MAX - r.cycle, r.sm));
+}

@@ -1,0 +1,9 @@
+//! Fixture: ad-hoc (cycle, sm) sort keys.
+
+fn replay_order(reqs: &mut Vec<Req>) {
+    reqs.sort_unstable_by_key(|r| (r.cycle, r.sm));
+}
+
+fn trail_order(trail: &mut Vec<Entry>) {
+    trail.sort_by(|a, b| (a.cycle, a.sm).cmp(&(b.cycle, b.sm)));
+}

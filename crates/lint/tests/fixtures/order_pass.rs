@@ -1,0 +1,9 @@
+//! Fixture: the blessed comparator and non-(cycle, sm) sorts pass.
+
+fn replay_order(reqs: &mut Vec<Req>) {
+    reqs.sort_unstable_by_key(|r| cycle_sm_key(r.cycle, r.sm));
+}
+
+fn by_gid(cores: &mut Vec<(usize, Core)>) {
+    cores.sort_unstable_by_key(|&(gid, _)| gid);
+}

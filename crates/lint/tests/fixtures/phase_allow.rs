@@ -1,0 +1,8 @@
+//! Fixture: a deliberate one-off shared access via the escape hatch.
+
+fn warm_caches(sys: &mut System) {
+    // Runs strictly before any worker thread spawns, so no window
+    // discipline applies yet.
+    // tbpoint-lint: allow(barrier-phase-discipline)
+    sys.l2.prefill();
+}

@@ -1,0 +1,26 @@
+//! Fixture: shared-state touches without coordinator discipline.
+
+fn peek_occupancy(sys: &System) -> u64 {
+    sys.l2.occupancy()
+}
+
+// tbpoint-phase: shard
+fn shard_build(cfg: &Config) -> u64 {
+    let path = SharedMemPath::new(cfg);
+    path.len()
+}
+
+// tbpoint-phase: shard
+fn shard_replay() {
+    at_barrier_replay();
+}
+
+// tbpoint-phase: coordinator
+fn at_barrier_replay() {}
+
+fn forward(mem: &mut MemorySystem, line: u64, now: u64) -> u64 {
+    mem.store_line(line, now)
+}
+
+// tbpoint-phase: conductor
+fn mislabeled() {}

@@ -1,0 +1,15 @@
+//! Fixture: disciplined phase annotations pass.
+
+// tbpoint-phase: coordinator
+fn replay_at_barrier(sys: &mut MemorySystem, line: u64, now: u64) -> u64 {
+    sys.shared.store_line(line, now)
+}
+
+// tbpoint-phase: shard
+fn buffer_request(reqs: &mut Vec<Req>, cycle: u64, sm: usize) {
+    reqs.push(Req { cycle, sm });
+}
+
+fn unrelated(x: u64) -> u64 {
+    x + 1
+}

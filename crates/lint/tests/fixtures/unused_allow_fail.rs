@@ -1,0 +1,13 @@
+//! Fixture: stale and misspelled allow directives.
+
+fn tidy(x: u64) -> u64 {
+    // tbpoint-lint: allow(no-panic-in-library)
+    x + 1
+}
+
+fn misspelled(ok: bool) {
+    if !ok {
+        // tbpoint-lint: allow(no-pannic-in-library)
+        panic!("invariant violated");
+    }
+}

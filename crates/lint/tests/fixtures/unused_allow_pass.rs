@@ -1,0 +1,9 @@
+//! Fixture: an allow that suppresses a real diagnostic is not stale.
+
+fn guarded(ok: bool) {
+    if !ok {
+        // Broken internal invariant: aborting loudly is the least-bad option.
+        // tbpoint-lint: allow(no-panic-in-library)
+        panic!("invariant violated");
+    }
+}

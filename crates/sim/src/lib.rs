@@ -47,7 +47,9 @@ pub mod config;
 pub mod dispatch;
 pub mod dram;
 pub mod memory;
+mod order;
 mod parallel;
+pub mod shadow;
 pub mod simulator;
 pub mod sm;
 pub mod stats;

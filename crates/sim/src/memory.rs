@@ -11,6 +11,7 @@
 use crate::cache::Cache;
 use crate::config::GpuConfig;
 use crate::dram::Dram;
+use crate::shadow;
 use std::collections::BinaryHeap;
 use tbpoint_obs::{EventKind, NullRecorder, Recorder};
 
@@ -31,6 +32,7 @@ impl MshrPool {
     }
 
     /// Earliest cycle at which a new miss may issue, given `now`.
+    // tbpoint-hot
     fn issue_time(&mut self, now: u64) -> u64 {
         // Retire completed entries.
         while let Some(&std::cmp::Reverse(t)) = self.outstanding.peek() {
@@ -80,6 +82,7 @@ pub(crate) struct SharedMemPath {
 }
 
 impl SharedMemPath {
+    // tbpoint-phase: coordinator
     pub(crate) fn new(cfg: &GpuConfig) -> Self {
         SharedMemPath {
             mshrs: (0..cfg.num_sms)
@@ -102,6 +105,8 @@ impl SharedMemPath {
     /// Completion is never earlier than `now + l1_hit + l2_hit` — the
     /// invariant the parallel window length rests on (see
     /// DESIGN.md, "Deterministic parallel simulation").
+    // tbpoint-phase: coordinator
+    // tbpoint-hot
     pub(crate) fn miss_load_obs<R: Recorder + ?Sized>(
         &mut self,
         sm: usize,
@@ -109,6 +114,7 @@ impl SharedMemPath {
         now: u64,
         rec: &R,
     ) -> u64 {
+        shadow::check_shared_access("SharedMemPath::miss_load_obs");
         // SM indices are config-bounded (tens), far below u32::MAX.
         let sm_u32 = u32::try_from(sm).unwrap_or(u32::MAX);
         let issue = self.mshrs[sm].issue_time(now);
@@ -153,7 +159,10 @@ impl SharedMemPath {
     /// The shared half of a store: the L2 probe (write-through,
     /// no-allocate). The L1 probe and the `store` counter happen on the
     /// issuing side. Returns the nominal drain cycle (diagnostics).
+    // tbpoint-phase: coordinator
+    // tbpoint-hot
     pub(crate) fn store_line(&mut self, line_addr: u64, now: u64) -> u64 {
+        shadow::check_shared_access("SharedMemPath::store_line");
         if self.l2.access_store(line_addr) {
             now + self.l1_hit_latency + self.l2_hit_latency
         } else {
@@ -161,18 +170,22 @@ impl SharedMemPath {
         }
     }
 
+    // tbpoint-phase: coordinator
     pub(crate) fn l2_hit_rate(&self) -> f64 {
         self.l2.hit_rate()
     }
 
+    // tbpoint-phase: coordinator
     pub(crate) fn dram_row_hit_rate(&self) -> f64 {
         self.dram.row_hit_rate()
     }
 
+    // tbpoint-phase: coordinator
     pub(crate) fn dram_avg_wait(&self) -> f64 {
         self.dram.avg_wait()
     }
 
+    // tbpoint-phase: coordinator
     fn flush(&mut self) {
         for m in &mut self.mshrs {
             m.clear();
@@ -205,6 +218,7 @@ pub struct MemorySystem {
 
 impl MemorySystem {
     /// Build the hierarchy for `cfg.num_sms` SMs.
+    // tbpoint-phase: coordinator
     pub fn new(cfg: &GpuConfig) -> Self {
         MemorySystem {
             l1s: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1)).collect(),
@@ -224,6 +238,8 @@ impl MemorySystem {
     /// behind a full MSHR pool, and a `DramAccess` event per L2 miss.
     /// Recording is observation-only — the returned completion cycle is
     /// identical for every recorder.
+    // tbpoint-phase: coordinator
+    // tbpoint-hot
     pub fn load_obs<R: Recorder + ?Sized>(
         &mut self,
         sm: usize,
@@ -252,6 +268,8 @@ impl MemorySystem {
 
     /// [`MemorySystem::store`] with a `store` counter (stores are
     /// fire-and-forget, so there is no latency event to record).
+    // tbpoint-phase: coordinator
+    // tbpoint-hot
     pub fn store_obs<R: Recorder + ?Sized>(
         &mut self,
         sm: usize,
@@ -265,6 +283,7 @@ impl MemorySystem {
     }
 
     /// Invalidate caches, banks and MSHRs (between launches).
+    // tbpoint-phase: coordinator
     pub fn flush(&mut self) {
         for c in &mut self.l1s {
             c.flush();
@@ -278,16 +297,19 @@ impl MemorySystem {
     }
 
     /// L2 hit rate.
+    // tbpoint-phase: coordinator
     pub fn l2_hit_rate(&self) -> f64 {
         self.shared.l2_hit_rate()
     }
 
     /// DRAM row-buffer hit rate.
+    // tbpoint-phase: coordinator
     pub fn dram_row_hit_rate(&self) -> f64 {
         self.shared.dram_row_hit_rate()
     }
 
     /// Average DRAM wait (service + queuing) per access, cycles.
+    // tbpoint-phase: coordinator
     pub fn dram_avg_wait(&self) -> f64 {
         self.shared.dram_avg_wait()
     }

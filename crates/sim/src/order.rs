@@ -1,0 +1,29 @@
+//! Canonical orderings for cross-SM event buffers.
+//!
+//! The parallel window protocol's determinism contract is that buffered
+//! cross-SM traffic is replayed at the barrier in `(cycle, sm)` order —
+//! cycle-major, SM-ascending — which reconstructs the exact call
+//! sequence the serial simulator would have made. Every sort that
+//! realises that order must key through [`cycle_sm_key`]: two call sites
+//! with hand-written key tuples could drift apart (swap the fields, drop
+//! the tiebreaker) while each remaining locally "deterministic". The
+//! `canonical-order-sort` lint rule enforces the routing.
+
+/// The one blessed sort key for `(cycle, sm)`-ordered event buffers:
+/// cycle-major, then ascending global SM id.
+#[inline]
+pub(crate) fn cycle_sm_key(cycle: u64, sm: usize) -> (u64, usize) {
+    (cycle, sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_major_sm_breaks_ties() {
+        let mut v = [(9u64, 0usize), (1, 7), (1, 2), (0, 5)];
+        v.sort_unstable_by_key(|&(cycle, sm)| cycle_sm_key(cycle, sm));
+        assert_eq!(v, [(0, 5), (1, 2), (1, 7), (9, 0)]);
+    }
+}

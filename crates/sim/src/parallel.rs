@@ -67,6 +67,8 @@ use crate::cache::Cache;
 use crate::config::GpuConfig;
 use crate::dispatch::SamplingHook;
 use crate::memory::{l1_hit_rate_over, SharedMemPath};
+use crate::order::cycle_sm_key;
+use crate::shadow;
 use crate::simulator::{greedy_fill, DispatchState, LaunchSimResult, SimOptions, SimPerf};
 use crate::sm::{IssueMem, LoadOutcome, SmCore};
 use crate::units::{UnitCollector, UnitsConfig};
@@ -115,6 +117,8 @@ struct WindowMem<'a, R: Recorder> {
 }
 
 impl<R: Recorder> IssueMem for WindowMem<'_, R> {
+    // tbpoint-phase: shard
+    // tbpoint-hot
     fn load(
         &mut self,
         sm: usize,
@@ -153,6 +157,8 @@ impl<R: Recorder> IssueMem for WindowMem<'_, R> {
         LoadOutcome::Deferred
     }
 
+    // tbpoint-phase: shard
+    // tbpoint-hot
     fn store(&mut self, sm: usize, lines: &CoalescedLines, now: u64) {
         let lo = u32::try_from(self.lines.len()).unwrap_or(u32::MAX);
         for line in lines.iter() {
@@ -280,6 +286,7 @@ impl AdaptiveBarrier {
 /// the coordinator says done. (The coordinator itself runs shard 0's
 /// windows inline between the same barriers, so only shards `1..jobs`
 /// get a worker thread.)
+// tbpoint-phase: shard
 fn shard_worker<R2: Recorder>(
     state: &Mutex<ShardState<R2>>,
     ctl: &Mutex<WindowCtl>,
@@ -294,13 +301,18 @@ fn shard_worker<R2: Recorder>(
         if w.done {
             return;
         }
-        run_window(&mut lock(state), w, use_hint, l1_hit_latency);
+        {
+            let _phase = shadow::enter(shadow::Phase::Shard);
+            run_window(&mut lock(state), w, use_hint, l1_hit_latency);
+        }
         barrier.wait(&mut sense); // window complete
     }
 }
 
 /// Advance one shard through the window `[w.t0, w.t1)`, filing issues,
 /// retirements, and buffered shared-path traffic into its report.
+// tbpoint-phase: shard
+// tbpoint-hot
 fn run_window<R2: Recorder>(
     st: &mut ShardState<R2>,
     w: WindowCtl,
@@ -405,6 +417,7 @@ pub(crate) fn simulate_launch_sharded<R: Recorder + ?Sized>(
     }
 }
 
+// tbpoint-phase: coordinator
 #[allow(clippy::too_many_arguments)]
 fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
     kernel: &Kernel,
@@ -561,13 +574,17 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
                 let t1 = w.t1;
 
                 barrier.wait(&mut sense); // open the window
-                run_window(&mut lock(&states[0]), w, opts.event_horizon, l1_hit_latency);
+                {
+                    let _phase = shadow::enter(shadow::Phase::Shard);
+                    run_window(&mut lock(&states[0]), w, opts.event_horizon, l1_hit_latency);
+                }
                 barrier.wait(&mut sense); // wait for every shard to finish it
 
                 // --- Apply the window's cross-SM coupling at c_last. ---
                 let c_last = t1 - 1;
                 let mut terminated = false;
                 {
+                    let _phase = shadow::enter(shadow::Phase::Coordinator);
                     let mut guards: Vec<_> = states.iter().map(lock).collect();
                     let mut issued_before_last = 0u64;
                     let mut stray = false;
@@ -601,7 +618,7 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
                     }
                     order.sort_unstable_by_key(|&(j, i)| {
                         let r = &drained_reqs[j][i];
-                        (r.cycle, r.sm)
+                        cycle_sm_key(r.cycle, r.sm)
                     });
                     for &(j, i) in &order {
                         let r = drained_reqs[j][i];
@@ -660,7 +677,7 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
                     // Feed the unit collector the global issue stream in
                     // (cycle, sm) order — serial's exact feed order.
                     if let Some(c) = collector.as_mut() {
-                        trail.sort_unstable_by_key(|&(cycle, sm, _)| (cycle, sm));
+                        trail.sort_unstable_by_key(|&(cycle, sm, _)| cycle_sm_key(cycle, sm));
                         for &(cycle, _, bb) in trail.iter() {
                             c.on_issue(cycle, bb);
                         }
@@ -789,6 +806,7 @@ fn deadlock(
     );
 }
 
+// tbpoint-phase: coordinator
 fn assemble(
     spec: &LaunchSpec,
     cycles: u64,

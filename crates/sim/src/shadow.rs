@@ -1,0 +1,120 @@
+//! Runtime sanitizer for the parallel window protocol's phase
+//! discipline (`shadow-check` feature).
+//!
+//! The static `barrier-phase-discipline` rule proves no *source
+//! location* in a shard-phase function touches cross-SM shared state.
+//! This module checks the dynamic half of the same invariant: every
+//! thread carries a current phase (thread-local), the parallel
+//! simulator brackets shard windows and coordinator coupling with
+//! [`enter`] guards, and [`SharedMemPath`](crate::memory) calls
+//! [`check_shared_access`] on each shared-path access, asserting the
+//! caller is not in the shard phase. Together with the golden
+//! bit-identity suites this executes the invariant on real workloads
+//! instead of trusting the annotation roster.
+//!
+//! With the feature off (the default), everything here is a zero-cost
+//! inline no-op, so the hot path pays nothing in production builds.
+
+#[cfg(feature = "shadow-check")]
+mod imp {
+    use std::cell::Cell;
+
+    /// Which part of the window protocol the current thread is in.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Phase {
+        /// Not inside the parallel protocol (serial simulation, setup,
+        /// teardown). Owns the whole machine; shared access is fine.
+        Serial,
+        /// Inside a shard's cycle window: cross-SM shared state is off
+        /// limits — shards may only buffer requests.
+        Shard,
+        /// At a window barrier applying cross-SM coupling.
+        Coordinator,
+    }
+
+    thread_local! {
+        static PHASE: Cell<Phase> = const { Cell::new(Phase::Serial) };
+        static CHECKS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Restores the previous phase on drop, so guards nest (the
+    /// coordinator runs shard 0's window inline under a shard guard and
+    /// pops back to its own phase afterwards).
+    #[must_use]
+    pub struct PhaseGuard {
+        prev: Phase,
+    }
+
+    impl Drop for PhaseGuard {
+        fn drop(&mut self) {
+            PHASE.with(|p| p.set(self.prev));
+        }
+    }
+
+    /// Enter `phase` on the current thread until the guard drops.
+    pub fn enter(phase: Phase) -> PhaseGuard {
+        let prev = PHASE.with(|p| {
+            let prev = p.get();
+            p.set(phase);
+            prev
+        });
+        PhaseGuard { prev }
+    }
+
+    /// Record one shared-path access and assert the phase discipline:
+    /// shard-phase code must never reach cross-SM shared state.
+    pub fn check_shared_access(site: &str) {
+        CHECKS.with(|c| c.set(c.get() + 1));
+        PHASE.with(|p| {
+            debug_assert!(
+                p.get() != Phase::Shard,
+                "phase-discipline violation: `{site}` touched cross-SM shared \
+                 state from inside a shard window; shards must buffer the \
+                 request for barrier replay"
+            );
+        });
+    }
+
+    /// How many shared-path accesses this thread has phase-checked.
+    /// Tests assert this is non-zero to prove the sanitizer actually ran.
+    pub fn checks_on_this_thread() -> u64 {
+        CHECKS.with(Cell::get)
+    }
+}
+
+#[cfg(not(feature = "shadow-check"))]
+mod imp {
+    /// Which part of the window protocol the current thread is in.
+    /// (Stub: the `shadow-check` feature is off.)
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Phase {
+        /// Not inside the parallel protocol.
+        Serial,
+        /// Inside a shard's cycle window.
+        Shard,
+        /// At a window barrier applying cross-SM coupling.
+        Coordinator,
+    }
+
+    /// No-op guard (feature off).
+    #[must_use]
+    pub struct PhaseGuard;
+
+    /// No-op (feature off); compiles away.
+    #[inline(always)]
+    pub fn enter(_phase: Phase) -> PhaseGuard {
+        PhaseGuard
+    }
+
+    /// No-op (feature off); compiles away.
+    #[inline(always)]
+    pub fn check_shared_access(_site: &str) {}
+
+    /// Always zero with the feature off.
+    #[inline(always)]
+    pub fn checks_on_this_thread() -> u64 {
+        0
+    }
+}
+
+pub use imp::{check_shared_access, checks_on_this_thread, enter, Phase, PhaseGuard};

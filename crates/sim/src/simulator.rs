@@ -369,6 +369,7 @@ pub(crate) fn greedy_fill<R: Recorder + ?Sized, S: BorrowMut<SmCore>>(
     }
 }
 
+// tbpoint-phase: coordinator
 fn simulate_launch_core<R: Recorder + ?Sized>(
     kernel: &Kernel,
     spec: &LaunchSpec,

@@ -83,6 +83,7 @@ pub(crate) struct DirectMem<'a, 'r, R: Recorder + ?Sized> {
 }
 
 impl<R: Recorder + ?Sized> IssueMem for DirectMem<'_, '_, R> {
+    // tbpoint-phase: coordinator
     fn load(
         &mut self,
         sm: usize,
@@ -99,6 +100,7 @@ impl<R: Recorder + ?Sized> IssueMem for DirectMem<'_, '_, R> {
         LoadOutcome::Done(done_at)
     }
 
+    // tbpoint-phase: coordinator
     fn store(&mut self, sm: usize, lines: &tbpoint_ir::inst::CoalescedLines, now: u64) {
         for line in lines.iter() {
             self.mem.store_obs(sm, line, now, self.rec);
@@ -275,6 +277,7 @@ impl SmCore {
     /// stays exactly as in the always-scan reference), and a failed scan
     /// raises it to the exact minimum `ready_at` among candidate warps
     /// (`u64::MAX` when none exist).
+    // tbpoint-hot
     fn pick_warp(&mut self, now: u64) -> Option<(usize, usize)> {
         let ready = |w: &WarpRt| !w.done && !w.at_barrier && w.ready_at <= now;
         // Flatten candidates as (slot, warp) pairs.
@@ -368,6 +371,7 @@ impl SmCore {
     }
 
     /// Attempt to issue one warp instruction at cycle `now`.
+    // tbpoint-phase: coordinator
     pub fn try_issue(&mut self, now: u64, mem: &mut MemorySystem) -> IssueResult {
         self.try_issue_obs(now, mem, &NullRecorder)
     }
@@ -375,6 +379,7 @@ impl SmCore {
     /// [`SmCore::try_issue`] with observability: issue counters plus the
     /// cache/DRAM events the memory system emits. Monomorphised over the
     /// recorder, so `NullRecorder` compiles the instrumentation away.
+    // tbpoint-phase: coordinator
     pub fn try_issue_obs<R: Recorder + ?Sized>(
         &mut self,
         now: u64,
@@ -389,6 +394,7 @@ impl SmCore {
     /// ([`IssueMem`]): the serial walk and the sharded window runner both
     /// compile down from this, which is what keeps them bit-identical by
     /// construction rather than by parallel maintenance.
+    // tbpoint-hot
     pub(crate) fn try_issue_mem<M: IssueMem, R: Recorder + ?Sized>(
         &mut self,
         now: u64,
@@ -577,6 +583,8 @@ impl SmCore {
     /// means the block retired at the issue cycle (a last-instruction
     /// load) — the stats are still credited, as serial does before
     /// retirement bookkeeping.
+    // tbpoint-phase: coordinator
+    // tbpoint-hot
     pub(crate) fn resolve_deferred_load<R: Recorder + ?Sized>(
         &mut self,
         slot: usize,
@@ -614,6 +622,7 @@ impl SmCore {
     /// Must be called with no unresolved deferred loads (their
     /// `ready_at == u64::MAX` sentinel would inflate the bound); the
     /// coordinator computes it only after barrier resolution.
+    // tbpoint-hot
     pub(crate) fn earliest_retire_bound(&self, from: u64) -> u64 {
         let mut best = u64::MAX;
         for blk in self.slots.iter().flatten() {

@@ -261,6 +261,78 @@ fn parallel_observability_totals_match_serial() {
     );
 }
 
+/// Layer 5 (`--features shadow-check`): the runtime phase sanitizer
+/// accepts every Tiny workload and a seeded batch of memory-heavy random
+/// kernels at `jobs in {1, 2, 4}` — every shared-path access is tagged
+/// with the current window phase and `debug_assert`ed to not come from a
+/// shard — while results stay bit-identical to serial. The final
+/// assertion proves the sanitizer actually ran on this thread (barrier
+/// replay happens on the coordinator, which is the test thread).
+#[cfg(feature = "shadow-check")]
+#[test]
+fn shadow_checker_accepts_tiny_workloads_and_seeded_kernels() {
+    use tbpoint::sim::shadow;
+    let cfg = GpuConfig::fermi();
+    let before = shadow::checks_on_this_thread();
+    for bench in all_benchmarks(Scale::Tiny) {
+        let spec = &bench.run.launches[0];
+        let serial = simulate_launch(&bench.run.kernel, spec, &cfg, &mut NullSampling, None);
+        let serial_json = to_json(&serial);
+        for jobs in [1usize, 2, 4] {
+            let par = simulate_launch_with_options(
+                &bench.run.kernel,
+                spec,
+                &cfg,
+                &mut NullSampling,
+                None,
+                SimOptions {
+                    jobs,
+                    ..SimOptions::default()
+                },
+            );
+            assert_eq!(
+                serial_json,
+                to_json(&par),
+                "{}: jobs={jobs} diverges under shadow-check",
+                bench.name
+            );
+        }
+    }
+    for case in 0..4u64 {
+        let mut g = Gen::new(0xfade, case);
+        let kernel = random_mem_kernel(&mut g, case);
+        let spec = LaunchSpec {
+            launch_id: LaunchId(0),
+            num_blocks: g.u32(8, 48),
+            work_scale: 1.0,
+        };
+        let serial = simulate_launch(&kernel, &spec, &cfg, &mut NullSampling, None);
+        let serial_json = to_json(&serial);
+        for jobs in [1usize, 2, 4] {
+            let par = simulate_launch_with_options(
+                &kernel,
+                &spec,
+                &cfg,
+                &mut NullSampling,
+                None,
+                SimOptions {
+                    jobs,
+                    ..SimOptions::default()
+                },
+            );
+            assert_eq!(
+                serial_json,
+                to_json(&par),
+                "case {case}: jobs={jobs} diverges under shadow-check"
+            );
+        }
+    }
+    assert!(
+        shadow::checks_on_this_thread() > before,
+        "sanitizer never ran; shared-path accesses were not phase-checked"
+    );
+}
+
 /// Layer 4: out-of-range `jobs` values clamp instead of misbehaving —
 /// `0` falls back to serial, and more jobs than SMs behaves like
 /// one-SM-per-shard.
