@@ -3,12 +3,14 @@
 //! Times the two eval stages (functional profile, cycle-level simulate)
 //! for every Table VI workload over the shared `tbpoint-workloads`
 //! fixtures (the same roster the Criterion benches in `crates/bench`
-//! draw from) and writes a schema'd artifact (`BENCH_PR5.json`) holding
-//! per-stage wall times, throughputs, interner hit counts and the
-//! SM-sharded parallel-simulation speedup — plus the previous PR's
-//! numbers as the frozen baseline for the speedup comparison. Each
-//! future perf PR regenerates the artifact (seeding `baseline` from the
-//! previous one), growing a measured trajectory instead of anecdotes.
+//! draw from) and writes a schema'd artifact (`BENCH_PR7.json`) holding
+//! per-stage wall times, throughputs, interner hit counts and **both
+//! parallel axes** of the [`ExecPlan`]: the SM-sharded intra-launch
+//! speedup (`--jobs`) and the cross-launch pool speedup
+//! (`--pool-workers`) — plus the previous PR's numbers as the frozen
+//! baseline for the speedup comparison. Each future perf PR regenerates
+//! the artifact (seeding `baseline` from the previous one), growing a
+//! measured trajectory instead of anecdotes.
 //!
 //! Methodology: per workload, `reps` measurements of each stage
 //! (single-threaded, whole-launch) and the **minimum** is kept — the
@@ -19,21 +21,29 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use tbpoint_pool::{map_indexed, ExecPlan};
 use tbpoint_sim::{simulate_launch_perf, GpuConfig, NullSampling, SimPerf};
 use tbpoint_workloads::{all_benchmarks, Scale};
 
 /// Artifact schema identifier; bump on breaking shape changes.
-pub const SCHEMA: &str = "tbpoint-bench/v2";
+pub const SCHEMA: &str = "tbpoint-bench/v3";
 
 /// The previous PR's schema; still readable, but only to seed the new
-/// artifact's baseline section (see [`baseline_from_v1`]).
+/// artifact's baseline section (see [`baseline_from_v2`]).
+pub const V2_SCHEMA: &str = "tbpoint-bench/v2";
+
+/// The PR-4 schema; readable through [`baseline_from_v1`] for the same
+/// purpose.
 pub const V1_SCHEMA: &str = "tbpoint-bench/v1";
 
 /// Default artifact path (repo root, committed).
-pub const DEFAULT_ARTIFACT: &str = "BENCH_PR5.json";
+pub const DEFAULT_ARTIFACT: &str = "BENCH_PR7.json";
 
 /// The previous PR's committed artifact, consumed as the default
 /// baseline when the new artifact is first generated.
+pub const V2_ARTIFACT: &str = "BENCH_PR5.json";
+
+/// The PR-4 committed artifact, the baseline seed of last resort.
 pub const V1_ARTIFACT: &str = "BENCH_PR4.json";
 
 /// Fail `--check` when current throughput falls below `committed / 2` —
@@ -73,13 +83,22 @@ pub struct WorkloadBench {
     /// Warp traces emulated with caching bypassed (thread-varying).
     pub intern_uncacheable: u64,
     /// Worker threads inside each launch simulation for the parallel
-    /// leg (`SimOptions::jobs`); 1 = the leg was skipped.
+    /// leg (`ExecPlan::sim_jobs`); 1 = the leg was skipped.
     pub jobs: u64,
     /// Cycle-level simulation wall time at `jobs` workers (best of
     /// `reps`); equals `simulate_ms` when `jobs` is 1.
     pub simulate_par_ms: f64,
     /// `simulate_ms / simulate_par_ms` — intra-launch parallel speedup.
     pub par_speedup: f64,
+    /// Pool workers scheduling whole launches for the cross-launch leg
+    /// (`ExecPlan::pool_workers`); 1 = the leg was skipped.
+    pub pool_workers: u64,
+    /// Cycle-level simulation wall time with launches fanned out over
+    /// `pool_workers` (best of `reps`); equals `simulate_ms` when
+    /// `pool_workers` is 1.
+    pub simulate_pool_ms: f64,
+    /// `simulate_ms / simulate_pool_ms` — cross-launch pool speedup.
+    pub pool_speedup: f64,
 }
 
 /// Suite-wide sums.
@@ -173,7 +192,7 @@ pub fn host_cpus() -> u64 {
 /// defaults in `tbpoint-sim`).
 pub fn build_label() -> String {
     "release, thin LTO, codegen-units=1; trace interning + event horizon on; \
-     SM-sharded parallel simulate available (--jobs)"
+     two-axis ExecPlan parallelism available (--jobs, --pool-workers)"
         .to_string()
 }
 
@@ -199,23 +218,29 @@ fn per_sec(count: u64, ms: f64) -> f64 {
 }
 
 /// Measure every Table VI workload at `scale`, `reps` times per stage,
-/// keeping the minimum. When `jobs > 1` an extra leg times the same
-/// simulations under the SM-sharded parallel simulator and asserts the
-/// counted work is identical — the parallel speedup is measured *and*
-/// its bit-identity spot-checked in the same breath. Progress lines go
-/// to stderr via `progress`.
+/// keeping the minimum. Each active [`ExecPlan`] axis adds a leg that
+/// re-times the same simulations — SM-sharded within each launch when
+/// `plan.sim_jobs > 1`, whole launches fanned out over the job pool
+/// when `plan.pool_workers > 1` — and asserts the counted work is
+/// identical, so each speedup is measured *and* its bit-identity
+/// spot-checked in the same breath. Progress lines go to stderr via
+/// `progress`.
 pub fn measure(
     scale: Scale,
     reps: u32,
-    jobs: usize,
+    plan: ExecPlan,
     mut progress: impl FnMut(&str),
 ) -> Vec<WorkloadBench> {
+    let plan = plan.normalized();
+    let jobs = plan.sim_jobs;
+    let pool = plan.pool_workers;
     let cfg = GpuConfig::fermi();
     let mut out = Vec::new();
     for bench in all_benchmarks(scale) {
         let mut best_profile = f64::MAX;
         let mut best_sim = f64::MAX;
         let mut best_par = f64::MAX;
+        let mut best_pool = f64::MAX;
         let mut warp_insts = 0u64;
         let mut cycles = 0u64;
         let mut perf = SimPerf::default();
@@ -274,6 +299,36 @@ pub fn measure(
                 best_par = best_par.min(par_ms);
             }
 
+            if pool > 1 {
+                let specs = &bench.run.launches;
+                let t3 = Instant::now();
+                let counts = map_indexed(pool, specs.len(), |i| {
+                    let mut sampling = NullSampling;
+                    let (r, _) = simulate_launch_perf(
+                        &bench.run.kernel,
+                        &specs[i],
+                        &cfg,
+                        &mut sampling,
+                        None,
+                        1,
+                    );
+                    (r.issued_warp_insts, r.cycles)
+                });
+                let pool_ms = t3.elapsed().as_secs_f64() * 1e3;
+                let (wi_pool, cy_pool) = counts
+                    .iter()
+                    .fold((0u64, 0u64), |(a, b), &(w, c)| (a + w, b + c));
+                // Launches are independent and the merge is canonical,
+                // so the pooled counts must equal the serial ones.
+                assert_eq!(
+                    (wi_pool, cy_pool),
+                    (wi, cy),
+                    "{}: pooled simulation (pool_workers={pool}) disagrees with serial",
+                    bench.name
+                );
+                best_pool = best_pool.min(pool_ms);
+            }
+
             best_profile = best_profile.min(profile_ms);
             best_sim = best_sim.min(sim_ms);
             warp_insts = wi;
@@ -283,6 +338,9 @@ pub fn measure(
         if jobs <= 1 {
             best_par = best_sim;
         }
+        if pool <= 1 {
+            best_pool = best_sim;
+        }
         let eval_ms = best_profile + best_sim;
         progress(&format!(
             "{:8} {:>9.1} ms eval ({:>8.1} profile + {:>9.1} simulate{}), {} warp insts",
@@ -290,10 +348,13 @@ pub fn measure(
             eval_ms,
             best_profile,
             best_sim,
-            if jobs > 1 {
-                format!(" serial, {best_par:.1} at jobs={jobs}")
-            } else {
-                String::new()
+            match (jobs > 1, pool > 1) {
+                (true, true) => {
+                    format!(" serial, {best_par:.1} at jobs={jobs}, {best_pool:.1} at pool={pool}")
+                }
+                (true, false) => format!(" serial, {best_par:.1} at jobs={jobs}"),
+                (false, true) => format!(" serial, {best_pool:.1} at pool={pool}"),
+                (false, false) => String::new(),
             },
             warp_insts
         ));
@@ -319,6 +380,13 @@ pub fn measure(
             simulate_par_ms: round2(best_par),
             par_speedup: if best_par > 0.0 {
                 round2(best_sim / best_par)
+            } else {
+                0.0
+            },
+            pool_workers: pool.max(1) as u64,
+            simulate_pool_ms: round2(best_pool),
+            pool_speedup: if best_pool > 0.0 {
+                round2(best_sim / best_pool)
             } else {
                 0.0
             },
@@ -448,6 +516,102 @@ pub fn baseline_from_v1(bytes: &[u8]) -> Result<BaselineSection, String> {
     })
 }
 
+/// The v2 (PR5) workload shape — v1 plus the intra-launch parallel leg
+/// — decoded only to seed a new artifact's baseline section.
+#[derive(Debug, Clone, Deserialize)]
+struct WorkloadBenchV2 {
+    name: String,
+    kind: String,
+    launches: u64,
+    blocks: u64,
+    profile_ms: f64,
+    simulate_ms: f64,
+    eval_ms: f64,
+    warp_insts: u64,
+    cycles: u64,
+    warp_insts_per_sec: f64,
+    cycles_per_sec: f64,
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_uncacheable: u64,
+    jobs: u64,
+    simulate_par_ms: f64,
+    par_speedup: f64,
+}
+
+/// The v2 (PR5) artifact shape.
+#[derive(Debug, Clone, Deserialize)]
+struct BenchReportV2 {
+    schema: String,
+    build: String,
+    host_cpus: u64,
+    scale: String,
+    reps: u32,
+    workloads: Vec<WorkloadBenchV2>,
+    totals: BenchTotals,
+    quick_scale: String,
+    quick: Vec<WorkloadBenchV2>,
+    baseline: Option<BaselineSection>,
+}
+
+/// Convert the previous PR's committed v2 artifact into a baseline
+/// section for the v3 artifact, exactly as [`baseline_from_v1`] does
+/// for v1: its measurements become the frozen reference. (The vendored
+/// serde has no `#[serde(default)]`, so the version upgrade is an
+/// explicit conversion, not a lenient parse.)
+pub fn baseline_from_v2(bytes: &[u8]) -> Result<BaselineSection, String> {
+    let v2: BenchReportV2 =
+        serde_json::from_slice(bytes).map_err(|e| format!("v2 artifact does not parse: {e}"))?;
+    if v2.schema != V2_SCHEMA {
+        return Err(format!(
+            "expected a {V2_SCHEMA:?} artifact, got schema {:?}",
+            v2.schema
+        ));
+    }
+    let strip = |ws: &[WorkloadBenchV2]| {
+        ws.iter()
+            .map(|w| BaselineWorkload {
+                name: w.name.clone(),
+                profile_ms: w.profile_ms,
+                simulate_ms: w.simulate_ms,
+                eval_ms: w.eval_ms,
+                warp_insts: w.warp_insts,
+                cycles: w.cycles,
+            })
+            .collect()
+    };
+    // Touch the fields the conversion deliberately drops so the v2
+    // mirror stays an exact decode of the committed artifact.
+    let _ = (
+        &v2.totals,
+        &v2.baseline,
+        &v2.quick_scale,
+        v2.host_cpus,
+        v2.workloads.first().map(|w| {
+            (
+                &w.kind,
+                w.launches,
+                w.blocks,
+                w.warp_insts_per_sec,
+                w.cycles_per_sec,
+                w.intern_hits,
+                w.intern_misses,
+                w.intern_uncacheable,
+                w.jobs,
+                w.simulate_par_ms,
+                w.par_speedup,
+            )
+        }),
+    );
+    Ok(BaselineSection {
+        build: format!("{} [{}]", v2.build, V2_ARTIFACT),
+        scale: v2.scale,
+        reps: v2.reps,
+        workloads: strip(&v2.workloads),
+        quick: strip(&v2.quick),
+    })
+}
+
 /// Render the per-workload simulated-work counts (name, warp
 /// instructions, cycles) as stable one-per-line text. CI writes this
 /// for a `--jobs 1` and a `--jobs 2` quick run and `cmp`s the files
@@ -497,9 +661,13 @@ pub fn check_regressions(current: &[WorkloadBench], committed: &BenchReport) -> 
 pub fn render_summary(report: &BenchReport) -> String {
     let baseline = report.baseline.as_ref().filter(|b| b.scale == report.scale);
     let parallel = report.workloads.iter().any(|w| w.jobs > 1);
+    let pooled = report.workloads.iter().any(|w| w.pool_workers > 1);
     let mut headers = vec!["bench", "kind", "eval ms", "simulate ms", "Mwi/s", "hit%"];
     if parallel {
         headers.push("par x");
+    }
+    if pooled {
+        headers.push("pool x");
     }
     if baseline.is_some() {
         headers.push("speedup");
@@ -524,6 +692,13 @@ pub fn render_summary(report: &BenchReport) -> String {
         if parallel {
             row.push(if w.jobs > 1 {
                 format!("{:.2}x@{}", w.par_speedup, w.jobs)
+            } else {
+                "-".to_string()
+            });
+        }
+        if pooled {
+            row.push(if w.pool_workers > 1 {
+                format!("{:.2}x@{}", w.pool_speedup, w.pool_workers)
             } else {
                 "-".to_string()
             });
@@ -585,6 +760,9 @@ mod tests {
             jobs: 1,
             simulate_par_ms: 10.0,
             par_speedup: 1.0,
+            pool_workers: 1,
+            simulate_pool_ms: 10.0,
+            pool_speedup: 1.0,
         }
     }
 
@@ -669,6 +847,59 @@ mod tests {
         assert!(baseline_from_v1(v2.as_bytes())
             .unwrap_err()
             .contains("schema"));
+    }
+
+    #[test]
+    fn v2_artifact_converts_into_a_baseline_section() {
+        let v2 = r#"{"schema":"tbpoint-bench/v2","build":"pr5 build","host_cpus":4,
+            "scale":"dev","reps":3,
+            "workloads":[{"name":"stream","kind":"regular","launches":1,"blocks":2,
+                "profile_ms":1.2,"simulate_ms":15.0,"eval_ms":16.2,"warp_insts":1000,
+                "cycles":500,"warp_insts_per_sec":66000.0,"cycles_per_sec":33000.0,
+                "intern_hits":3,"intern_misses":1,"intern_uncacheable":0,
+                "jobs":2,"simulate_par_ms":9.0,"par_speedup":1.67}],
+            "totals":{"profile_ms":1.2,"simulate_ms":15.0,"eval_ms":16.2,
+                "warp_insts":1000,"cycles":500,"warp_insts_per_sec":66000.0},
+            "quick_scale":"tiny","quick":[],"baseline":null}"#;
+        let b = baseline_from_v2(v2.as_bytes()).unwrap();
+        assert_eq!(b.scale, "dev");
+        assert!(b.build.contains("BENCH_PR5.json"));
+        assert_eq!(b.workloads.len(), 1);
+        assert_eq!(b.workloads[0].simulate_ms, 15.0);
+        assert_eq!(b.workloads[0].warp_insts, 1000);
+
+        // A v3 artifact must be rejected as a v2 baseline source.
+        let v3 = v2.replace("tbpoint-bench/v2", "tbpoint-bench/v3");
+        assert!(baseline_from_v2(v3.as_bytes())
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn summary_shows_pool_speedup_column() {
+        let mut r = report();
+        r.workloads[0].pool_workers = 4;
+        r.workloads[0].simulate_pool_ms = 5.0;
+        r.workloads[0].pool_speedup = 2.0;
+        let s = render_summary(&r);
+        assert!(s.contains("pool x"), "summary:\n{s}");
+        assert!(s.contains("2.00x@4"), "summary:\n{s}");
+    }
+
+    #[test]
+    fn measure_pool_leg_matches_serial_counts() {
+        // The pooled leg asserts bit-identity internally; run it once
+        // on the tiny roster to exercise that assertion.
+        let plan = ExecPlan {
+            sim_jobs: 1,
+            pool_workers: 2,
+        };
+        let rows = measure(Scale::Tiny, 1, plan, |_| {});
+        assert!(!rows.is_empty());
+        for w in &rows {
+            assert_eq!(w.pool_workers, 2);
+            assert!(w.simulate_pool_ms >= 0.0);
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@ use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
 use tbpoint_core::inter::{InterAlgo, InterConfig};
 use tbpoint_core::intra::IntraConfig;
-use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig};
+use tbpoint_core::predict::{run_tbpoint_plan, run_tbpoint_traced_plan, TbpointConfig};
 use tbpoint_emu::profile_run;
+use tbpoint_pool::{map_indexed, ExecPlan};
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
 use tbpoint_stats::geometric_mean;
 use tbpoint_workloads::{all_benchmarks, Scale};
@@ -53,20 +54,28 @@ impl AblationResult {
 }
 
 /// Evaluate one TBPoint configuration across the whole roster and return
-/// (geomean error, geomean sample size).
-fn score(cfg: &TbpointConfig, scale: Scale) -> (f64, f64) {
+/// (geomean error, geomean sample size). Benchmarks fan out across
+/// `plan.pool_workers`; the geomeans fold per-benchmark numbers in
+/// roster order, so the score is identical at any worker count.
+fn score(cfg: &TbpointConfig, scale: Scale, plan: ExecPlan) -> (f64, f64) {
     let gpu = GpuConfig::fermi();
-    let mut errors = vec![];
-    let mut samples = vec![];
-    for bench in all_benchmarks(scale) {
+    let benches = all_benchmarks(scale);
+    let unit_plan = plan.unit();
+    let scored = map_indexed(plan.pool_workers, benches.len(), |i| {
+        let bench = &benches[i];
         let profile = profile_run(&bench.run, 1);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
         // Every swept value is a valid setting and the profile matches
         // the run, so failure is unreachable.
-        let tbp = run_tbpoint(&bench.run, &profile, cfg, &gpu).expect("TBPoint pipeline rejected");
-        errors.push(tbp.error_vs(full.overall_ipc()).max(0.05));
-        samples.push(tbp.sample_size());
-    }
+        let tbp = run_tbpoint_plan(&bench.run, &profile, cfg, &gpu, unit_plan)
+            .expect("TBPoint pipeline rejected");
+        (
+            tbp.error_vs(full.overall_ipc()).max(0.05),
+            tbp.sample_size(),
+        )
+    });
+    let errors: Vec<f64> = scored.iter().map(|&(e, _)| e).collect();
+    let samples: Vec<f64> = scored.iter().map(|&(_, s)| s).collect();
     (geometric_mean(&errors), geometric_mean(&samples))
 }
 
@@ -76,14 +85,15 @@ fn score(cfg: &TbpointConfig, scale: Scale) -> (f64, f64) {
 /// point would multiply the trace volume by the number of knob values
 /// without showing anything new — the events of interest are the
 /// sampler's transitions, which the default pass already exercises).
-pub fn ablate_traced(scale: Scale) -> (AblationResult, Vec<TraceEntry>) {
-    let result = ablate(scale);
+pub fn ablate_traced(scale: Scale, plan: ExecPlan) -> (AblationResult, Vec<TraceEntry>) {
+    let result = ablate(scale, plan);
     let gpu = GpuConfig::fermi();
     let mut entries = Vec::new();
     for bench in all_benchmarks(scale) {
         let profile = profile_run(&bench.run, 1);
-        let (_, traces) = run_tbpoint_traced(&bench.run, &profile, &TbpointConfig::default(), &gpu)
-            .expect("TBPoint pipeline rejected");
+        let (_, traces) =
+            run_tbpoint_traced_plan(&bench.run, &profile, &TbpointConfig::default(), &gpu, plan)
+                .expect("TBPoint pipeline rejected");
         entries.extend(traces.into_iter().map(|t| TraceEntry {
             label: format!("default/{}", bench.name),
             launch: t.launch,
@@ -93,8 +103,9 @@ pub fn ablate_traced(scale: Scale) -> (AblationResult, Vec<TraceEntry>) {
     (result, entries)
 }
 
-/// Run every ablation sweep at the given scale.
-pub fn ablate(scale: Scale) -> AblationResult {
+/// Run every ablation sweep at the given scale. Each swept point scores
+/// the roster on the pool described by `plan`.
+pub fn ablate(scale: Scale, plan: ExecPlan) -> AblationResult {
     let mut points = vec![];
     let base = TbpointConfig::default();
 
@@ -107,7 +118,7 @@ pub fn ablate(scale: Scale) -> AblationResult {
             },
             ..base
         };
-        let (e, s) = score(&cfg, scale);
+        let (e, s) = score(&cfg, scale, plan);
         points.push(AblationPoint {
             knob: "inter_sigma".into(),
             value: format!("{sigma}{}", if sigma == 0.1 { "*" } else { "" }),
@@ -125,7 +136,7 @@ pub fn ablate(scale: Scale) -> AblationResult {
             },
             ..base
         };
-        let (e, s) = score(&cfg, scale);
+        let (e, s) = score(&cfg, scale, plan);
         points.push(AblationPoint {
             knob: "intra_sigma".into(),
             value: format!("{sigma}{}", if sigma == 0.2 { "*" } else { "" }),
@@ -143,7 +154,7 @@ pub fn ablate(scale: Scale) -> AblationResult {
             },
             ..base
         };
-        let (e, s) = score(&cfg, scale);
+        let (e, s) = score(&cfg, scale, plan);
         points.push(AblationPoint {
             knob: "variation_factor".into(),
             value: format!("{vf}{}", if vf == 0.3 { "*" } else { "" }),
@@ -158,7 +169,7 @@ pub fn ablate(scale: Scale) -> AblationResult {
             warming_threshold: wt,
             ..base
         };
-        let (e, s) = score(&cfg, scale);
+        let (e, s) = score(&cfg, scale, plan);
         points.push(AblationPoint {
             knob: "warming_threshold".into(),
             value: format!("{wt}{}", if wt == 0.10 { "*" } else { "" }),
@@ -176,7 +187,7 @@ pub fn ablate(scale: Scale) -> AblationResult {
             },
             ..base
         };
-        let (e, s) = score(&cfg, scale);
+        let (e, s) = score(&cfg, scale, plan);
         points.push(AblationPoint {
             knob: "inter_bbv_extension".into(),
             value: label.into(),
@@ -194,7 +205,7 @@ pub fn ablate(scale: Scale) -> AblationResult {
             inter: InterConfig { algo, ..base.inter },
             ..base
         };
-        let (e, s) = score(&cfg, scale);
+        let (e, s) = score(&cfg, scale, plan);
         points.push(AblationPoint {
             knob: "inter_algo".into(),
             value: label.into(),
@@ -214,8 +225,18 @@ mod tests {
     fn score_runs_on_tiny_scale() {
         // A smoke test of the scoring helper on one config (full sweeps
         // are exercised via the CLI / recorded in EXPERIMENTS.md).
-        let (e, s) = score(&TbpointConfig::default(), Scale::Tiny);
+        let (e, s) = score(&TbpointConfig::default(), Scale::Tiny, ExecPlan::serial());
         assert!(e.is_finite() && e > 0.0);
         assert!(s > 0.0 && s <= 1.0);
+
+        // The score folds per-benchmark geomeans in roster order, so it
+        // is invariant to the worker count.
+        let plan = ExecPlan {
+            sim_jobs: 1,
+            pool_workers: 3,
+        };
+        let (e3, s3) = score(&TbpointConfig::default(), Scale::Tiny, plan);
+        assert_eq!(e, e3);
+        assert_eq!(s, s3);
     }
 }

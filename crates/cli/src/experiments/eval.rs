@@ -5,8 +5,11 @@
 //!
 //! One expensive pass produces everything: the full timing simulation
 //! (which also yields the baselines' sampling units) and the TBPoint
-//! pipeline. Benchmarks fan out over worker threads — they are completely
-//! independent.
+//! pipeline. Benchmarks fan out over the deterministic job pool — they
+//! are completely independent, so results are bit-identical at every
+//! worker count. Parallelism arrives as an [`ExecPlan`], never through
+//! the serialized [`EvalConfig`]: artifacts must not change bytes when
+//! only the worker count changes.
 
 use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
@@ -14,9 +17,12 @@ use tbpoint_baselines::{
     collect_units, ideal_simpoint, random_sampling, systematic_sampling, IdealSimpointConfig,
     RandomConfig, SystematicConfig,
 };
-use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig, TbpointResult};
+use tbpoint_core::predict::{
+    run_tbpoint_plan, run_tbpoint_traced_plan, TbpointConfig, TbpointResult,
+};
 use tbpoint_core::TbError;
 use tbpoint_emu::profile_run;
+use tbpoint_pool::{run_indexed, ExecPlan, SweepUnit};
 use tbpoint_sim::GpuConfig;
 use tbpoint_stats::geometric_mean;
 use tbpoint_workloads::{all_benchmarks, Benchmark, KernelKind, Scale};
@@ -26,8 +32,6 @@ use tbpoint_workloads::{all_benchmarks, Benchmark, KernelKind, Scale};
 pub struct EvalConfig {
     /// Workload scale.
     pub scale: Scale,
-    /// Worker threads (across benchmarks and within profiling).
-    pub threads: usize,
     /// Target number of sampling units per benchmark. The paper uses
     /// fixed one-million-instruction units on multi-billion-instruction
     /// workloads; our scaled workloads use `total / target` so the unit
@@ -42,7 +46,6 @@ impl EvalConfig {
     pub fn new(scale: Scale) -> Self {
         EvalConfig {
             scale,
-            threads: super::default_threads(),
             target_units: 60,
             tbpoint: TbpointConfig::default(),
         }
@@ -192,20 +195,48 @@ pub fn eval_bench(
     bench: &Benchmark,
     cfg: &EvalConfig,
     gpu: &GpuConfig,
+    plan: ExecPlan,
 ) -> Result<BenchEval, TbError> {
     build_bench_eval(bench, cfg, gpu, |profile| {
-        run_tbpoint(&bench.run, profile, &cfg.tbpoint, gpu)
+        run_tbpoint_plan(&bench.run, profile, &cfg.tbpoint, gpu, plan)
     })
+}
+
+/// One benchmark evaluation as a pool-schedulable [`SweepUnit`].
+pub struct EvalUnit<'a> {
+    /// The benchmark to evaluate.
+    pub bench: &'a Benchmark,
+    /// Shared evaluation parameters.
+    pub cfg: &'a EvalConfig,
+    /// Simulated GPU configuration.
+    pub gpu: &'a GpuConfig,
+    /// Unit-level execution plan — callers pass `plan.unit()` because
+    /// the sweep scheduler has already spent the pool-worker budget.
+    pub plan: ExecPlan,
+}
+
+impl SweepUnit for EvalUnit<'_> {
+    type Output = BenchEval;
+    type Error = TbError;
+
+    fn id(&self) -> String {
+        self.bench.name.to_string()
+    }
+
+    fn run(&self) -> Result<BenchEval, TbError> {
+        eval_bench(self.bench, self.cfg, self.gpu, self.plan)
+    }
 }
 
 fn eval_one_traced(
     bench: &Benchmark,
     cfg: &EvalConfig,
     gpu: &GpuConfig,
+    plan: ExecPlan,
 ) -> Result<(BenchEval, Vec<TraceEntry>), TbError> {
     let mut entries = Vec::new();
     let b = build_bench_eval(bench, cfg, gpu, |profile| {
-        let (tbp, traces) = run_tbpoint_traced(&bench.run, profile, &cfg.tbpoint, gpu)?;
+        let (tbp, traces) = run_tbpoint_traced_plan(&bench.run, profile, &cfg.tbpoint, gpu, plan)?;
         entries = traces
             .into_iter()
             .map(|t| TraceEntry {
@@ -220,16 +251,21 @@ fn eval_one_traced(
 }
 
 /// [`eval`] with observability traces of every simulated representative
-/// launch (the `--trace-out` path). Runs benchmarks serially so the
-/// trace order is deterministic; the [`EvalResult`] itself is identical
-/// to [`eval`]'s — recording never perturbs the simulation.
-pub fn eval_traced(cfg: &EvalConfig) -> Result<(EvalResult, Vec<TraceEntry>), TbError> {
+/// launch (the `--trace-out` path). Benchmarks run serially so the
+/// trace order is deterministic; inside each benchmark the
+/// representatives still fan out across `plan.pool_workers` (the traced
+/// pipeline merges traces in canonical order). The [`EvalResult`] is
+/// identical to [`eval`]'s — recording never perturbs the simulation.
+pub fn eval_traced(
+    cfg: &EvalConfig,
+    plan: ExecPlan,
+) -> Result<(EvalResult, Vec<TraceEntry>), TbError> {
     let gpu = GpuConfig::fermi();
     let benches = all_benchmarks(cfg.scale);
     let mut results = Vec::with_capacity(benches.len());
     let mut entries = Vec::new();
     for bench in &benches {
-        let (b, t) = eval_one_traced(bench, cfg, &gpu)?;
+        let (b, t) = eval_one_traced(bench, cfg, &gpu, plan)?;
         results.push(b);
         entries.extend(t);
     }
@@ -242,75 +278,22 @@ pub fn eval_traced(cfg: &EvalConfig) -> Result<(EvalResult, Vec<TraceEntry>), Tb
     ))
 }
 
-/// Run the evaluation over the full roster, fanning benchmarks out over
-/// `cfg.threads` workers. The first failing benchmark (in roster
-/// order) aborts the evaluation with its [`TbError`].
-pub fn eval(cfg: &EvalConfig) -> Result<EvalResult, TbError> {
+/// Run the evaluation over the full roster, fanning benchmarks out
+/// across `plan.pool_workers` pool workers (each benchmark runs with
+/// the unit-level plan, so the pool budget is spent exactly once). The
+/// failing benchmark with the lowest roster index aborts the
+/// evaluation with its [`TbError`].
+pub fn eval(cfg: &EvalConfig, plan: ExecPlan) -> Result<EvalResult, TbError> {
     let gpu = GpuConfig::fermi();
     let benches = all_benchmarks(cfg.scale);
-    let mut results: Vec<Option<BenchEval>> = (0..benches.len()).map(|_| None).collect();
-    let mut first_err: Option<(usize, TbError)> = None;
-
-    if cfg.threads <= 1 {
-        for (i, (slot, bench)) in results.iter_mut().zip(&benches).enumerate() {
-            match eval_bench(bench, cfg, &gpu) {
-                Ok(r) => *slot = Some(r),
-                Err(e) => {
-                    first_err = Some((i, e));
-                    break;
-                }
-            }
-        }
-    } else {
-        // Work queue: benchmarks vary hugely in cost, so workers pull
-        // indices from a shared atomic counter rather than pre-chunking.
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots = std::sync::Mutex::new(&mut results);
-        let errors: std::sync::Mutex<Vec<(usize, TbError)>> = std::sync::Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..cfg.threads.min(benches.len()) {
-                scope.spawn(|| loop {
-                    if !errors
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .is_empty()
-                    {
-                        break;
-                    }
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= benches.len() {
-                        break;
-                    }
-                    match eval_bench(&benches[i], cfg, &gpu) {
-                        Ok(r) => {
-                            slots
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
-                        }
-                        Err(e) => errors
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push((i, e)),
-                    }
-                });
-            }
-        });
-        let mut errs = errors
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        errs.sort_by_key(|(i, _)| *i);
-        first_err = errs.into_iter().next();
-    }
-
-    if let Some((_, e)) = first_err {
-        return Err(e);
-    }
+    let unit_plan = plan.unit();
+    let results = run_indexed(plan.pool_workers, benches.len(), |i| {
+        eval_bench(&benches[i], cfg, &gpu, unit_plan)
+    })
+    .map_err(|(_, e)| e)?;
     Ok(EvalResult {
         config: *cfg,
-        benches: results
-            .into_iter()
-            .map(|r| r.expect("all benches evaluated"))
-            .collect(),
+        benches: results,
     })
 }
 
@@ -423,9 +406,12 @@ mod tests {
         // The headline qualitative claims, checked at tiny scale so the
         // test stays fast. Absolute numbers differ from the paper; the
         // orderings must not.
-        let mut cfg = EvalConfig::new(Scale::Tiny);
-        cfg.threads = super::super::default_threads();
-        let r = eval(&cfg).expect("default config evaluates cleanly");
+        let cfg = EvalConfig::new(Scale::Tiny);
+        let plan = ExecPlan {
+            sim_jobs: 1,
+            pool_workers: super::super::default_threads(),
+        };
+        let r = eval(&cfg, plan).expect("default config evaluates cleanly");
         assert_eq!(r.benches.len(), 12);
         for b in &r.benches {
             assert!(b.full_ipc > 0.0, "{}: zero full IPC", b.name);

@@ -4,7 +4,9 @@
 
 use crate::output;
 use serde::{Deserialize, Serialize};
+use tbpoint_core::TbError;
 use tbpoint_emu::profile_launch;
+use tbpoint_pool::{map_indexed, SweepUnit};
 use tbpoint_stats::cov;
 use tbpoint_workloads::{all_benchmarks, Scale};
 
@@ -77,13 +79,35 @@ pub fn fig8_bench(bench: &tbpoint_workloads::Benchmark, threads: usize) -> Fig8S
     }
 }
 
-/// Profile every benchmark and extract the Fig. 8 series.
-pub fn fig8(scale: Scale, threads: usize) -> Fig8Result {
+/// One benchmark's Fig. 8 extraction as a pool-schedulable
+/// [`SweepUnit`].
+pub struct Fig8Unit<'a> {
+    /// The benchmark to profile.
+    pub bench: &'a tbpoint_workloads::Benchmark,
+    /// Intra-launch profiling threads (`ExecPlan::sim_jobs`).
+    pub threads: usize,
+}
+
+impl SweepUnit for Fig8Unit<'_> {
+    type Output = Fig8Series;
+    type Error = TbError;
+
+    fn id(&self) -> String {
+        self.bench.name.to_string()
+    }
+
+    fn run(&self) -> Result<Fig8Series, TbError> {
+        Ok(fig8_bench(self.bench, self.threads))
+    }
+}
+
+/// Profile every benchmark and extract the Fig. 8 series, fanning
+/// benchmarks out across `workers` pool workers (series order stays
+/// roster order at any worker count).
+pub fn fig8(scale: Scale, threads: usize, workers: usize) -> Fig8Result {
+    let benches = all_benchmarks(scale);
     Fig8Result {
-        series: all_benchmarks(scale)
-            .iter()
-            .map(|bench| fig8_bench(bench, threads))
-            .collect(),
+        series: map_indexed(workers, benches.len(), |i| fig8_bench(&benches[i], threads)),
     }
 }
 
@@ -94,7 +118,7 @@ mod tests {
 
     #[test]
     fn irregular_kernels_have_higher_size_cov() {
-        let r = fig8(Scale::Tiny, 4);
+        let r = fig8(Scale::Tiny, 4, 2);
         assert_eq!(r.series.len(), 12);
         let benches = all_benchmarks(Scale::Tiny);
         let mut irregular = vec![];
@@ -116,7 +140,7 @@ mod tests {
 
     #[test]
     fn ratios_average_to_one() {
-        let r = fig8(Scale::Tiny, 2);
+        let r = fig8(Scale::Tiny, 2, 1);
         for s in &r.series {
             let mean = tbpoint_stats::mean(&s.size_ratio);
             assert!((mean - 1.0).abs() < 1e-9, "{}: mean ratio {mean}", s.name);
@@ -125,7 +149,7 @@ mod tests {
 
     #[test]
     fn launch_starts_match_launch_counts() {
-        let r = fig8(Scale::Tiny, 2);
+        let r = fig8(Scale::Tiny, 2, 1);
         let benches = all_benchmarks(Scale::Tiny);
         for (s, b) in r.series.iter().zip(&benches) {
             assert_eq!(s.launch_starts.len(), b.run.num_launches());

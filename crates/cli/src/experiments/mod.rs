@@ -13,14 +13,14 @@ pub mod table6;
 pub use ablate::{ablate, ablate_traced, AblationResult};
 pub use eval::{
     eval, eval_bench, eval_traced, render_fig10, render_fig11, render_fig9, BenchEval, EvalConfig,
-    EvalResult,
+    EvalResult, EvalUnit,
 };
 pub use fig5::fig5;
-pub use fig8::{fig8, fig8_bench, Fig8Result, Fig8Series};
+pub use fig8::{fig8, fig8_bench, Fig8Result, Fig8Series, Fig8Unit};
 pub use inspect::inspect;
 pub use sensitivity::{
     render_fig12, render_fig13, sensitivity, sensitivity_bench, sensitivity_traced,
-    SensitivityCell, SensitivityResult,
+    SensitivityCell, SensitivityResult, SensitivityUnit,
 };
 pub use table1::table1;
 pub use table6::table6;
@@ -42,68 +42,4 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-}
-
-/// Resolve the intra-launch simulator job count (`SimOptions::jobs` —
-/// SM-sharded parallel timing simulation; bit-identical to serial at
-/// any value). One resolution path for every command: an explicit
-/// `--jobs` wins, then the `TBPOINT_JOBS` environment variable, then
-/// serial. `0` clamps to 1 with a warning rather than erroring — the
-/// conventional "--jobs 0 = no parallelism" spelling keeps working.
-pub fn resolve_jobs(explicit: Option<usize>) -> usize {
-    resolve_jobs_from(explicit, std::env::var("TBPOINT_JOBS").ok().as_deref())
-}
-
-/// [`resolve_jobs`] with the environment injected, so the precedence
-/// rules are unit-testable without touching process state.
-pub fn resolve_jobs_from(explicit: Option<usize>, env: Option<&str>) -> usize {
-    if let Some(j) = explicit {
-        if j == 0 {
-            eprintln!("warning: --jobs 0 requests no parallelism; clamping to 1 (serial)");
-            return 1;
-        }
-        return j;
-    }
-    if let Some(v) = env {
-        match v.trim().parse::<usize>() {
-            Ok(0) => {
-                eprintln!("warning: TBPOINT_JOBS=0 requests no parallelism; using 1 (serial)");
-                return 1;
-            }
-            Ok(j) => return j,
-            Err(_) => {
-                eprintln!("warning: TBPOINT_JOBS={v:?} is not a job count; using 1 (serial)");
-            }
-        }
-    }
-    1
-}
-
-#[cfg(test)]
-mod tests {
-    use super::resolve_jobs_from;
-
-    #[test]
-    fn explicit_jobs_win_over_environment() {
-        assert_eq!(resolve_jobs_from(Some(4), Some("8")), 4);
-        assert_eq!(resolve_jobs_from(Some(1), Some("8")), 1);
-    }
-
-    #[test]
-    fn explicit_zero_clamps_to_serial() {
-        assert_eq!(resolve_jobs_from(Some(0), Some("8")), 1);
-    }
-
-    #[test]
-    fn environment_applies_when_no_flag() {
-        assert_eq!(resolve_jobs_from(None, Some("6")), 6);
-        assert_eq!(resolve_jobs_from(None, Some(" 2 ")), 2);
-    }
-
-    #[test]
-    fn bad_or_zero_environment_falls_back_to_serial() {
-        assert_eq!(resolve_jobs_from(None, Some("0")), 1);
-        assert_eq!(resolve_jobs_from(None, Some("many")), 1);
-        assert_eq!(resolve_jobs_from(None, None), 1);
-    }
 }

@@ -11,9 +11,10 @@
 
 use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
-use tbpoint_core::predict::{run_tbpoint, run_tbpoint_traced, TbpointConfig};
+use tbpoint_core::predict::{run_tbpoint_plan, run_tbpoint_traced_plan, TbpointConfig};
 use tbpoint_core::TbError;
 use tbpoint_emu::profile_run;
+use tbpoint_pool::{run_indexed, ExecPlan, SweepUnit};
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
 use tbpoint_workloads::{all_benchmarks, Benchmark, Scale};
 
@@ -99,6 +100,7 @@ impl SensitivityResult {
 pub fn sensitivity_bench(
     bench: &Benchmark,
     tb_cfg: &TbpointConfig,
+    plan: ExecPlan,
 ) -> Result<Vec<SensitivityCell>, TbError> {
     let profile = profile_run(&bench.run, 1);
     CONFIGS
@@ -106,7 +108,7 @@ pub fn sensitivity_bench(
         .map(|&(w, s)| {
             let gpu = GpuConfig::with_occupancy(w, s);
             let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-            let tbp = run_tbpoint(&bench.run, &profile, tb_cfg, &gpu)?;
+            let tbp = run_tbpoint_plan(&bench.run, &profile, tb_cfg, &gpu, plan)?;
             Ok(SensitivityCell {
                 bench: bench.name.to_string(),
                 warps: w,
@@ -119,63 +121,50 @@ pub fn sensitivity_bench(
         .collect()
 }
 
-/// Run the sensitivity sweep with `tb_cfg` (thresholds, budgets, and
-/// the intra-launch `sim_jobs` knob all flow through it).
+/// One benchmark's whole (W, S) grid row as a pool-schedulable
+/// [`SweepUnit`].
+pub struct SensitivityUnit<'a> {
+    /// The benchmark whose row to compute.
+    pub bench: &'a Benchmark,
+    /// TBPoint thresholds and budgets shared across the grid.
+    pub tb_cfg: &'a TbpointConfig,
+    /// Unit-level execution plan — callers pass `plan.unit()` because
+    /// the sweep scheduler has already spent the pool-worker budget.
+    pub plan: ExecPlan,
+}
+
+impl SweepUnit for SensitivityUnit<'_> {
+    type Output = Vec<SensitivityCell>;
+    type Error = TbError;
+
+    fn id(&self) -> String {
+        self.bench.name.to_string()
+    }
+
+    fn run(&self) -> Result<Vec<SensitivityCell>, TbError> {
+        sensitivity_bench(self.bench, self.tb_cfg, self.plan)
+    }
+}
+
+/// Run the sensitivity sweep with `tb_cfg` (thresholds and budgets flow
+/// through it), fanning benchmark rows out across `plan.pool_workers`
+/// pool workers. Each unit profiles once and runs its whole
+/// configuration row (same unit shape as the resumable sweep); cells
+/// come back benchmark-major in config order — deterministic at any
+/// worker count.
 pub fn sensitivity(
     scale: Scale,
-    threads: usize,
+    plan: ExecPlan,
     tb_cfg: &TbpointConfig,
 ) -> Result<SensitivityResult, TbError> {
     let benches = all_benchmarks(scale);
-    let mut rows: Vec<Option<Vec<SensitivityCell>>> = (0..benches.len()).map(|_| None).collect();
-
-    // Work queue over benchmarks; each unit profiles once and runs its
-    // whole configuration row (same unit shape as the resumable sweep).
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut rows);
-    let errors: std::sync::Mutex<Vec<(usize, TbError)>> = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(benches.len()) {
-            scope.spawn(|| loop {
-                if !errors
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .is_empty()
-                {
-                    break;
-                }
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= benches.len() {
-                    break;
-                }
-                match sensitivity_bench(&benches[i], tb_cfg) {
-                    Ok(row) => {
-                        slots
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(row);
-                    }
-                    Err(e) => errors
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((i, e)),
-                }
-            });
-        }
-    });
-    let mut errs = errors
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    errs.sort_by_key(|(i, _)| *i);
-    if let Some((_, e)) = errs.into_iter().next() {
-        return Err(e);
-    }
-
-    // Benchmark-major, config order — deterministic at any thread count.
+    let unit_plan = plan.unit();
+    let rows = run_indexed(plan.pool_workers, benches.len(), |i| {
+        sensitivity_bench(&benches[i], tb_cfg, unit_plan)
+    })
+    .map_err(|(_, e)| e)?;
     Ok(SensitivityResult {
-        cells: rows
-            .into_iter()
-            .flat_map(|r| r.expect("all rows computed"))
-            .collect(),
+        cells: rows.into_iter().flatten().collect(),
     })
 }
 
@@ -188,6 +177,7 @@ pub fn sensitivity_traced(
     scale: Scale,
     threads: usize,
     tb_cfg: &TbpointConfig,
+    plan: ExecPlan,
 ) -> Result<(SensitivityResult, Vec<TraceEntry>), TbError> {
     let benches = all_benchmarks(scale);
     let profiles: Vec<_> = benches
@@ -200,7 +190,8 @@ pub fn sensitivity_traced(
         for (w, s) in CONFIGS {
             let gpu = GpuConfig::with_occupancy(w, s);
             let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
-            let (tbp, traces) = run_tbpoint_traced(&bench.run, &profiles[bi], tb_cfg, &gpu)?;
+            let (tbp, traces) =
+                run_tbpoint_traced_plan(&bench.run, &profiles[bi], tb_cfg, &gpu, plan)?;
             entries.extend(traces.into_iter().map(|t| TraceEntry {
                 label: format!("{}@W{w}S{s}", bench.name),
                 launch: t.launch,

@@ -12,28 +12,40 @@
 //! tbpoint inspect <bench>             characterisation report
 //! tbpoint profile <bench>             save a one-time profile (JSON)
 //! tbpoint faultmatrix [--scale tiny]  fault-injection containment matrix
-//! tbpoint bench  [--quick]            perf baseline (BENCH_PR5.json)
+//! tbpoint bench  [--quick]            perf baseline (BENCH_PR7.json)
 //! tbpoint all    [--scale dev]        everything above
 //! ```
 //!
-//! Simulating subcommands accept `--jobs N` (or the `TBPOINT_JOBS` env
-//! var; the flag wins): each launch's SMs are sharded across N threads
-//! with bit-identical results — see DESIGN.md, "Deterministic parallel
-//! simulation". `--jobs` parallelises *within* a launch and composes
-//! with `--threads`, which parallelises across launches.
+//! Parallelism is one [`ExecPlan`](tbpoint_pool::ExecPlan) with two
+//! axes, resolved exactly once at startup (precedence: CLI flag >
+//! environment variable > auto; adjustments are reported as structured
+//! `ExecPlanAdjusted` events on stderr):
+//!
+//! * `--jobs N` / `TBPOINT_JOBS` — intra-launch: each launch's SMs are
+//!   sharded across N threads with bit-identical results (DESIGN.md,
+//!   "Deterministic parallel simulation");
+//! * `--pool-workers N` / `TBPOINT_POOL_WORKERS` — cross-launch: whole
+//!   launches and sweep units are scheduled on the deterministic job
+//!   pool, with results merged in canonical order so every artifact is
+//!   byte-identical to a serial run (DESIGN.md, "Two-axis parallelism").
+//!
+//! `--threads` remains the profiler's thread count (the functional
+//! emulation is embarrassingly parallel and outside the plan).
 //!
 //! `bench` times profile + simulate for the whole roster and writes the
 //! committed perf artifact (see EXPERIMENTS.md, "Performance baseline"):
 //! the pinned `--scale dev` measurement plus a `tiny` quick section,
-//! with a parallel leg per workload when `--jobs > 1`, and the host's
-//! CPU count for context. `--quick` runs only the tiny pass (min of 2
-//! reps) and, with `--check BENCH_PR5.json`, exits non-zero when
-//! throughput falls more than 2x below the committed numbers — CI's
-//! `perf-smoke` job, which also `cmp`s `--counts-out` files from a
-//! `--jobs 1` and a `--jobs 2` run byte-for-byte.
+//! with a parallel leg per workload on each active axis (`--jobs > 1`,
+//! `--pool-workers > 1`), and the host's CPU count for context.
+//! `--quick` runs only the tiny pass (min of 2 reps) and, with
+//! `--check BENCH_PR7.json`, exits non-zero when throughput falls more
+//! than 2x below the committed numbers — CI's `perf-smoke` job, which
+//! also `cmp`s `--counts-out` files from a `--jobs 1` and a `--jobs 2`
+//! run byte-for-byte.
 //! `--baseline <file>` seeds/replaces the frozen reference section;
 //! without it, a regeneration carries the existing artifact's baseline
-//! forward (seeding from `BENCH_PR4.json` if neither exists).
+//! forward (seeding from `BENCH_PR5.json`, then `BENCH_PR4.json`, if
+//! neither exists).
 //!
 //! Artefacts (JSON + CSV) land in `./artifacts/`.
 //!
@@ -55,9 +67,10 @@
 //! results.
 
 use std::path::{Path, PathBuf};
-use tbpoint_cli::experiments::{self, EvalConfig};
+use tbpoint_cli::experiments::{self, EvalConfig, EvalUnit, Fig8Unit, SensitivityUnit};
 use tbpoint_cli::output;
 use tbpoint_cli::sweep::{self, SweepOutcome, SweepPlan};
+use tbpoint_pool::ExecPlan;
 use tbpoint_workloads::Scale;
 
 /// Exit code for a deliberately partial sweep (`--max-units`).
@@ -77,6 +90,10 @@ struct Args {
     quick: bool,
     reps: u32,
     jobs: Option<usize>,
+    pool_workers: Option<usize>,
+    /// The resolved two-axis parallelism plan (CLI > env > auto),
+    /// resolved exactly once in [`parse_args`].
+    plan: ExecPlan,
     counts_out: Option<PathBuf>,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
@@ -106,6 +123,8 @@ fn parse_args() -> Args {
         quick: false,
         reps: 3,
         jobs: None,
+        pool_workers: None,
+        plan: ExecPlan::serial(),
         counts_out: None,
         out: None,
         check: None,
@@ -170,6 +189,13 @@ fn parse_args() -> Args {
                 };
                 args.jobs = Some(n);
             }
+            "--pool-workers" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--pool-workers needs a worker count");
+                    std::process::exit(2);
+                };
+                args.pool_workers = Some(n);
+            }
             "--reps" => {
                 let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("--reps needs a positive integer");
@@ -210,6 +236,22 @@ fn parse_args() -> Args {
             }
         }
     }
+    // Resolve the two-axis plan exactly once: CLI > environment > auto
+    // (serial intra-launch, host CPUs cross-launch). Adjustments are
+    // structured events, not free-form warnings.
+    let (plan, notes) = tbpoint_pool::resolve_from_env(
+        args.jobs,
+        args.pool_workers,
+        None,
+        ExecPlan {
+            sim_jobs: 1,
+            pool_workers: experiments::default_threads(),
+        },
+    );
+    for note in &notes {
+        eprintln!("{}", tbpoint_obs::event_line(&note.event()));
+    }
+    args.plan = plan;
     args
 }
 
@@ -252,7 +294,7 @@ fn sweep_plan(args: &Args, name: String) -> SweepPlan {
         dir: args.artifacts.join("units"),
         resume: args.resume,
         max_units: args.max_units,
-        threads: args.threads,
+        workers: args.plan.pool_workers,
     }
 }
 
@@ -282,23 +324,23 @@ fn finish_sweep<T>(result: Result<SweepOutcome<T>, sweep::SweepError>, what: &st
 
 fn eval_config(args: &Args) -> EvalConfig {
     let mut cfg = EvalConfig::new(args.scale);
-    cfg.threads = args.threads;
     cfg.tbpoint.cycle_budget = args.cycle_budget;
-    cfg.tbpoint.sim_jobs = experiments::resolve_jobs(args.jobs);
     cfg
 }
 
 fn run_eval(args: &Args) -> experiments::EvalResult {
     let cfg = eval_config(args);
     eprintln!(
-        "running evaluation at {} scale on {} threads (this simulates every benchmark in full)...",
+        "running evaluation at {} scale on {} pool worker(s), {} sim job(s) \
+         (this simulates every benchmark in full)...",
         scale_tag(args.scale),
-        cfg.threads
+        args.plan.pool_workers,
+        args.plan.sim_jobs
     );
     let r = if let Some(trace_path) = &args.trace_out {
-        // Tracing runs serially and in one piece; it does not use the
-        // resumable sweep.
-        match experiments::eval_traced(&cfg) {
+        // Tracing runs benchmarks serially and in one piece; it does
+        // not use the resumable sweep.
+        match experiments::eval_traced(&cfg, args.plan) {
             Ok((r, traces)) => {
                 dump_traces(trace_path, &traces);
                 r
@@ -307,12 +349,21 @@ fn run_eval(args: &Args) -> experiments::EvalResult {
         }
     } else {
         let benches = tbpoint_workloads::all_benchmarks(args.scale);
-        let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
         let gpu = tbpoint_sim::GpuConfig::fermi();
+        // The sweep scheduler spends the pool budget; each unit runs
+        // with the unit-level plan.
+        let unit_plan = args.plan.unit();
+        let units: Vec<EvalUnit<'_>> = benches
+            .iter()
+            .map(|bench| EvalUnit {
+                bench,
+                cfg: &cfg,
+                gpu: &gpu,
+                plan: unit_plan,
+            })
+            .collect();
         let plan = sweep_plan(args, format!("eval_{}", scale_tag(args.scale)));
-        let outcome = sweep::run_resumable(&plan, &keys, |i, _| {
-            experiments::eval_bench(&benches[i], &cfg, &gpu)
-        });
+        let outcome = sweep::run_units(&plan, &units);
         experiments::EvalResult {
             config: cfg,
             benches: finish_sweep(outcome, "eval"),
@@ -345,13 +396,14 @@ fn cmd_fig5(args: &Args) {
 
 fn cmd_fig8(args: &Args) {
     let benches = tbpoint_workloads::all_benchmarks(args.scale);
-    let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
-    let plan = sweep_plan(args, format!("fig8_{}", scale_tag(args.scale)));
     // Profiling inside a unit runs single-threaded; the sweep itself
-    // fans units out over `--threads` workers.
-    let outcome = sweep::run_resumable(&plan, &keys, |i, _| {
-        Ok(experiments::fig8_bench(&benches[i], 1))
-    });
+    // fans units out over `--pool-workers` pool workers.
+    let units: Vec<Fig8Unit<'_>> = benches
+        .iter()
+        .map(|bench| Fig8Unit { bench, threads: 1 })
+        .collect();
+    let plan = sweep_plan(args, format!("fig8_{}", scale_tag(args.scale)));
+    let outcome = sweep::run_units(&plan, &units);
     let r = experiments::Fig8Result {
         series: finish_sweep(outcome, "fig8"),
     };
@@ -400,10 +452,9 @@ fn cmd_sensitivity(args: &Args, which: &str) {
         None if args.trace_out.is_some() => {
             let tb_cfg = tbpoint_core::predict::TbpointConfig {
                 cycle_budget: args.cycle_budget,
-                sim_jobs: experiments::resolve_jobs(args.jobs),
                 ..Default::default()
             };
-            match experiments::sensitivity_traced(args.scale, args.threads, &tb_cfg) {
+            match experiments::sensitivity_traced(args.scale, args.threads, &tb_cfg, args.plan) {
                 Ok((r, traces)) => {
                     if let Some(trace_path) = &args.trace_out {
                         dump_traces(trace_path, &traces);
@@ -417,16 +468,21 @@ fn cmd_sensitivity(args: &Args, which: &str) {
         None => {
             eprintln!("running hardware-sensitivity sweep (6 configs x 12 benchmarks)...");
             let benches = tbpoint_workloads::all_benchmarks(args.scale);
-            let keys: Vec<String> = benches.iter().map(|b| b.name.to_string()).collect();
             let tb_cfg = tbpoint_core::predict::TbpointConfig {
                 cycle_budget: args.cycle_budget,
-                sim_jobs: experiments::resolve_jobs(args.jobs),
                 ..Default::default()
             };
+            let unit_plan = args.plan.unit();
+            let units: Vec<SensitivityUnit<'_>> = benches
+                .iter()
+                .map(|bench| SensitivityUnit {
+                    bench,
+                    tb_cfg: &tb_cfg,
+                    plan: unit_plan,
+                })
+                .collect();
             let plan = sweep_plan(args, format!("sensitivity_{}", scale_tag(args.scale)));
-            let outcome = sweep::run_resumable(&plan, &keys, |i, _| {
-                experiments::sensitivity_bench(&benches[i], &tb_cfg)
-            });
+            let outcome = sweep::run_units(&plan, &units);
             let rows = finish_sweep(outcome, "sensitivity");
             let r = experiments::SensitivityResult {
                 cells: rows.into_iter().flatten().collect(),
@@ -449,14 +505,17 @@ fn cmd_sensitivity(args: &Args, which: &str) {
 fn cmd_bench(args: &Args) {
     use tbpoint_cli::bench;
     let progress = |line: &str| eprintln!("{line}");
-    let jobs = experiments::resolve_jobs(args.jobs);
+    let plan = args.plan;
 
     if args.quick {
         // Two reps, minimum kept: one rep is cheap but lets a single
         // scheduling hiccup on a shared CI runner read as a 2x
         // throughput regression.
-        eprintln!("quick bench: tiny scale, min of 2 reps, jobs={jobs}");
-        let current = bench::measure(Scale::Tiny, 2, jobs, progress);
+        eprintln!(
+            "quick bench: tiny scale, min of 2 reps, jobs={}, pool-workers={}",
+            plan.sim_jobs, plan.pool_workers
+        );
+        let current = bench::measure(Scale::Tiny, 2, plan, progress);
         let t = bench::totals(&current);
         println!(
             "quick bench: {:.1} ms eval total, {:.2} M warp-insts/s simulate",
@@ -499,7 +558,8 @@ fn cmd_bench(args: &Args) {
         .unwrap_or_else(|| PathBuf::from(bench::DEFAULT_ARTIFACT));
     // The frozen reference: an explicit --baseline file wins; then the
     // existing artifact's baseline section carries forward; then the
-    // previous PR's committed artifact (BENCH_PR4.json) seeds it.
+    // previous PRs' committed artifacts (BENCH_PR5.json, falling back
+    // to BENCH_PR4.json) seed it.
     let baseline = if let Some(bp) = &args.baseline {
         let bytes = std::fs::read(bp)
             .unwrap_or_else(|e| die(&format!("reading baseline {}", bp.display()), e));
@@ -511,6 +571,19 @@ fn cmd_bench(args: &Args) {
             .ok()
             .and_then(|bytes| bench::parse_report(&bytes).ok())
             .and_then(|r| r.baseline)
+            .or_else(|| {
+                let v2 = std::fs::read(bench::V2_ARTIFACT).ok()?;
+                match bench::baseline_from_v2(&v2) {
+                    Ok(section) => {
+                        eprintln!("baseline: seeded from {}", bench::V2_ARTIFACT);
+                        Some(section)
+                    }
+                    Err(e) => {
+                        eprintln!("warning: ignoring {}: {e}", bench::V2_ARTIFACT);
+                        None
+                    }
+                }
+            })
             .or_else(|| {
                 let v1 = std::fs::read(bench::V1_ARTIFACT).ok()?;
                 match bench::baseline_from_v1(&v1) {
@@ -527,13 +600,16 @@ fn cmd_bench(args: &Args) {
     };
 
     eprintln!(
-        "bench: {} scale, best of {} reps, jobs={jobs} (pinned protocol; see EXPERIMENTS.md)",
+        "bench: {} scale, best of {} reps, jobs={}, pool-workers={} \
+         (pinned protocol; see EXPERIMENTS.md)",
         scale_tag(args.scale),
-        args.reps
+        args.reps,
+        plan.sim_jobs,
+        plan.pool_workers
     );
-    let workloads = bench::measure(args.scale, args.reps, jobs, progress);
+    let workloads = bench::measure(args.scale, args.reps, plan, progress);
     eprintln!("bench: quick section (tiny scale, min of 2 reps)");
-    let quick = bench::measure(Scale::Tiny, 2, jobs, progress);
+    let quick = bench::measure(Scale::Tiny, 2, plan, progress);
     let report = bench::BenchReport {
         schema: bench::SCHEMA.to_string(),
         build: bench::build_label(),
@@ -643,11 +719,11 @@ fn main() {
                 scale_tag(args.scale)
             );
             let r = if let Some(trace_path) = &args.trace_out {
-                let (r, traces) = experiments::ablate_traced(args.scale);
+                let (r, traces) = experiments::ablate_traced(args.scale, args.plan);
                 dump_traces(trace_path, &traces);
                 r
             } else {
-                experiments::ablate(args.scale)
+                experiments::ablate(args.scale, args.plan)
             };
             write_json_or_die(
                 &args
@@ -726,7 +802,7 @@ fn main() {
             eprintln!(
                 "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|bench|all> \
                  [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE] \
-                 [--resume] [--max-units K] [--cycle-budget N] [--jobs N] \
+                 [--resume] [--max-units K] [--cycle-budget N] [--jobs N] [--pool-workers N] \
                  [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE] [--counts-out FILE]"
             );
             std::process::exit(2);

@@ -1,8 +1,8 @@
-//! Crash-safe, resumable sweep execution.
+//! Crash-safe, resumable sweep execution on the deterministic job pool.
 //!
-//! A *sweep* is a list of independent units (one benchmark, or one
-//! benchmark's whole hardware grid). [`run_resumable`] computes them
-//! with a work-queue thread pool and persists each finished unit
+//! A *sweep* is a list of independent [`SweepUnit`]s (one benchmark, or
+//! one benchmark's whole hardware grid). [`run_units`] schedules them
+//! across `tbpoint-pool` workers and persists each finished unit
 //! immediately:
 //!
 //! * every unit result is written to its own JSON file via
@@ -15,8 +15,8 @@
 //!   unit file's checksum, skips verified units and recomputes the
 //!   rest. A unit file that was tampered with, torn, or orphaned by a
 //!   crash between its rename and the manifest update is simply
-//!   recomputed — the computation is deterministic, so the bytes come
-//!   out the same;
+//!   recomputed — [`SweepUnit::run`] is deterministic, so the bytes
+//!   come out the same;
 //! * the final result is assembled by **re-reading every unit file from
 //!   disk**, which is why an interrupted-then-resumed sweep produces
 //!   final artifacts byte-identical to an uninterrupted one (the
@@ -25,6 +25,13 @@
 //! * `--max-units K` stops after K units, reporting a partial sweep
 //!   (the CLI exits with code 3) — the deterministic stand-in for
 //!   killing the process mid-sweep.
+//!
+//! Persistence and scheduling are deliberately orthogonal: the pool
+//! decides *when* a unit runs (timing-dependent), the manifest records
+//! *what* completed (canonical key order), and the final assembly reads
+//! units back in key order — so unit files, manifest, and final
+//! artifact are all byte-identical at every `--pool-workers` value,
+//! with or without an interrupt + `--resume` in between.
 
 use crate::output;
 use serde::{Deserialize, Serialize};
@@ -33,6 +40,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use tbpoint_core::TbError;
 use tbpoint_obs::{fnv1a64, seal, verify};
+use tbpoint_pool::{run_indexed, SweepUnit};
 
 /// How a sweep failed.
 #[derive(Debug)]
@@ -78,11 +86,11 @@ pub struct SweepPlan {
     pub resume: bool,
     /// Stop after computing this many units (partial sweep).
     pub max_units: Option<usize>,
-    /// Worker threads for independent units.
-    pub threads: usize,
+    /// Pool workers for independent units (`ExecPlan::pool_workers`).
+    pub workers: usize,
 }
 
-/// What [`run_resumable`] did.
+/// What [`run_units`] did.
 #[derive(Debug)]
 pub struct SweepOutcome<T> {
     /// Per-unit results in key order; `None` for units not yet computed
@@ -150,7 +158,7 @@ fn io_err(path: &Path, e: std::io::Error) -> SweepError {
 
 /// Atomically rewrite the manifest from the completed-unit map (sorted
 /// by key index, so the final manifest is deterministic no matter in
-/// which order workers finished).
+/// which order pool workers finished).
 fn write_manifest(
     plan: &SweepPlan,
     keys: &[String],
@@ -223,22 +231,25 @@ fn load_verified_units(plan: &SweepPlan, keys: &[String]) -> BTreeMap<usize, Str
     verified
 }
 
-/// Run (or resume) a sweep. `compute` is called once per missing unit
-/// with `(key index, key)` and must be deterministic — resumption
+/// Run (or resume) a sweep of [`SweepUnit`]s on the deterministic job
+/// pool.
+///
+/// Unit identities ([`SweepUnit::id`]) key the unit files and the
+/// manifest; [`SweepUnit::run`] must be deterministic — resumption
 /// correctness and the byte-identity guarantee both rest on that.
-pub fn run_resumable<T, F>(
-    plan: &SweepPlan,
-    keys: &[String],
-    compute: F,
-) -> Result<SweepOutcome<T>, SweepError>
+/// Scheduling runs on `plan.workers` pool workers; persistence is
+/// serialized under one lock (compute in parallel, persist one at a
+/// time), so the manifest on disk always describes a consistent
+/// prefix-closed set of finished units.
+pub fn run_units<U>(plan: &SweepPlan, units: &[U]) -> Result<SweepOutcome<U::Output>, SweepError>
 where
-    T: Serialize + Deserialize + Send,
-    F: Fn(usize, &str) -> Result<T, TbError> + Sync,
+    U: SweepUnit<Error = TbError>,
 {
+    let keys: Vec<String> = units.iter().map(SweepUnit::id).collect();
     std::fs::create_dir_all(&plan.dir).map_err(|e| io_err(&plan.dir, e))?;
 
     let mut done: BTreeMap<usize, String> = if plan.resume {
-        load_verified_units(plan, keys)
+        load_verified_units(plan, &keys)
     } else {
         BTreeMap::new()
     };
@@ -248,81 +259,42 @@ where
     let allowed = plan.max_units.unwrap_or(todo.len()).min(todo.len());
     let partial = allowed < todo.len();
 
-    // Work queue over the allowed prefix of missing units. Each worker
-    // computes a unit, serializes it, and (under the lock) writes the
-    // unit file atomically and rewrites the manifest, so an interrupt
-    // at any instant preserves every finished unit.
-    let state: std::sync::Mutex<(BTreeMap<usize, String>, Option<SweepError>)> =
-        std::sync::Mutex::new((std::mem::take(&mut done), None));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = plan.threads.max(1).min(allowed.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                {
-                    let st = state
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    if st.1.is_some() {
-                        break;
-                    }
-                }
-                let n = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if n >= allowed {
-                    break;
-                }
-                let i = todo[n];
-                let result = compute(i, &keys[i]);
-                let mut st = state
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if st.1.is_some() {
-                    break;
-                }
-                match result {
-                    Err(err) => {
-                        st.1 = Some(SweepError::Pipeline {
-                            unit: keys[i].clone(),
-                            err,
-                        });
-                    }
-                    Ok(value) => {
-                        let path = unit_path(plan, &keys[i]);
-                        let write = serde_json::to_string_pretty(&value)
-                            .map_err(|e| io_err(&path, std::io::Error::other(e)))
-                            .and_then(|json| {
-                                let fnv = format!("{:016x}", fnv1a64(json.as_bytes()));
-                                output::write_atomic(&path, json.as_bytes())
-                                    .map_err(|e| io_err(&path, e))?;
-                                Ok(fnv)
-                            });
-                        match write {
-                            Ok(fnv) => {
-                                st.0.insert(i, fnv);
-                                if let Err(e) = write_manifest(plan, keys, &st.0) {
-                                    st.1 = Some(e);
-                                }
-                            }
-                            Err(e) => st.1 = Some(e),
-                        }
-                    }
-                }
-            });
-        }
-    });
+    // The pool schedules the allowed prefix of missing units; each job
+    // computes its unit off-lock, then (under the lock) writes the unit
+    // file atomically and rewrites the manifest, so an interrupt at any
+    // instant preserves every finished unit. On failure the pool
+    // reports the lowest recorded unit index and stops scheduling new
+    // units; in-flight units still persist, ready for `--resume`.
+    let state: std::sync::Mutex<BTreeMap<usize, String>> =
+        std::sync::Mutex::new(std::mem::take(&mut done));
+    run_indexed(plan.workers, allowed, |n| {
+        let i = todo[n];
+        let value = units[i].run().map_err(|err| SweepError::Pipeline {
+            unit: keys[i].clone(),
+            err,
+        })?;
+        let path = unit_path(plan, &keys[i]);
+        let json = serde_json::to_string_pretty(&value)
+            .map_err(|e| io_err(&path, std::io::Error::other(e)))?;
+        let fnv = format!("{:016x}", fnv1a64(json.as_bytes()));
+        let mut st = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        output::write_atomic(&path, json.as_bytes()).map_err(|e| io_err(&path, e))?;
+        st.insert(i, fnv);
+        write_manifest(plan, &keys, &st)
+    })
+    .map_err(|(_, e)| e)?;
 
-    let (done, error) = state
+    let done = state
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if let Some(e) = error {
-        return Err(e);
-    }
     let computed = done.len() - resumed;
 
     // Assemble results by re-reading every unit file from disk: the
     // in-memory values never reach the final artifact, so resumed and
     // uninterrupted sweeps serialize identically.
-    let mut results: Vec<Option<T>> = Vec::with_capacity(keys.len());
+    let mut results: Vec<Option<U::Output>> = Vec::with_capacity(keys.len());
     for (i, key) in keys.iter().enumerate() {
         if !done.contains_key(&i) {
             results.push(None);
@@ -330,7 +302,7 @@ where
         }
         let path = unit_path(plan, key);
         let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
-        let value: T =
+        let value: U::Output =
             serde_json::from_slice(&bytes).map_err(|e| io_err(&path, std::io::Error::other(e)))?;
         results.push(Some(value));
     }

@@ -1,18 +1,19 @@
-//! Crash-safety contract of [`tbpoint_cli::sweep::run_resumable`]:
+//! Crash-safety contract of [`tbpoint_cli::sweep::run_units`]:
 //! an interrupted-then-resumed sweep must produce final artifacts
 //! byte-identical to an uninterrupted run, tampered unit files must be
 //! detected and recomputed, and a failing unit must not destroy the
 //! units that already finished.
 //!
-//! The compute function here is a cheap deterministic stand-in (no
+//! The [`SweepUnit`] here is a cheap deterministic stand-in (no
 //! simulations) so the tests exercise only the persistence machinery.
 
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tbpoint_cli::output;
-use tbpoint_cli::sweep::{run_resumable, SweepError, SweepPlan};
+use tbpoint_cli::sweep::{run_units, SweepError, SweepPlan};
 use tbpoint_core::TbError;
+use tbpoint_pool::SweepUnit;
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Unit {
@@ -32,10 +33,54 @@ fn compute(i: usize, key: &str) -> Result<Unit, TbError> {
     })
 }
 
+/// The test stand-in for a benchmark unit: deterministic output, an
+/// optional shared call counter, and an optional induced failure.
+struct TestUnit<'a> {
+    index: usize,
+    key: String,
+    calls: Option<&'a AtomicUsize>,
+    fail: bool,
+}
+
+impl SweepUnit for TestUnit<'_> {
+    type Output = Unit;
+    type Error = TbError;
+
+    fn id(&self) -> String {
+        self.key.clone()
+    }
+
+    fn run(&self) -> Result<Unit, TbError> {
+        if let Some(calls) = self.calls {
+            calls.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.fail {
+            return Err(TbError::BudgetExceeded {
+                launch: 0,
+                budget_cycles: 1,
+            });
+        }
+        compute(self.index, &self.key)
+    }
+}
+
 fn keys() -> Vec<String> {
     ["bfs", "cfd", "hotspot", "lud", "nw"]
         .iter()
         .map(|s| s.to_string())
+        .collect()
+}
+
+fn units() -> Vec<TestUnit<'static>> {
+    keys()
+        .into_iter()
+        .enumerate()
+        .map(|(index, key)| TestUnit {
+            index,
+            key,
+            calls: None,
+            fail: false,
+        })
         .collect()
 }
 
@@ -45,7 +90,7 @@ fn plan(dir: &Path) -> SweepPlan {
         dir: dir.to_path_buf(),
         resume: false,
         max_units: None,
-        threads: 2,
+        workers: 2,
     }
 }
 
@@ -71,13 +116,11 @@ fn final_artifact(dir: &Path, units: &[Unit]) -> Vec<u8> {
 
 #[test]
 fn interrupted_then_resumed_run_is_byte_identical() {
-    let keys = keys();
-
     // Leg A: uninterrupted.
     let dir_a = scratch("a");
-    let full = run_resumable(&plan(&dir_a), &keys, compute).expect("uninterrupted sweep");
+    let full = run_units(&plan(&dir_a), &units()).expect("uninterrupted sweep");
     assert!(!full.partial);
-    assert_eq!(full.computed, keys.len());
+    assert_eq!(full.computed, keys().len());
     let bytes_a = final_artifact(&dir_a, &full.into_complete());
 
     // Leg B: stop after 2 units (the deterministic stand-in for a
@@ -85,17 +128,17 @@ fn interrupted_then_resumed_run_is_byte_identical() {
     let dir_b = scratch("b");
     let mut p = plan(&dir_b);
     p.max_units = Some(2);
-    let partial = run_resumable(&p, &keys, compute).expect("partial sweep");
+    let partial = run_units(&p, &units()).expect("partial sweep");
     assert!(partial.partial);
     assert_eq!(partial.computed, 2);
     assert_eq!(partial.results.iter().flatten().count(), 2);
 
     let mut p = plan(&dir_b);
     p.resume = true;
-    let resumed = run_resumable(&p, &keys, compute).expect("resumed sweep");
+    let resumed = run_units(&p, &units()).expect("resumed sweep");
     assert!(!resumed.partial);
     assert_eq!(resumed.resumed, 2, "both finished units must be reused");
-    assert_eq!(resumed.computed, keys.len() - 2);
+    assert_eq!(resumed.computed, keys().len() - 2);
     let bytes_b = final_artifact(&dir_b, &resumed.into_complete());
 
     assert_eq!(
@@ -109,20 +152,18 @@ fn interrupted_then_resumed_run_is_byte_identical() {
 
 #[test]
 fn without_resume_everything_is_recomputed() {
-    let keys = keys();
     let dir = scratch("noresume");
-    run_resumable(&plan(&dir), &keys, compute).expect("first run");
-    let again = run_resumable(&plan(&dir), &keys, compute).expect("second run");
+    run_units(&plan(&dir), &units()).expect("first run");
+    let again = run_units(&plan(&dir), &units()).expect("second run");
     assert_eq!(again.resumed, 0);
-    assert_eq!(again.computed, keys.len());
+    assert_eq!(again.computed, keys().len());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn tampered_unit_file_is_detected_and_recomputed() {
-    let keys = keys();
     let dir = scratch("tamper");
-    let full = run_resumable(&plan(&dir), &keys, compute).expect("first run");
+    let full = run_units(&plan(&dir), &units()).expect("first run");
     let expected = final_artifact(&dir, &full.into_complete());
 
     // Flip one byte inside a unit file; the manifest checksum no longer
@@ -134,14 +175,17 @@ fn tampered_unit_file_is_detected_and_recomputed() {
     std::fs::write(&victim, &bytes).expect("tamper with unit file");
 
     let calls = AtomicUsize::new(0);
+    let counted: Vec<TestUnit<'_>> = units()
+        .into_iter()
+        .map(|u| TestUnit {
+            calls: Some(&calls),
+            ..u
+        })
+        .collect();
     let mut p = plan(&dir);
     p.resume = true;
-    let resumed = run_resumable(&p, &keys, |i, k| {
-        calls.fetch_add(1, Ordering::Relaxed);
-        compute(i, k)
-    })
-    .expect("resume over tampered state");
-    assert_eq!(resumed.resumed, keys.len() - 1);
+    let resumed = run_units(&p, &counted).expect("resume over tampered state");
+    assert_eq!(resumed.resumed, keys().len() - 1);
     assert_eq!(
         calls.load(Ordering::Relaxed),
         1,
@@ -157,9 +201,8 @@ fn tampered_unit_file_is_detected_and_recomputed() {
 
 #[test]
 fn truncated_manifest_recomputes_but_still_converges() {
-    let keys = keys();
     let dir = scratch("manifest");
-    let full = run_resumable(&plan(&dir), &keys, compute).expect("first run");
+    let full = run_units(&plan(&dir), &units()).expect("first run");
     let expected = final_artifact(&dir, &full.into_complete());
 
     // Chop the manifest mid-record: its integrity trailer no longer
@@ -171,7 +214,7 @@ fn truncated_manifest_recomputes_but_still_converges() {
 
     let mut p = plan(&dir);
     p.resume = true;
-    let resumed = run_resumable(&p, &keys, compute).expect("resume over broken manifest");
+    let resumed = run_units(&p, &units()).expect("resume over broken manifest");
     assert_eq!(resumed.resumed, 0, "a broken manifest trusts nothing");
     let healed = final_artifact(&dir, &resumed.into_complete());
     assert_eq!(expected, healed);
@@ -180,24 +223,20 @@ fn truncated_manifest_recomputes_but_still_converges() {
 
 #[test]
 fn failing_unit_keeps_completed_units_for_resume() {
-    let keys = keys();
     let dir = scratch("fail");
 
     // Serial so the failure point is deterministic: units 0 and 1
     // finish, unit 2 fails, 3 and 4 never run.
     let mut p = plan(&dir);
-    p.threads = 1;
-    let err = run_resumable(&p, &keys, |i, k| {
-        if i == 2 {
-            Err(TbError::BudgetExceeded {
-                launch: 0,
-                budget_cycles: 1,
-            })
-        } else {
-            compute(i, k)
-        }
-    })
-    .expect_err("unit 2 must fail the sweep");
+    p.workers = 1;
+    let failing: Vec<TestUnit<'_>> = units()
+        .into_iter()
+        .map(|u| TestUnit {
+            fail: u.index == 2,
+            ..u
+        })
+        .collect();
+    let err = run_units(&p, &failing).expect_err("unit 2 must fail the sweep");
     match err {
         SweepError::Pipeline { unit, .. } => assert_eq!(unit, "hotspot"),
         other => panic!("expected a pipeline error, got {other}"),
@@ -206,7 +245,7 @@ fn failing_unit_keeps_completed_units_for_resume() {
     // A healthy re-run with --resume picks up the two survivors.
     let mut p = plan(&dir);
     p.resume = true;
-    let resumed = run_resumable(&p, &keys, compute).expect("resume after failure");
+    let resumed = run_units(&p, &units()).expect("resume after failure");
     assert_eq!(resumed.resumed, 2);
     assert_eq!(resumed.computed, 3);
     let _ = std::fs::remove_dir_all(&dir);

@@ -52,6 +52,8 @@ pub use error::TbError;
 pub use inter::{inter_launch_sample, InterConfig, InterResult};
 pub use intra::{build_epochs, identify_regions, Epoch, IntraConfig, Region, RegionTable};
 pub use predict::{
-    run_tbpoint, run_tbpoint_traced, LaunchTrace, SavingsBreakdown, TbpointConfig, TbpointResult,
+    run_tbpoint, run_tbpoint_plan, run_tbpoint_traced, run_tbpoint_traced_plan, LaunchTrace,
+    SavingsBreakdown, TbpointConfig, TbpointResult,
 };
 pub use sampling::{IntraOutcome, RegionSampler, RegionSamplerBuilder};
+pub use tbpoint_pool::ExecPlan;

@@ -35,6 +35,7 @@ use tbpoint_ir::LaunchSpec;
 use tbpoint_obs::{
     CollectingRecorder, DegradeReason, EventKind, NullRecorder, Recorder, Span, TraceBundle,
 };
+use tbpoint_pool::{run_indexed, ExecPlan};
 use tbpoint_sim::{
     simulate_launch_obs_with_options, CycleBudgetHook, GpuConfig, NullSampling, SamplingHook,
     SimOptions,
@@ -59,14 +60,6 @@ pub struct TbpointConfig {
     pub inter_enabled: bool,
     /// Enable intra-launch sampling.
     pub intra_enabled: bool,
-    /// Worker threads for simulating independent representative launches
-    /// (1 = serial; results are identical at any count).
-    pub sim_threads: usize,
-    /// Worker threads *inside* each launch simulation (SM-sharded cycle
-    /// windows; see `tbpoint_sim::SimOptions::jobs`). 1 = serial; any
-    /// value is bit-identical to serial. Composes with `sim_threads`:
-    /// total simulator threads ≈ `sim_threads * sim_jobs`.
-    pub sim_jobs: usize,
     /// Bound on warming units per region before the sampler abandons the
     /// region and degrades to detailed simulation (`None` = warm
     /// indefinitely, the paper's behaviour). Must be at least
@@ -88,8 +81,6 @@ impl Default for TbpointConfig {
             warming_window: crate::sampling::WARMING_WINDOW,
             inter_enabled: true,
             intra_enabled: true,
-            sim_threads: 1,
-            sim_jobs: 1,
             warming_budget: None,
             cycle_budget: None,
         }
@@ -106,9 +97,10 @@ impl TbpointConfig {
     /// [`TbError::InvalidConfig`] when a clustering σ is non-finite or
     /// non-positive, the variation factor is negative, the warming
     /// threshold is non-finite or non-positive, `unit_tb_span` is zero,
-    /// or `warming_window` is below 2. `sim_threads` and `sim_jobs` are
-    /// deliberately not validated: any value is safe (0 is treated as 1,
-    /// and `sim_jobs` additionally clamps to the SM count).
+    /// or `warming_window` is below 2. Parallelism lives outside this
+    /// config — see [`tbpoint_pool::ExecPlan`] and [`run_tbpoint_plan`]
+    /// — because results are bit-identical at any worker count, so the
+    /// worker count is an execution concern, not a result-affecting one.
     pub fn validate(&self) -> Result<(), TbError> {
         self.inter.validate()?;
         self.intra.validate()?;
@@ -371,12 +363,18 @@ fn simulate_guarded<R: Recorder>(
 /// launch that overruns `cfg.cycle_budget` is the one unrecoverable
 /// case: its numbers are garbage, so it surfaces as
 /// [`TbError::BudgetExceeded`].
+///
+/// `jobs` is the intra-launch SM-shard worker count
+/// ([`ExecPlan::sim_jobs`]); the simulator clamps it structurally to
+/// the SM count.
+#[allow(clippy::too_many_arguments)]
 fn simulate_rep<R: Recorder>(
     run: &KernelRun,
     profile: &RunProfile,
     cfg: &TbpointConfig,
     gpu: &GpuConfig,
     occupancy: u32,
+    jobs: usize,
     rep: usize,
     rec: &R,
 ) -> Result<RepSim, TbError> {
@@ -412,7 +410,7 @@ fn simulate_rep<R: Recorder>(
             gpu,
             &mut sampler,
             cfg.cycle_budget,
-            cfg.sim_jobs,
+            jobs,
             rep,
             rec,
         )?;
@@ -444,7 +442,7 @@ fn simulate_rep<R: Recorder>(
         gpu,
         &mut NullSampling,
         cfg.cycle_budget,
-        cfg.sim_jobs,
+        jobs,
         rep,
         rec,
     )?;
@@ -474,7 +472,7 @@ fn aggregate(
     run: &KernelRun,
     profile: &RunProfile,
     inter: InterResult,
-    rep_results: &[Option<RepSim>],
+    rep_results: &[RepSim],
 ) -> TbpointResult {
     let n_launches = run.launches.len();
     // rep_outcome[launch] = Some((predicted_cycles, predicted_ipc)).
@@ -482,13 +480,7 @@ fn aggregate(
     let mut simulated_warp_insts = 0u64;
     let mut intra_skipped = 0u64;
     let mut degraded_launches = 0usize;
-    for (&rep, result) in inter.representatives.iter().zip(rep_results) {
-        // Every slot is written exactly once (serial loops and the worker
-        // scope both fill every index), so an empty slot is unreachable;
-        // skipping it degrades the estimate instead of aborting.
-        let Some(r) = *result else {
-            continue;
-        };
+    for (&rep, r) in inter.representatives.iter().zip(rep_results) {
         simulated_warp_insts += r.issued;
         intra_skipped += r.skipped_insts;
         if r.degraded {
@@ -504,7 +496,8 @@ fn aggregate(
         let launch_insts = profile.launches[i].warp_insts();
         total_insts += launch_insts;
         let rep = inter.representatives[inter.clustering.assignments[i]];
-        // Same unreachable-by-construction argument as above.
+        // Filled for every representative by the loop above; the
+        // fallback only guards an impossible index.
         let (rep_cycles, rep_ipc) = rep_outcome[rep].unwrap_or((0.0, 0.0));
         if i == rep {
             per_launch_predicted_cycles.push(rep_cycles);
@@ -560,83 +553,53 @@ pub fn run_tbpoint(
     cfg: &TbpointConfig,
     gpu: &GpuConfig,
 ) -> Result<TbpointResult, TbError> {
+    run_tbpoint_plan(run, profile, cfg, gpu, ExecPlan::serial())
+}
+
+/// [`run_tbpoint`] under an explicit [`ExecPlan`].
+///
+/// Step 2 fans the representatives out across `plan.pool_workers`
+/// threads of the deterministic job pool (whole launches are the unit
+/// of scheduling); each launch simulation itself runs with
+/// `plan.sim_jobs` SM-shard workers. Results land in per-representative
+/// slots and are merged in canonical representative order, so the
+/// [`TbpointResult`] is bit-identical to serial at every worker count
+/// on both axes (the golden determinism suite asserts this).
+///
+/// # Errors
+///
+/// Exactly as [`run_tbpoint`]; a failing representative reports the
+/// error with the lowest recorded representative index.
+pub fn run_tbpoint_plan(
+    run: &KernelRun,
+    profile: &RunProfile,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+    plan: ExecPlan,
+) -> Result<TbpointResult, TbError> {
     cfg.validate()?;
     check_profile(run, profile)?;
     let n_launches = run.launches.len();
     let inter = pick_launches(profile, cfg, n_launches);
     let occupancy = gpu.system_occupancy(&run.kernel);
 
-    // Step 2: simulate each representative with intra-launch sampling.
-    // Representatives are independent launches, so they fan out over
-    // scoped worker threads (each simulation is internally
-    // single-threaded and deterministic; results land in per-rep slots,
-    // so the outcome is identical at any worker count).
-    let workers = cfg
-        .sim_threads
-        .max(1)
-        .min(inter.representatives.len().max(1));
-    let mut rep_results: Vec<Option<RepSim>> = vec![None; inter.representatives.len()];
-    if workers <= 1 {
-        for (slot, &rep) in rep_results.iter_mut().zip(&inter.representatives) {
-            *slot = Some(simulate_rep(
-                run,
-                profile,
-                cfg,
-                gpu,
-                occupancy,
-                rep,
-                &NullRecorder,
-            )?);
-        }
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots = std::sync::Mutex::new(&mut rep_results);
-        // Errors land here keyed by representative index; the lowest
-        // index wins below so the reported error is deterministic at any
-        // worker count. Workers stop pulling work once an error exists.
-        let errors: std::sync::Mutex<Vec<(usize, TbError)>> = std::sync::Mutex::new(Vec::new());
-        let reps = &inter.representatives;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if !errors
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .is_empty()
-                    {
-                        break;
-                    }
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= reps.len() {
-                        break;
-                    }
-                    match simulate_rep(run, profile, cfg, gpu, occupancy, reps[i], &NullRecorder) {
-                        // A poisoned lock means a sibling worker panicked
-                        // while holding it; the slot table is still
-                        // well-formed (each worker writes disjoint
-                        // indices), so keep going and let the scope
-                        // propagate the original panic.
-                        Ok(r) => {
-                            slots
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
-                        }
-                        Err(e) => errors
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push((i, e)),
-                    }
-                });
-            }
-        });
-        let mut errs = errors
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        errs.sort_by_key(|(i, _)| *i);
-        if let Some((_, e)) = errs.into_iter().next() {
-            return Err(e);
-        }
-    }
+    // Step 2: simulate each representative with intra-launch sampling,
+    // scheduled as whole launches across the pool.
+    let plan = plan.normalized();
+    let reps = &inter.representatives;
+    let rep_results = run_indexed(plan.pool_workers, reps.len(), |i| {
+        simulate_rep(
+            run,
+            profile,
+            cfg,
+            gpu,
+            occupancy,
+            plan.sim_jobs,
+            reps[i],
+            &NullRecorder,
+        )
+    })
+    .map_err(|(_, e)| e)?;
 
     Ok(aggregate(run, profile, inter, &rep_results))
 }
@@ -648,8 +611,8 @@ pub fn run_tbpoint(
 /// representative order (ascending launch index within each cluster
 /// pick). Recording is observation-only: the [`TbpointResult`] is
 /// bit-identical to [`run_tbpoint`]'s (the golden determinism test
-/// asserts this). Runs serially — tracing is a diagnostic mode, and a
-/// deterministic trace order is worth more than wall-clock here.
+/// asserts this). Runs serially; use [`run_tbpoint_traced_plan`] to
+/// fan out.
 ///
 /// # Errors
 ///
@@ -660,27 +623,54 @@ pub fn run_tbpoint_traced(
     cfg: &TbpointConfig,
     gpu: &GpuConfig,
 ) -> Result<(TbpointResult, Vec<LaunchTrace>), TbError> {
+    run_tbpoint_traced_plan(run, profile, cfg, gpu, ExecPlan::serial())
+}
+
+/// [`run_tbpoint_traced`] under an explicit [`ExecPlan`].
+///
+/// Tracing composes with the pool: every representative records into
+/// its own [`CollectingRecorder`] created inside its pool job (the
+/// recorder is `Send` but not `Sync`, so recorders are never shared
+/// across workers), and the per-launch [`TraceBundle`]s are merged back
+/// in canonical representative order. Both the result *and* the traces
+/// are therefore bit-identical to the serial run at every worker count.
+///
+/// # Errors
+///
+/// Exactly as [`run_tbpoint`].
+pub fn run_tbpoint_traced_plan(
+    run: &KernelRun,
+    profile: &RunProfile,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+    plan: ExecPlan,
+) -> Result<(TbpointResult, Vec<LaunchTrace>), TbError> {
     cfg.validate()?;
     check_profile(run, profile)?;
     let n_launches = run.launches.len();
     let inter = pick_launches(profile, cfg, n_launches);
     let occupancy = gpu.system_occupancy(&run.kernel);
 
-    let mut rep_results: Vec<Option<RepSim>> = Vec::with_capacity(inter.representatives.len());
-    let mut traces = Vec::with_capacity(inter.representatives.len());
-    for &rep in &inter.representatives {
+    let plan = plan.normalized();
+    let reps = &inter.representatives;
+    let outcomes = run_indexed(plan.pool_workers, reps.len(), |i| {
+        let rep = reps[i];
         let rec = CollectingRecorder::new();
         let span = Span::SimulateLaunch {
             launch: run.launches[rep].launch_id.0,
         };
         rec.span_start(0, span);
-        let r = simulate_rep(run, profile, cfg, gpu, occupancy, rep, &rec)?;
+        let r = simulate_rep(run, profile, cfg, gpu, occupancy, plan.sim_jobs, rep, &rec)?;
         rec.span_end(r.sim_cycles, span);
-        rep_results.push(Some(r));
-        traces.push(LaunchTrace {
-            launch: rep,
-            trace: rec.finish(),
-        });
+        Ok((r, rec.finish()))
+    })
+    .map_err(|(_, e): (usize, TbError)| e)?;
+
+    let mut rep_results = Vec::with_capacity(outcomes.len());
+    let mut traces = Vec::with_capacity(outcomes.len());
+    for (&rep, (r, trace)) in reps.iter().zip(outcomes) {
+        rep_results.push(r);
+        traces.push(LaunchTrace { launch: rep, trace });
     }
 
     Ok((aggregate(run, profile, inter, &rep_results), traces))
@@ -1052,6 +1042,36 @@ mod tests {
                 .counters
                 .iter()
                 .any(|c| c.name == "issued_warp_insts"));
+        }
+    }
+
+    #[test]
+    fn pooled_results_and_traces_are_identical_at_any_worker_count() {
+        // Disable inter-launch sampling so several representatives are
+        // actually simulated and the pool has launches to schedule.
+        let run = homogeneous_run(5, 300);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig {
+            inter_enabled: false,
+            ..Default::default()
+        };
+        let serial = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap();
+        let (serial_traced, serial_traces) =
+            run_tbpoint_traced(&run, &profile, &cfg, &gpu).unwrap();
+        for pool_workers in [1, 2, 4] {
+            let plan = ExecPlan {
+                sim_jobs: 1,
+                pool_workers,
+            };
+            let pooled = run_tbpoint_plan(&run, &profile, &cfg, &gpu, plan).unwrap();
+            assert_eq!(pooled, serial, "pool_workers={pool_workers}");
+            let (traced, traces) =
+                run_tbpoint_traced_plan(&run, &profile, &cfg, &gpu, plan).unwrap();
+            assert_eq!(traced, serial_traced, "pool_workers={pool_workers}");
+            // Canonical-order merge: the trace *streams* are identical
+            // too, not just the results.
+            assert_eq!(traces, serial_traces, "pool_workers={pool_workers}");
         }
     }
 }

@@ -88,6 +88,7 @@ pub fn describe(rule: &str) -> &'static str {
 /// presentation/tooling layers and exempt.
 pub const LIBRARY_CRATES: &[&str] = &[
     "core",
+    "pool",
     "sim",
     "emu",
     "obs",

@@ -118,6 +118,33 @@ pub enum EventKind {
         /// What triggered the fallback.
         reason: DegradeReason,
     },
+
+    // --- execution planning (tbpoint-pool) ---
+    /// A parallelism axis was adjusted while resolving the execution
+    /// plan: the requested worker count was zero or unparseable, so the
+    /// axis fell back to serial. This is the single structured
+    /// replacement for the ad-hoc clamp warnings the CLI used to print
+    /// as free-form stderr text.
+    ExecPlanAdjusted {
+        /// Which parallelism axis was adjusted.
+        axis: PlanAxis,
+        /// The requested worker count (0 when the request did not parse
+        /// as a number at all).
+        requested: u64,
+        /// The worker count actually used.
+        used: u64,
+    },
+}
+
+/// One parallelism axis of the two-axis execution plan (payload of
+/// [`EventKind::ExecPlanAdjusted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanAxis {
+    /// Intra-launch SM sharding (`--jobs` / `TBPOINT_JOBS`).
+    SimJobs,
+    /// Cross-launch pool workers (`--pool-workers` /
+    /// `TBPOINT_POOL_WORKERS`).
+    PoolWorkers,
 }
 
 /// Why the pipeline degraded to detailed simulation (payload of
@@ -156,6 +183,7 @@ impl EventKind {
             EventKind::FastForwardStarted { .. } => "FastForwardStarted",
             EventKind::BlockSkipped { .. } => "BlockSkipped",
             EventKind::DegradedMode { .. } => "DegradedMode",
+            EventKind::ExecPlanAdjusted { .. } => "ExecPlanAdjusted",
         }
     }
 }
@@ -306,6 +334,30 @@ mod tests {
             EventKind::TbDispatched { tb: 0, sm: 0 }.name(),
             "TbDispatched"
         );
+        assert_eq!(
+            EventKind::ExecPlanAdjusted {
+                axis: PlanAxis::SimJobs,
+                requested: 0,
+                used: 1,
+            }
+            .name(),
+            "ExecPlanAdjusted"
+        );
+    }
+
+    #[test]
+    fn exec_plan_adjusted_round_trips_through_jsonl() {
+        let ev = Event {
+            cycle: 0,
+            kind: EventKind::ExecPlanAdjusted {
+                axis: PlanAxis::PoolWorkers,
+                requested: 0,
+                used: 1,
+            },
+        };
+        let line = crate::jsonl::event_line(&ev);
+        let back = crate::jsonl::parse_event(&line).expect("round trip");
+        assert_eq!(back, ev);
     }
 
     #[test]

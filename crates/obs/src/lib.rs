@@ -37,7 +37,9 @@ mod integrity;
 mod jsonl;
 mod recorder;
 
-pub use event::{Counter, DegradeReason, Event, EventKind, GaugeSummary, Span, TraceBundle};
+pub use event::{
+    Counter, DegradeReason, Event, EventKind, GaugeSummary, PlanAxis, Span, TraceBundle,
+};
 pub use integrity::{fnv1a64, seal, verify, TraceError};
 pub use jsonl::{event_line, parse_event};
 pub use recorder::{CollectingRecorder, JsonlRecorder, NullRecorder, Recorder};

@@ -1,0 +1,46 @@
+// Tests assert by panicking on purpose.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+//! # tbpoint-pool
+//!
+//! The deterministic cross-launch job pool and the unified parallelism
+//! API for the TBPoint workspace.
+//!
+//! TBPoint's pipelines are piles of *independent* work items — launches
+//! inside [`run_tbpoint`](../tbpoint_core/predict/fn.run_tbpoint.html),
+//! benchmarks inside a sweep, config points inside an ablation. PR 5's
+//! intra-launch SM sharding showed that fine-grained parallelism pays
+//! heavy coordination rent (par_speedup 0.18–0.74x on a 1-CPU host);
+//! this crate adds the coarse-grained axis: whole launches and whole
+//! sweep units scheduled across worker threads.
+//!
+//! Three pieces:
+//!
+//! * [`runner`] — [`run_indexed`] / [`map_indexed`], a work-stealing
+//!   pool over index-addressed jobs whose output is **bit-identical to
+//!   a serial loop at every worker count** (canonical-order merge:
+//!   results land in per-index slots and are assembled in index order;
+//!   only scheduling order is timing-dependent).
+//! * [`plan`] — [`ExecPlan`]`{ sim_jobs, pool_workers }`, the single
+//!   validated home for every parallelism knob, resolved once with
+//!   precedence CLI > environment > config > auto. Adjustments
+//!   (zero or unparseable requests) surface as structured
+//!   [`tbpoint_obs::EventKind::ExecPlanAdjusted`] events instead of
+//!   free-form stderr prints.
+//! * [`unit`] — the [`SweepUnit`] trait (id, run, serializable output)
+//!   shared by the pool, the crash-safe resume manifest, and the
+//!   future serve layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod runner;
+pub mod unit;
+
+pub use plan::{
+    resolve, resolve_from_env, ExecPlan, PlanInputs, PlanNote, PlanSource, ENV_POOL_WORKERS,
+    ENV_SIM_JOBS,
+};
+pub use runner::{map_indexed, run_indexed};
+pub use unit::SweepUnit;

@@ -1,0 +1,74 @@
+//! The shared sweep-unit abstraction.
+//!
+//! PR 3's resumable sweeps identified units by a `(index, key)` pair
+//! and a computation closure threaded through `run_resumable`. That
+//! closure interface worked for one caller but could not be shared: the
+//! pool needs to schedule units, the resume manifest needs their stable
+//! identity, and the future serve layer needs to accept them over a
+//! wire. [`SweepUnit`] names the contract once:
+//!
+//! * **identity** — [`SweepUnit::id`] keys the crash-safe unit file and
+//!   the manifest entry; it must be unique and stable across runs, or
+//!   `--resume` cannot match completed work.
+//! * **execution** — [`SweepUnit::run`] is `&self` and the unit is
+//!   `Sync`, so the pool may run any subset of units concurrently.
+//! * **serialization** — [`SweepUnit::Output`] round-trips through the
+//!   vendored serde, so a unit's result can be persisted atomically and
+//!   re-read for byte-identical resume assembly.
+//!
+//! Units must be *independent* (no unit reads another's output) and
+//! *deterministic* (same unit → same output bytes); both are what make
+//! pool output bit-identical to serial at every worker count.
+
+use serde::{Deserialize, Serialize};
+
+/// One independent, deterministic, persistable piece of sweep work.
+pub trait SweepUnit: Sync {
+    /// The persisted result payload. Serialization must be
+    /// deterministic (the vendored serde is: field order and float
+    /// rendering are stable), because resume compares bytes.
+    type Output: Serialize + Deserialize + Send;
+
+    /// The failure type reported by [`run`](SweepUnit::run).
+    type Error: Send;
+
+    /// Stable identity: names the unit file and the manifest entry.
+    /// Must be unique within a sweep and identical across runs of the
+    /// same sweep.
+    fn id(&self) -> String;
+
+    /// Execute the unit. Must not depend on other units' results or on
+    /// execution order.
+    fn run(&self) -> Result<Self::Output, Self::Error>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_indexed;
+
+    struct Doubler(usize);
+
+    impl SweepUnit for Doubler {
+        type Output = u64;
+        type Error = String;
+
+        fn id(&self) -> String {
+            format!("double-{}", self.0)
+        }
+
+        fn run(&self) -> Result<u64, String> {
+            Ok(2 * self.0 as u64)
+        }
+    }
+
+    #[test]
+    fn units_schedule_through_the_pool() {
+        let units: Vec<Doubler> = (0..10).map(Doubler).collect();
+        for workers in [1, 2, 4] {
+            let out = run_indexed(workers, units.len(), |i| units[i].run()).unwrap();
+            assert_eq!(out, (0..10).map(|i| 2 * i).collect::<Vec<u64>>());
+        }
+        assert_eq!(units[3].id(), "double-3");
+    }
+}

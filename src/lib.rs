@@ -17,9 +17,10 @@
 //! a SIMT functional profiler ([`emu`]), a cycle-level GPU timing simulator
 //! ([`sim`]), clustering algorithms ([`cluster`]), the Markov-chain warp
 //! interleaving model ([`model`]), the Table-VI benchmark roster
-//! ([`workloads`]), the Random / Ideal-SimPoint baselines ([`baselines`])
-//! and an observability layer of recorders, counters and cycle-stamped
-//! events ([`obs`]).
+//! ([`workloads`]), the Random / Ideal-SimPoint baselines ([`baselines`]),
+//! an observability layer of recorders, counters and cycle-stamped
+//! events ([`obs`]), and a deterministic cross-launch job pool with the
+//! unified [`ExecPlan`](pool::ExecPlan) parallelism API ([`pool`]).
 //!
 //! Pipeline entry points return [`TbError`] instead of panicking; grab
 //! the usual suspects from [`prelude`]:
@@ -44,6 +45,7 @@ pub use tbpoint_emu as emu;
 pub use tbpoint_ir as ir;
 pub use tbpoint_model as model;
 pub use tbpoint_obs as obs;
+pub use tbpoint_pool as pool;
 pub use tbpoint_sim as sim;
 pub use tbpoint_stats as stats;
 pub use tbpoint_workloads as workloads;
@@ -53,12 +55,13 @@ pub use tbpoint_core::TbError;
 /// The names most library users need, in one import.
 pub mod prelude {
     pub use crate::core::{
-        run_tbpoint, run_tbpoint_traced, IntraOutcome, LaunchTrace, RegionSampler,
-        RegionSamplerBuilder, TbError, TbpointConfig, TbpointResult,
+        run_tbpoint, run_tbpoint_plan, run_tbpoint_traced, run_tbpoint_traced_plan, IntraOutcome,
+        LaunchTrace, RegionSampler, RegionSamplerBuilder, TbError, TbpointConfig, TbpointResult,
     };
     pub use crate::emu::{profile_launch, profile_run};
     pub use crate::obs::{
         CollectingRecorder, Event, EventKind, JsonlRecorder, NullRecorder, Recorder, TraceBundle,
     };
+    pub use crate::pool::{ExecPlan, SweepUnit};
     pub use crate::sim::{simulate_launch, simulate_run, GpuConfig};
 }

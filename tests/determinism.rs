@@ -4,8 +4,9 @@
 //! profile-once-simulate-anywhere sound.
 
 use tbpoint::baselines::{collect_units, ideal_simpoint, IdealSimpointConfig};
-use tbpoint::core::predict::{run_tbpoint, TbpointConfig};
+use tbpoint::core::predict::{run_tbpoint, run_tbpoint_plan, TbpointConfig};
 use tbpoint::emu::{profile_launch, profile_run};
+use tbpoint::pool::ExecPlan;
 use tbpoint::sim::{simulate_run, GpuConfig, NullSampling};
 use tbpoint::workloads::{benchmark_by_name, Scale};
 
@@ -56,14 +57,15 @@ fn tbpoint_is_worker_count_invariant() {
     let gpu = GpuConfig::fermi();
     let profile = profile_run(&bench.run, 4);
     let serial = run_tbpoint(&bench.run, &profile, &TbpointConfig::default(), &gpu).unwrap();
-    let parallel = run_tbpoint(
+    let parallel = run_tbpoint_plan(
         &bench.run,
         &profile,
-        &TbpointConfig {
-            sim_threads: 8,
-            ..TbpointConfig::default()
-        },
+        &TbpointConfig::default(),
         &gpu,
+        ExecPlan {
+            sim_jobs: 2,
+            pool_workers: 8,
+        },
     )
     .unwrap();
     assert_eq!(serial, parallel);
