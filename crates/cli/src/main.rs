@@ -13,6 +13,7 @@
 //! tbpoint profile <bench>             save a one-time profile (JSON)
 //! tbpoint faultmatrix [--scale tiny]  fault-injection containment matrix
 //! tbpoint bench  [--quick]            perf baseline (BENCH_PR7.json)
+//! tbpoint serve  [--cache-dir DIR]    long-running JSONL request service
 //! tbpoint all    [--scale dev]        everything above
 //! ```
 //!
@@ -98,6 +99,14 @@ struct Args {
     out: Option<PathBuf>,
     check: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    /// `serve`: request file to process instead of streaming stdin.
+    requests: Option<PathBuf>,
+    /// `serve`: result-cache directory (omit to disable caching).
+    cache_dir: Option<PathBuf>,
+    /// `serve`: bounded-queue depth per batch window.
+    max_pending: usize,
+    /// `serve`: retry count override for transient unit failures.
+    retries: Option<u32>,
 }
 
 /// Print an actionable error and exit non-zero. Every fallible I/O or
@@ -129,6 +138,10 @@ fn parse_args() -> Args {
         out: None,
         check: None,
         baseline: None,
+        requests: None,
+        cache_dir: None,
+        max_pending: 256,
+        retries: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -223,6 +236,34 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 };
                 args.baseline = Some(PathBuf::from(v));
+            }
+            "--requests" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--requests needs a path");
+                    std::process::exit(2);
+                };
+                args.requests = Some(PathBuf::from(v));
+            }
+            "--cache-dir" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--cache-dir needs a path");
+                    std::process::exit(2);
+                };
+                args.cache_dir = Some(PathBuf::from(v));
+            }
+            "--max-pending" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--max-pending needs a positive integer");
+                    std::process::exit(2);
+                };
+                args.max_pending = n;
+            }
+            "--retries" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--retries needs a non-negative integer");
+                    std::process::exit(2);
+                };
+                args.retries = Some(n);
             }
             cmd if args.command.is_empty() && !cmd.starts_with('-') => {
                 args.command = cmd.to_string();
@@ -627,6 +668,73 @@ fn cmd_bench(args: &Args) {
     eprintln!("wrote {}", out_path.display());
 }
 
+/// `tbpoint serve`: the long-running JSONL request service (see
+/// DESIGN.md, "Serve: supervision, deadlines, and the self-healing
+/// cache").
+///
+/// Requests arrive one JSON object per line, in blank-line-delimited
+/// batch windows; each gets exactly one JSON response line, in arrival
+/// order, byte-identical at every `--pool-workers` count. With
+/// `--requests FILE` the file is processed in one pass and the
+/// responses are written to `--out` via the crash-safe atomic writer
+/// (a kill -9 mid-run leaves the previous output intact, never a torn
+/// file) or to stdout; without it the service streams stdin → stdout
+/// until EOF or a `shutdown` request drains. A final counters line on
+/// stderr reports the admission/retry/deadline/cache traffic — the CI
+/// drill greps it to prove cache reuse across a restart.
+fn cmd_serve(args: &Args) {
+    use tbpoint_serve::{RetryPolicy, ServeOptions, Service};
+    let retry = RetryPolicy {
+        max_retries: args.retries.unwrap_or(RetryPolicy::default().max_retries),
+        ..RetryPolicy::default()
+    };
+    let opts = ServeOptions {
+        plan: args.plan,
+        max_pending: args.max_pending,
+        retry,
+        cache_dir: args.cache_dir.clone(),
+        ..ServeOptions::default()
+    };
+    let mut svc = Service::new(opts).unwrap_or_else(|e| die("opening the serve result cache", e));
+    let rec = tbpoint_obs::NullRecorder;
+
+    if let Some(reqs) = &args.requests {
+        let text = std::fs::read_to_string(reqs)
+            .unwrap_or_else(|e| die(&format!("reading requests {}", reqs.display()), e));
+        let responses = tbpoint_serve::process_text(&mut svc, &text, &rec);
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = output::write_atomic(path, responses.as_bytes()) {
+                    die(&format!("writing responses {}", path.display()), e);
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            None => print!("{responses}"),
+        }
+    } else {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout();
+        if let Err(e) = tbpoint_serve::run_loop(&mut svc, stdin.lock(), &mut stdout, &rec) {
+            die("serve request loop", e);
+        }
+    }
+
+    let c = svc.counters();
+    eprintln!(
+        "serve: admitted={} rejected={} retried={} deadline_exceeded={} \
+         cache_hits={} cache_quarantined={} cache_stores={} completed_ok={} failed={}",
+        c.admitted,
+        c.rejected,
+        c.retried,
+        c.deadline_exceeded,
+        c.cache_hits,
+        c.cache_quarantined,
+        c.cache_stores,
+        c.completed_ok,
+        c.failed
+    );
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -785,6 +893,7 @@ fn main() {
             println!("all faults contained: no panics, no silently accepted corruption");
         }
         "bench" => cmd_bench(&args),
+        "serve" => cmd_serve(&args),
         "all" => {
             println!("Table VI\n{}", experiments::table6(args.scale));
             cmd_fig5(&args);
@@ -800,10 +909,11 @@ fn main() {
         }
         "" => {
             eprintln!(
-                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|bench|all> \
+                "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|bench|serve|all> \
                  [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE] \
                  [--resume] [--max-units K] [--cycle-budget N] [--jobs N] [--pool-workers N] \
-                 [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE] [--counts-out FILE]"
+                 [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE] [--counts-out FILE] \
+                 [--requests FILE] [--cache-dir DIR] [--max-pending N] [--retries N]"
             );
             std::process::exit(2);
         }

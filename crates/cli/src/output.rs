@@ -2,7 +2,6 @@
 //! `--trace-out` JSON-lines sink and its on-screen summary.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::Path;
 use tbpoint_obs::{EventKind, TraceBundle};
 
@@ -40,26 +39,16 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Write bytes crash-safely: create the parent, write a hidden
-/// `.<name>.tmp` sibling, fsync it, then atomically rename it over the
-/// destination. A crash at any point leaves either the old file or the
+/// `.<name>.tmp` sibling, fsync it, atomically rename it over the
+/// destination, then fsync the parent directory so the rename itself
+/// is durable. A crash at any point leaves either the old file or the
 /// new file — never a torn artifact (the invariant the `--resume`
-/// machinery in [`crate::sweep`] depends on).
+/// machinery in [`crate::sweep`] depends on). The canonical
+/// implementation lives in [`tbpoint_obs::write_atomic`] so the serve
+/// cache and the sweep machinery share one crash-consistency story;
+/// this re-export keeps the CLI's historical call sites working.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let Some(name) = path.file_name() else {
-        return Err(std::io::Error::other(format!(
-            "cannot write {}: path has no file name",
-            path.display()
-        )));
-    };
-    let tmp = path.with_file_name(format!(".{}.tmp", name.to_string_lossy()));
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)
+    tbpoint_obs::write_atomic(path, bytes)
 }
 
 /// Write a CSV file (quotes are not needed for our numeric content).

@@ -99,6 +99,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "model",
     "ir",
     "resilience",
+    "serve",
 ];
 
 /// Crates where float `==`/`!=` on distances/features is NaN-hazardous.

@@ -134,6 +134,48 @@ pub enum EventKind {
         /// The worker count actually used.
         used: u64,
     },
+
+    // --- request service (tbpoint-serve) ---
+    // Requests are identified by their arrival sequence number (`seq`),
+    // not their caller-chosen id string: event payloads stay `Copy`.
+    /// A request passed admission control and was queued for execution.
+    RequestAdmitted {
+        /// Arrival sequence number within the service run.
+        seq: u64,
+    },
+    /// A request was load-shed at admission (bounded queue full). The
+    /// caller still gets a structured `rejected` response — rejection
+    /// is never a silent drop.
+    RequestRejected {
+        /// Arrival sequence number within the service run.
+        seq: u64,
+    },
+    /// A request's unit failed transiently (worker panic contained by
+    /// the pool) and was re-run under the deterministic retry policy.
+    RequestRetried {
+        /// Arrival sequence number within the service run.
+        seq: u64,
+        /// Which re-attempt this is (1 = first retry).
+        attempt: u32,
+    },
+    /// A request exceeded its cycle budget and was answered with a
+    /// structured deadline error instead of a result.
+    DeadlineExceeded {
+        /// Arrival sequence number within the service run.
+        seq: u64,
+    },
+    /// A request was answered from the content-addressed result cache.
+    CacheHit {
+        /// Arrival sequence number within the service run.
+        seq: u64,
+    },
+    /// A cache entry failed its checksum re-verification on read and
+    /// was quarantined (renamed aside) before recomputation — corrupt
+    /// bytes are never deserialized into a response.
+    CacheQuarantined {
+        /// Arrival sequence number within the service run.
+        seq: u64,
+    },
 }
 
 /// One parallelism axis of the two-axis execution plan (payload of
@@ -184,6 +226,12 @@ impl EventKind {
             EventKind::BlockSkipped { .. } => "BlockSkipped",
             EventKind::DegradedMode { .. } => "DegradedMode",
             EventKind::ExecPlanAdjusted { .. } => "ExecPlanAdjusted",
+            EventKind::RequestAdmitted { .. } => "RequestAdmitted",
+            EventKind::RequestRejected { .. } => "RequestRejected",
+            EventKind::RequestRetried { .. } => "RequestRetried",
+            EventKind::DeadlineExceeded { .. } => "DeadlineExceeded",
+            EventKind::CacheHit { .. } => "CacheHit",
+            EventKind::CacheQuarantined { .. } => "CacheQuarantined",
         }
     }
 }
@@ -343,6 +391,25 @@ mod tests {
             .name(),
             "ExecPlanAdjusted"
         );
+    }
+
+    #[test]
+    fn serve_events_round_trip_through_jsonl() {
+        let kinds = [
+            EventKind::RequestAdmitted { seq: 7 },
+            EventKind::RequestRejected { seq: 8 },
+            EventKind::RequestRetried { seq: 7, attempt: 2 },
+            EventKind::DeadlineExceeded { seq: 9 },
+            EventKind::CacheHit { seq: 10 },
+            EventKind::CacheQuarantined { seq: 11 },
+        ];
+        for kind in kinds {
+            let ev = Event { cycle: 0, kind };
+            let line = crate::jsonl::event_line(&ev);
+            let back = crate::jsonl::parse_event(&line).expect("round trip");
+            assert_eq!(back, ev, "{}", kind.name());
+            assert!(!kind.name().is_empty());
+        }
     }
 
     #[test]

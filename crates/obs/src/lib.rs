@@ -35,6 +35,7 @@
 mod event;
 mod integrity;
 mod jsonl;
+mod persist;
 mod recorder;
 
 pub use event::{
@@ -42,4 +43,5 @@ pub use event::{
 };
 pub use integrity::{fnv1a64, seal, verify, TraceError};
 pub use jsonl::{event_line, parse_event};
+pub use persist::{clean_stale_tmps, is_stale_tmp, write_atomic};
 pub use recorder::{CollectingRecorder, JsonlRecorder, NullRecorder, Recorder};

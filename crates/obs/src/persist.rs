@@ -1,0 +1,201 @@
+//! Crash-safe artifact persistence: atomic tmp+fsync+rename writes.
+//!
+//! Every durable artifact in the workspace — sweep unit files, sealed
+//! manifests, serve cache entries, bench baselines — goes through
+//! [`write_atomic`]. The protocol:
+//!
+//! 1. create the parent directory;
+//! 2. write a hidden `.<name>.tmp` sibling and `fsync` it;
+//! 3. atomically `rename` it over the destination;
+//! 4. `fsync` the **parent directory**, so the rename itself (a
+//!    directory-entry update) is durable — without step 4 a power loss
+//!    after the rename can still roll the directory back to the old
+//!    entry, or to no entry at all for a fresh file.
+//!
+//! A crash between steps 2 and 3 leaves a stale `.<name>.tmp` behind.
+//! Readers must never parse those: [`is_stale_tmp`] identifies them and
+//! [`clean_stale_tmps`] sweeps a directory on startup (the serve cache
+//! and the sweep resume loader both do).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The hidden sibling [`write_atomic`] stages into: `.<name>.tmp`.
+fn tmp_sibling(path: &Path, name: &std::ffi::OsStr) -> PathBuf {
+    path.with_file_name(format!(".{}.tmp", name.to_string_lossy()))
+}
+
+/// Flush a directory's entry table to disk. Directory fds are a
+/// unix-ism; elsewhere the rename is as durable as the platform makes
+/// it.
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// Write bytes crash-safely: create the parent, write a hidden
+/// `.<name>.tmp` sibling, fsync it, atomically rename it over the
+/// destination, then fsync the parent directory so the rename is
+/// durable. A crash at any point leaves either the old file or the new
+/// file — never a torn artifact — plus possibly a stale `.tmp` sibling,
+/// which readers ignore (see [`is_stale_tmp`]).
+///
+/// # Errors
+///
+/// Any I/O error from the steps above; a path with no file name is
+/// rejected.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let Some(name) = path.file_name() else {
+        return Err(std::io::Error::other(format!(
+            "cannot write {}: path has no file name",
+            path.display()
+        )));
+    };
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            std::fs::create_dir_all(p)?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let tmp = tmp_sibling(path, name);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = parent {
+        sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Whether a file name is a staging sibling left by an interrupted
+/// [`write_atomic`] (hidden, `.tmp`-suffixed). Readers that scan a
+/// directory must skip these — they are possibly-torn bytes that were
+/// never committed.
+pub fn is_stale_tmp(name: &str) -> bool {
+    name.starts_with('.') && name.ends_with(".tmp")
+}
+
+/// Remove stale [`write_atomic`] staging files from `dir`, returning
+/// the removed paths (sorted, for deterministic reporting). Call on
+/// startup before trusting a directory of durable artifacts. A missing
+/// directory cleans nothing.
+///
+/// # Errors
+///
+/// I/O errors from listing or removing, except `NotFound` on the
+/// directory itself.
+pub fn clean_stale_tmps(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut removed = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if is_stale_tmp(&name.to_string_lossy()) && entry.file_type()?.is_file() {
+            std::fs::remove_file(entry.path())?;
+            removed.push(entry.path());
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Fresh scratch directory per test (std-only; no tempfile crate).
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tbpoint_persist_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_without_leftovers() {
+        let dir = scratch("basic");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"{\"v\":1}").expect("first write");
+        write_atomic(&path, b"{\"v\":2}").expect("overwrite");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"{\"v\":2}");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("list")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["artifact.json"], "no staging files remain");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn creates_missing_parents() {
+        let dir = scratch("parents");
+        let path = dir.join("a/b/c.txt");
+        write_atomic(&path, b"deep").expect("write with missing parents");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"deep");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_from_pre_rename_crash_is_cleaned_not_parsed() {
+        // Simulate a crash between the tmp fsync and the rename: the
+        // destination never appeared, only the hidden staging sibling —
+        // holding torn bytes that must never be read as an artifact.
+        let dir = scratch("crash");
+        let stale = dir.join(".entry.json.tmp");
+        std::fs::write(&stale, b"{\"torn\":").expect("plant stale tmp");
+
+        assert!(is_stale_tmp(".entry.json.tmp"));
+        assert!(!is_stale_tmp("entry.json"));
+        assert!(!is_stale_tmp(".hidden-but-not-tmp"));
+        assert!(!is_stale_tmp("archive.tmp")); // not our hidden staging shape
+
+        let removed = clean_stale_tmps(&dir).expect("clean");
+        assert_eq!(removed, vec![stale.clone()]);
+        assert!(!stale.exists(), "stale tmp swept");
+        assert!(
+            !dir.join("entry.json").exists(),
+            "never promoted to artifact"
+        );
+
+        // Idempotent, and a missing dir is fine.
+        assert!(clean_stale_tmps(&dir).expect("re-clean").is_empty());
+        assert!(clean_stale_tmps(&dir.join("nope"))
+            .expect("missing dir")
+            .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_spares_real_artifacts() {
+        let dir = scratch("spare");
+        write_atomic(&dir.join("keep.json"), b"{}").expect("write artifact");
+        std::fs::write(dir.join(".gone.json.tmp"), b"x").expect("plant stale tmp");
+        let removed = clean_stale_tmps(&dir).expect("clean");
+        assert_eq!(removed.len(), 1);
+        assert!(dir.join("keep.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_path_without_file_name() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

@@ -20,7 +20,10 @@
 //!   pool over index-addressed jobs whose output is **bit-identical to
 //!   a serial loop at every worker count** (canonical-order merge:
 //!   results land in per-index slots and are assembled in index order;
-//!   only scheduling order is timing-dependent).
+//!   only scheduling order is timing-dependent); plus
+//!   [`run_supervised`], the service-grade variant that contains a
+//!   panicking unit to its own index ([`UnitError::Panicked`]) while
+//!   the pool keeps draining.
 //! * [`plan`] — [`ExecPlan`]`{ sim_jobs, pool_workers }`, the single
 //!   validated home for every parallelism knob, resolved once with
 //!   precedence CLI > environment > config > auto. Adjustments
@@ -42,5 +45,5 @@ pub use plan::{
     resolve, resolve_from_env, ExecPlan, PlanInputs, PlanNote, PlanSource, ENV_POOL_WORKERS,
     ENV_SIM_JOBS,
 };
-pub use runner::{map_indexed, run_indexed};
+pub use runner::{map_indexed, run_indexed, run_supervised, UnitError};
 pub use unit::SweepUnit;

@@ -24,6 +24,7 @@
 //! CI compares — is always complete and canonical.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -196,6 +197,71 @@ where
     }
 }
 
+/// How one supervised unit failed (payload of [`run_supervised`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitError<E> {
+    /// The unit panicked; the payload message was captured and the
+    /// panic contained to this index — the pool kept draining.
+    Panicked(String),
+    /// The unit returned its ordinary error.
+    Failed(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for UnitError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitError::Panicked(msg) => write!(f, "unit panicked: {msg}"),
+            UnitError::Failed(e) => e.fmt(f),
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (the common `&str` / `String`
+/// shapes; anything else gets a fixed label so messages stay
+/// deterministic).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_indexed`] with worker supervision: every unit runs under
+/// [`std::panic::catch_unwind`], so a panicking unit yields
+/// [`UnitError::Panicked`] **for its index only** while the pool keeps
+/// draining — no stop flag, no escaped panic, every index completes.
+/// Results come back as one per-index `Result` in canonical order,
+/// bit-identical to the serial loop at every worker count (which
+/// failure *set* you see is not timing-dependent, unlike
+/// [`run_indexed`]'s stop-early semantics).
+///
+/// The `AssertUnwindSafe` is justified by the pool's own contract: a
+/// unit sees only its index and writes only its own slot, so a sibling
+/// panic cannot expose torn state to the remaining units.
+///
+/// This is the service-layer entry point: a long-running daemon must
+/// contain a poisoned request without dropping the rest of the batch,
+/// and needs the full per-index outcome vector to retry transient
+/// failures deterministically.
+// tbpoint-phase: coordinator
+pub fn run_supervised<T, E, F>(workers: usize, n: usize, job: F) -> Vec<Result<T, UnitError<E>>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    map_indexed(workers, n, |i| {
+        match catch_unwind(AssertUnwindSafe(|| job(i))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(UnitError::Failed(e)),
+            Err(payload) => Err(UnitError::Panicked(panic_message(payload))),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +334,68 @@ mod tests {
         // In-flight jobs may finish, but the stop flag prevents the
         // remaining ~998 from starting.
         assert!(started.load(Ordering::Relaxed) < 1000);
+    }
+
+    #[test]
+    fn supervised_contains_a_panic_to_its_index() {
+        for workers in [1, 2, 4] {
+            let out = run_supervised::<_, String, _>(workers, 12, |i| {
+                if i == 5 {
+                    panic!("unit 5 exploded");
+                }
+                Ok(skewed(i))
+            });
+            assert_eq!(out.len(), 12, "workers={workers}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    assert_eq!(
+                        r,
+                        &Err(UnitError::Panicked("unit 5 exploded".to_string())),
+                        "workers={workers}"
+                    );
+                } else {
+                    assert_eq!(r, &Ok(skewed(i)), "workers={workers} index {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_keeps_ordinary_errors_and_completes_every_index() {
+        // Mixed panics and plain errors: unlike run_indexed there is no
+        // stop flag, so the outcome vector is a pure function of the
+        // job — identical at every worker count.
+        let expect: Vec<Result<usize, UnitError<String>>> = (0..30)
+            .map(|i| {
+                if i % 11 == 4 {
+                    Err(UnitError::Panicked(format!("boom {i}")))
+                } else if i % 7 == 2 {
+                    Err(UnitError::Failed(format!("fail {i}")))
+                } else {
+                    Ok(i * 3)
+                }
+            })
+            .collect();
+        for workers in [1, 3, 8] {
+            let out = run_supervised(workers, 30, |i| {
+                if i % 11 == 4 {
+                    panic!("boom {i}");
+                } else if i % 7 == 2 {
+                    Err(format!("fail {i}"))
+                } else {
+                    Ok(i * 3)
+                }
+            });
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn unit_error_displays_both_shapes() {
+        let p: UnitError<String> = UnitError::Panicked("kaboom".into());
+        assert_eq!(p.to_string(), "unit panicked: kaboom");
+        let f: UnitError<String> = UnitError::Failed("plain".into());
+        assert_eq!(f.to_string(), "plain");
     }
 
     #[test]

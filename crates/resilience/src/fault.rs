@@ -65,6 +65,11 @@ pub enum Fault {
     /// Delete a seeded byte range spanning a record boundary, splicing
     /// two records into one malformed line.
     SpliceTrace,
+    /// Panic inside a seeded unit scheduled on the supervised job pool.
+    /// The pool must contain it: that index alone reports
+    /// `UnitError::Panicked`, every other index completes, and the
+    /// assembled outcome is identical at every worker count.
+    PanicInUnit,
 }
 
 impl Fault {
@@ -78,16 +83,33 @@ impl Fault {
             Fault::TruncateTrace => "truncate-trace",
             Fault::BitFlipTrace => "bit-flip-trace",
             Fault::SpliceTrace => "splice-trace",
+            Fault::PanicInUnit => "panic-in-unit",
         }
     }
 
-    /// Whether this fault perturbs a [`RunProfile`] (as opposed to a
-    /// serialized trace bundle).
+    /// Whether this fault perturbs a [`RunProfile`].
     pub fn is_profile_fault(&self) -> bool {
-        !matches!(
+        matches!(
+            self,
+            Fault::StallJitter { .. }
+                | Fault::DropEpochs { .. }
+                | Fault::DuplicateEpochs { .. }
+                | Fault::FeatureNoise { .. }
+        )
+    }
+
+    /// Whether this fault damages a serialized trace bundle.
+    pub fn is_trace_fault(&self) -> bool {
+        matches!(
             self,
             Fault::TruncateTrace | Fault::BitFlipTrace | Fault::SpliceTrace
         )
+    }
+
+    /// Whether this fault attacks the job pool's worker supervision
+    /// (rather than an input artifact).
+    pub fn is_pool_fault(&self) -> bool {
+        matches!(self, Fault::PanicInUnit)
     }
 
     /// The default matrix roster: every fault kind once, at magnitudes
@@ -102,6 +124,7 @@ impl Fault {
             Fault::TruncateTrace,
             Fault::BitFlipTrace,
             Fault::SpliceTrace,
+            Fault::PanicInUnit,
         ]
     }
 }
@@ -128,7 +151,7 @@ fn jitter_factor(coords: &[u64], magnitude: f64) -> f64 {
 /// truncate: `n` comes from an in-memory collection's length, so the
 /// result fits `usize`.
 #[allow(clippy::cast_possible_truncation)]
-fn seeded_index(coords: &[u64], n: usize) -> usize {
+pub(crate) fn seeded_index(coords: &[u64], n: usize) -> usize {
     tbpoint_stats::unit_index(coords, n as u64) as usize
 }
 
@@ -199,7 +222,7 @@ pub fn inject_profile(profile: &mut RunProfile, fault: Fault, seed: u64) {
                 lp.tbs = out;
             }
         }
-        Fault::TruncateTrace | Fault::BitFlipTrace | Fault::SpliceTrace => {}
+        Fault::TruncateTrace | Fault::BitFlipTrace | Fault::SpliceTrace | Fault::PanicInUnit => {}
     }
 }
 

@@ -19,6 +19,7 @@ use tbpoint_core::{run_tbpoint, run_tbpoint_traced, TbpointConfig};
 use tbpoint_emu::{profile_run, RunProfile};
 use tbpoint_ir::KernelRun;
 use tbpoint_obs::TraceBundle;
+use tbpoint_pool::{run_supervised, UnitError};
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
 
 /// What one matrix cell did with its fault.
@@ -214,6 +215,68 @@ fn trace_cell(sealed: &str, fault: Fault, seed: u64) -> Outcome {
     }
 }
 
+/// Run one pool-fault cell: schedule a batch of units on the
+/// *supervised* pool with two seeded units rigged to panic, at several
+/// worker counts, and classify the containment. The contract:
+///
+/// * no panic escapes the pool (else [`Outcome::Panicked`]);
+/// * exactly the rigged indices report [`UnitError::Panicked`] with the
+///   injected message, **every other index completes** with the correct
+///   value, and the outcome vector is identical at every worker count —
+///   then the cell is [`Outcome::GracefulError`] carrying the
+///   *lowest* failed index (the workspace's error-reporting rule);
+/// * anything else — a lost panic, a wrong sibling value, a
+///   worker-count-dependent outcome — is [`Outcome::SilentlyAccepted`].
+///
+/// The cell is a pure function of the seed (it ignores the benchmark:
+/// the pool under attack schedules synthetic units, not profiles).
+fn pool_cell(seed: u64) -> Outcome {
+    const UNITS: usize = 16;
+    let bad_a = crate::fault::seeded_index(&[seed, 20], UNITS);
+    let bad_b = crate::fault::seeded_index(&[seed, 21], UNITS);
+    let is_bad = |i: usize| i == bad_a || i == bad_b;
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_supervised::<u64, String, _>(workers, UNITS, |i| {
+                if is_bad(i) {
+                    // The fault under test: a deliberate unit panic the
+                    // supervised pool must contain.
+                    // tbpoint-lint: allow(no-panic-in-library)
+                    panic!("injected unit panic");
+                }
+                Ok(i as u64 * 3)
+            })
+        }));
+        match run {
+            Err(p) => return Outcome::Panicked(panic_msg(p)),
+            Ok(results) => runs.push(results),
+        }
+    }
+
+    let contained = runs.iter().all(|results| {
+        results.len() == UNITS
+            && results.iter().enumerate().all(|(i, r)| match r {
+                Ok(v) => !is_bad(i) && *v == i as u64 * 3,
+                Err(UnitError::Panicked(msg)) => is_bad(i) && msg == "injected unit panic",
+                Err(UnitError::Failed(_)) => false,
+            })
+    });
+    let identical = runs.windows(2).all(|w| w[0] == w[1]);
+    if contained && identical {
+        let lowest = bad_a.min(bad_b);
+        Outcome::GracefulError(format!(
+            "unit {lowest} panicked: injected unit panic ({}/{UNITS} units completed)",
+            UNITS - if bad_a == bad_b { 1 } else { 2 }
+        ))
+    } else {
+        // A lost panic or a timing-dependent outcome is exactly the
+        // silent-damage class the matrix exists to keep at zero.
+        Outcome::SilentlyAccepted
+    }
+}
+
 /// Run the full fault matrix over the given named workloads.
 ///
 /// Per benchmark this profiles once, runs one full simulation (the IPC
@@ -257,6 +320,8 @@ pub fn run_fault_matrix(runs: &[(String, KernelRun)], opts: &MatrixOptions) -> M
             for &seed in &opts.seeds {
                 let outcome = if fault.is_profile_fault() {
                     profile_cell(run, &profile, full_ipc, fault, seed, opts)
+                } else if fault.is_pool_fault() {
+                    pool_cell(seed)
                 } else {
                     trace_cell(&sealed, fault, seed)
                 };

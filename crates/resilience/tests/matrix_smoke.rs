@@ -82,11 +82,25 @@ fn full_matrix_contains_every_fault() {
             );
         }
         // Every trace fault must be rejected.
-        if !cell.fault.is_profile_fault() {
+        if cell.fault.is_trace_fault() {
             assert!(
                 matches!(cell.outcome, Outcome::Rejected(_)),
                 "trace fault not rejected: {cell:?}"
             );
+        }
+        // Every pool fault must be contained: the panicking indices
+        // report a graceful per-index error, everything else completes
+        // (lowest-index reporting preserved), at every worker count.
+        if cell.fault.is_pool_fault() {
+            match &cell.outcome {
+                Outcome::GracefulError(msg) => {
+                    assert!(
+                        msg.starts_with("unit ") && msg.contains("panicked"),
+                        "pool containment message malformed: {msg}"
+                    );
+                }
+                other => panic!("pool fault not contained: {other:?}"),
+            }
         }
     }
 

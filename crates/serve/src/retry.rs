@@ -1,0 +1,79 @@
+//! Deterministic bounded retry with seeded backoff.
+//!
+//! The PR 3 fault taxonomy splits failures into *transient* (a worker
+//! panic contained by the supervised pool — the unit saw torn ambient
+//! state or an injected fault, and an identical re-run can succeed)
+//! and *permanent* (every [`TbError`](tbpoint_core::TbError): invalid
+//! config, profile mismatch, cycle-budget overrun — re-running cannot
+//! change a pure function's answer). The service retries only the
+//! transient class.
+//!
+//! Backoff durations are a pure function of `(seed, request seq,
+//! attempt)` through the stateless [`tbpoint_stats`] mixers — no RNG
+//! state, no wall clock — so a failing schedule replays exactly.
+//! Sleeping affects *when* a retry runs, never *what* it computes: the
+//! response bytes stay identical whether the backoff is 1ms or an hour.
+
+/// Retry shape for transient unit failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first try (0 disables retry).
+    pub max_retries: u32,
+    /// Seed for the backoff jitter stream.
+    pub seed: u64,
+    /// Upper bound on one backoff sleep, milliseconds. Kept small by
+    /// default: the pool has already contained the failure, so backoff
+    /// is pacing, not damage control.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            seed: 0x5EED,
+            max_backoff_ms: 20,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff before re-attempt `attempt` (1-based) of
+    /// the request with arrival number `seq`: exponential base doubled
+    /// per attempt, jittered by the seeded mixer, capped at
+    /// [`RetryPolicy::max_backoff_ms`].
+    pub fn backoff_ms(&self, seq: u64, attempt: u32) -> u64 {
+        if self.max_backoff_ms == 0 {
+            return 0;
+        }
+        let base = 1u64 << attempt.min(16);
+        let jitter = tbpoint_stats::unit_index(&[self.seed, seq, u64::from(attempt)], base);
+        (base + jitter).min(self.max_backoff_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let p = RetryPolicy::default();
+        for seq in 0..4u64 {
+            for attempt in 1..4u32 {
+                let a = p.backoff_ms(seq, attempt);
+                assert_eq!(a, p.backoff_ms(seq, attempt), "replays exactly");
+                assert!(a <= p.max_backoff_ms);
+            }
+        }
+        // Different seeds move the jitter.
+        let q = RetryPolicy { seed: 7, ..p };
+        assert!((0..32u64).any(|s| p.backoff_ms(s, 1) != q.backoff_ms(s, 1)));
+        // Zero cap means no sleeping at all (the test configuration).
+        let z = RetryPolicy {
+            max_backoff_ms: 0,
+            ..p
+        };
+        assert_eq!(z.backoff_ms(3, 2), 0);
+    }
+}

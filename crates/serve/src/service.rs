@@ -1,0 +1,584 @@
+//! The request loop: admission control, supervised scheduling,
+//! deadlines, retry, cache, and drain-then-exit shutdown.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//!            ┌──────────┐ queue full ┌──────────┐
+//! parsed ──▶ │ ADMITTED │───────────▶│ REJECTED │ (structured response,
+//!            └────┬─────┘            └──────────┘  never a silent drop)
+//!                 │ work (simulate/eval)
+//!                 ▼
+//!            ┌──────────┐  hit  ┌─────────┐
+//!            │  CACHE   │──────▶│ SERVED  │ (bytes identical to computed)
+//!            └────┬─────┘       └─────────┘
+//!   miss / quarantined
+//!                 ▼
+//!            ┌──────────┐ panic (transient) ┌─────────┐ retries left
+//!            │ COMPUTE  │──────────────────▶│ RETRIED │──▶ COMPUTE
+//!            └────┬─────┘                   └────┬────┘
+//!                 │                              │ exhausted
+//!        ok ▼     │ TbError (permanent)          ▼
+//!     ┌────────┐  ▼                         ┌────────┐
+//!     │ SERVED │ ┌────────────────────┐     │ FAILED │
+//!     └────────┘ │ FAILED / DEADLINE- │     └────────┘
+//!                │ EXCEEDED           │
+//!                └────────────────────┘
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Responses are a pure function of the request lines: work fans out on
+//! the supervised pool ([`tbpoint_pool::run_supervised`]) whose outcome
+//! vector is index-canonical at every worker count; retry membership is
+//! derived from that vector; cache hits deserialize exactly the bytes a
+//! fresh computation would produce; obs events are recorded on the
+//! coordinator thread in arrival order. The contract suite asserts
+//! byte-identical responses across `--pool-workers 1/2/4` and across a
+//! kill-and-restart cycle.
+//!
+//! The single deliberate exception is the optional per-request
+//! `wall_budget_ms` guardrail — wall clocks are not deterministic, so
+//! it is consulted only between retry rounds (a request that already
+//! produced a result is never revoked) and contract tests never set it.
+
+use crate::cache::{cache_name, key_text, Lookup, ResultCache};
+use crate::proto::{
+    parse_request, Command, EvalSummary, InjectedFault, Request, Response, SimSummary,
+    StatusReport, WorkBody,
+};
+use crate::retry::RetryPolicy;
+use std::path::PathBuf;
+use tbpoint_core::{run_tbpoint_plan, TbError, TbpointConfig};
+use tbpoint_emu::profile_run;
+use tbpoint_obs::{EventKind, Recorder};
+use tbpoint_pool::{run_supervised, ExecPlan, UnitError};
+use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
+use tbpoint_workloads::benchmark_by_name;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Execution plan; work requests fan out across
+    /// `plan.pool_workers`, each running with the unit-level plan.
+    pub plan: ExecPlan,
+    /// Simulated GPU (default: the paper's Fermi, Table V).
+    pub gpu: GpuConfig,
+    /// Baseline pipeline config requests override per-field. The
+    /// default enables a warming budget so a destabilised region
+    /// degrades instead of warming forever — a service must bound
+    /// every request.
+    pub config: TbpointConfig,
+    /// Bounded-queue depth per batch window; arrivals beyond it are
+    /// load-shed with a structured `rejected` response.
+    pub max_pending: usize,
+    /// Transient-failure retry shape.
+    pub retry: RetryPolicy,
+    /// Result-cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            plan: ExecPlan::serial(),
+            gpu: GpuConfig::fermi(),
+            config: TbpointConfig {
+                warming_budget: Some(32),
+                ..TbpointConfig::default()
+            },
+            max_pending: 256,
+            retry: RetryPolicy::default(),
+            cache_dir: None,
+        }
+    }
+}
+
+/// What one work unit produced, with the cache-path facts the
+/// coordinator turns into obs events (units must not touch the shared
+/// recorder: events are recorded in arrival order on the coordinator).
+struct WorkDone {
+    body: Result<WorkBody, TbError>,
+    cache_hit: bool,
+    quarantined: bool,
+    stored: bool,
+}
+
+/// The long-running request service.
+pub struct Service {
+    opts: ServeOptions,
+    cache: Option<ResultCache>,
+    counters: StatusReport,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+impl Service {
+    /// Build a service, opening (and crash-sweeping) the cache
+    /// directory when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the cache directory.
+    pub fn new(opts: ServeOptions) -> std::io::Result<Self> {
+        let cache = match &opts.cache_dir {
+            Some(dir) => Some(ResultCache::open(dir)?.0),
+            None => None,
+        };
+        Ok(Service {
+            opts,
+            cache,
+            counters: StatusReport::default(),
+            next_seq: 0,
+            shutdown: false,
+        })
+    }
+
+    /// Counters so far (also the `status` payload).
+    pub fn counters(&self) -> &StatusReport {
+        &self.counters
+    }
+
+    /// Whether a `shutdown` request has been drained.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Process one batch window of request lines and return their
+    /// responses in arrival order. See the module docs for the
+    /// lifecycle and determinism contract.
+    pub fn run_batch(&mut self, lines: &[String], rec: &impl Recorder) -> Vec<Response> {
+        // Parse, assigning arrival numbers; a malformed line consumes
+        // its seq and admission slot like any other arrival.
+        let parsed: Vec<(u64, Result<Request, String>)> = lines
+            .iter()
+            .map(|line| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                (seq, parse_request(line, seq))
+            })
+            .collect();
+
+        // Admission control: at most `max_pending` arrivals enter this
+        // batch window; the overflow is load-shed, deterministically by
+        // arrival order, each with a structured response.
+        let mut responses: Vec<Option<Response>> = vec![None; parsed.len()];
+        let mut admitted: Vec<(usize, Request)> = Vec::new();
+        for (slot, (seq, result)) in parsed.into_iter().enumerate() {
+            if slot >= self.opts.max_pending {
+                self.counters.rejected += 1;
+                rec.record(0, EventKind::RequestRejected { seq });
+                let (id, cmd, bench) = match &result {
+                    Ok(r) => (r.id.clone(), r.cmd.name(), r.bench.clone()),
+                    Err(_) => (seq.to_string(), "", String::new()),
+                };
+                let mut resp = Response::empty(id, seq, "rejected", cmd, &bench);
+                resp.error = format!(
+                    "queue full: batch window holds {} requests",
+                    self.opts.max_pending
+                );
+                responses[slot] = Some(resp);
+                continue;
+            }
+            match result {
+                Ok(req) => {
+                    self.counters.admitted += 1;
+                    rec.record(0, EventKind::RequestAdmitted { seq });
+                    if req.cmd == Command::Shutdown {
+                        self.shutdown = true;
+                    }
+                    admitted.push((slot, req));
+                }
+                Err(msg) => {
+                    let mut resp = Response::empty(seq.to_string(), seq, "error", "", "");
+                    resp.error = msg;
+                    responses[slot] = Some(resp);
+                }
+            }
+        }
+
+        // Schedule the work requests on the supervised pool, with
+        // deterministic bounded retry for contained panics.
+        let mut work: Vec<&Request> = Vec::new();
+        let mut work_slots: Vec<usize> = Vec::new();
+        for (slot, req) in &admitted {
+            if matches!(req.cmd, Command::Simulate | Command::Eval) {
+                work.push(req);
+                work_slots.push(*slot);
+            }
+        }
+        let outcomes = self.run_work_batch(&work, rec);
+        for (k, done) in outcomes.into_iter().enumerate() {
+            responses[work_slots[k]] = Some(self.finish_work(work[k], done, rec));
+        }
+
+        // Control requests answer after the batch's work has settled,
+        // so `status` reflects the end-of-batch counters.
+        for (slot, req) in &admitted {
+            match req.cmd {
+                Command::Status => {
+                    let mut resp = Response::empty(req.id.clone(), req.seq, "ok", "status", "");
+                    resp.service = Some(self.counters);
+                    responses[*slot] = Some(resp);
+                }
+                Command::Shutdown => {
+                    responses[*slot] = Some(Response::empty(
+                        req.id.clone(),
+                        req.seq,
+                        "ok",
+                        "shutdown",
+                        "",
+                    ));
+                }
+                Command::Simulate | Command::Eval => {}
+            }
+        }
+
+        rec.counter("serve_batches", 1);
+        responses
+            .into_iter()
+            .map(|r| match r {
+                Some(r) => r,
+                // Unreachable by construction: every slot is filled by
+                // exactly one of the arms above.
+                None => Response::empty(String::new(), 0, "error", "", ""),
+            })
+            .collect()
+    }
+
+    /// Run `work` with supervision and retry; outcomes in `work` order.
+    fn run_work_batch(&mut self, work: &[&Request], rec: &impl Recorder) -> Vec<WorkDone> {
+        let mut outcomes: Vec<Option<WorkDone>> = Vec::new();
+        outcomes.resize_with(work.len(), || None);
+        let mut pending: Vec<usize> = (0..work.len()).collect();
+        let batch_start = wall_clock_start();
+
+        for attempt in 0..=self.opts.retry.max_retries {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                // The wall guardrail: requests that asked for one and
+                // have already burned it are finalised as
+                // deadline-exceeded instead of retried. Checked only
+                // here — between rounds — so it can never revoke a
+                // result, and contract tests never set it.
+                let elapsed = wall_elapsed_ms(&batch_start);
+                pending.retain(|&i| {
+                    let overran = work[i].wall_budget_ms.is_some_and(|b| elapsed > b);
+                    if overran {
+                        outcomes[i] = Some(WorkDone {
+                            body: Err(TbError::BudgetExceeded {
+                                launch: 0,
+                                budget_cycles: 0,
+                            }),
+                            cache_hit: false,
+                            quarantined: false,
+                            stored: false,
+                        });
+                    }
+                    !overran
+                });
+                for &i in &pending {
+                    self.counters.retried += 1;
+                    rec.record(
+                        0,
+                        EventKind::RequestRetried {
+                            seq: work[i].seq,
+                            attempt,
+                        },
+                    );
+                }
+                if let Some(&i) = pending.first() {
+                    let ms = self.opts.retry.backoff_ms(work[i].seq, attempt);
+                    if ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
+            let opts = &self.opts;
+            let cache = self.cache.as_ref();
+            let round = run_supervised(
+                opts.plan.pool_workers,
+                pending.len(),
+                |k| -> Result<WorkDone, TbError> {
+                    Ok(run_work(work[pending[k]], attempt, opts, cache))
+                },
+            );
+            let mut still = Vec::new();
+            for (k, r) in round.into_iter().enumerate() {
+                let i = pending[k];
+                match r {
+                    Ok(done) => outcomes[i] = Some(done),
+                    Err(UnitError::Panicked(msg)) => {
+                        if attempt < self.opts.retry.max_retries {
+                            still.push(i); // transient: retry next round
+                        } else {
+                            outcomes[i] = Some(WorkDone {
+                                body: Err(TbError::InvalidConfig {
+                                    field: "request",
+                                    reason: format!("unit panicked: {msg}"),
+                                }),
+                                cache_hit: false,
+                                quarantined: false,
+                                stored: false,
+                            });
+                        }
+                    }
+                    // run_work returns WorkDone for every TbError, so a
+                    // Failed here cannot occur; keep it contained
+                    // anyway.
+                    Err(UnitError::Failed(e)) => {
+                        outcomes[i] = Some(WorkDone {
+                            body: Err(e),
+                            cache_hit: false,
+                            quarantined: false,
+                            stored: false,
+                        });
+                    }
+                }
+            }
+            pending = still;
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                Some(done) => done,
+                // Unreachable: the loop finalises every index.
+                None => WorkDone {
+                    body: Err(TbError::InvalidConfig {
+                        field: "request",
+                        reason: "work unit never ran".to_string(),
+                    }),
+                    cache_hit: false,
+                    quarantined: false,
+                    stored: false,
+                },
+            })
+            .collect()
+    }
+
+    /// Turn a settled work outcome into its response, recording the
+    /// cache and deadline events in arrival order.
+    fn finish_work(&mut self, req: &Request, done: WorkDone, rec: &impl Recorder) -> Response {
+        if done.quarantined {
+            self.counters.cache_quarantined += 1;
+            rec.record(0, EventKind::CacheQuarantined { seq: req.seq });
+            rec.counter("serve_cache_quarantined", 1);
+        }
+        if done.cache_hit {
+            self.counters.cache_hits += 1;
+            rec.record(0, EventKind::CacheHit { seq: req.seq });
+            rec.counter("serve_cache_hit", 1);
+        }
+        if done.stored {
+            self.counters.cache_stores += 1;
+        }
+        let mut resp = Response::empty(req.id.clone(), req.seq, "ok", req.cmd.name(), &req.bench);
+        match done.body {
+            Ok(WorkBody::Sim(s)) => {
+                self.counters.completed_ok += 1;
+                resp.simulate = Some(s);
+            }
+            Ok(WorkBody::Eval(e)) => {
+                self.counters.completed_ok += 1;
+                resp.eval = Some(e);
+            }
+            Err(e) => {
+                let deadline = matches!(e, TbError::BudgetExceeded { .. });
+                if deadline {
+                    self.counters.deadline_exceeded += 1;
+                    rec.record(0, EventKind::DeadlineExceeded { seq: req.seq });
+                    resp.status = "deadline-exceeded".to_string();
+                } else {
+                    self.counters.failed += 1;
+                    resp.status = "error".to_string();
+                }
+                resp.error = e.to_string();
+            }
+        }
+        resp
+    }
+}
+
+/// Wall-clock anchor for the between-rounds guardrail. Isolated here —
+/// with the lint escape hatch — because wall time is the one
+/// deliberately nondeterministic input the service consumes, and only
+/// for pacing decisions, never for results.
+fn wall_clock_start() -> std::time::Instant {
+    // tbpoint-lint: allow(no-nondeterminism)
+    std::time::Instant::now()
+}
+
+fn wall_elapsed_ms(start: &std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Execute one work request (cache → fault injection → pipeline →
+/// cache write-back). Runs inside a supervised pool unit: a panic here
+/// is contained to this request's index.
+fn run_work(
+    req: &Request,
+    attempt: u32,
+    opts: &ServeOptions,
+    cache: Option<&ResultCache>,
+) -> WorkDone {
+    let mut done = WorkDone {
+        body: Err(TbError::InvalidConfig {
+            field: "bench",
+            reason: String::new(),
+        }),
+        cache_hit: false,
+        quarantined: false,
+        stored: false,
+    };
+
+    let Some(bench) = benchmark_by_name(&req.bench, req.scale) else {
+        done.body = Err(TbError::InvalidConfig {
+            field: "bench",
+            reason: format!("unknown benchmark `{}`", req.bench),
+        });
+        return done;
+    };
+    let cfg = TbpointConfig {
+        warming_budget: req.warming_budget.or(opts.config.warming_budget),
+        cycle_budget: req.cycle_budget.or(opts.config.cycle_budget),
+        ..opts.config
+    };
+
+    // Fault-free requests consult the cache; fault-injected ones bypass
+    // it entirely so injected damage never pollutes durable state.
+    let entry = if req.fault.is_none() {
+        cache.and_then(
+            |c| match key_text(req.cmd.name(), &bench, req.scale, &cfg, &opts.gpu) {
+                Ok(key) => Some((c, cache_name(req.cmd.name(), bench.name, &key))),
+                Err(_) => None,
+            },
+        )
+    } else {
+        None
+    };
+    if let Some((cache, name)) = &entry {
+        match cache.lookup(name) {
+            Lookup::Hit(body) => {
+                done.body = Ok(body);
+                done.cache_hit = true;
+                return done;
+            }
+            Lookup::Quarantined => done.quarantined = true,
+            Lookup::Miss => {}
+        }
+    }
+
+    if let Some(fault) = req.fault {
+        let fire = match fault {
+            InjectedFault::Panic => true,
+            InjectedFault::PanicOnce => attempt == 0,
+        };
+        if fire {
+            // The injected transient fault the supervised pool and the
+            // retry policy exist to contain.
+            // tbpoint-lint: allow(no-panic-in-library)
+            panic!("injected request panic");
+        }
+    }
+
+    let profile = profile_run(&bench.run, 1);
+    let tbp = match run_tbpoint_plan(&bench.run, &profile, &cfg, &opts.gpu, opts.plan.unit()) {
+        Ok(r) => r,
+        Err(e) => {
+            done.body = Err(e);
+            return done;
+        }
+    };
+    let body = match req.cmd {
+        Command::Eval => {
+            let full_ipc =
+                simulate_run(&bench.run, &opts.gpu, &mut NullSampling, None).overall_ipc();
+            WorkBody::Eval(EvalSummary {
+                full_ipc,
+                error_pct: tbp.error_vs(full_ipc),
+                tbpoint: SimSummary::of(&tbp),
+            })
+        }
+        _ => WorkBody::Sim(SimSummary::of(&tbp)),
+    };
+    if let Some((cache, name)) = &entry {
+        done.stored = cache.store(name, &body).is_ok();
+    }
+    done.body = Ok(body);
+    done
+}
+
+/// Split request text into blank-line-delimited batch windows, process
+/// each, and return all response lines joined (one per request, in
+/// arrival order, trailing newline). Stops after the batch that drains
+/// a `shutdown` request.
+pub fn process_text(svc: &mut Service, text: &str, rec: &impl Recorder) -> String {
+    let mut out = String::new();
+    let mut batch: Vec<String> = Vec::new();
+    let flush = |svc: &mut Service, batch: &mut Vec<String>, out: &mut String| {
+        if batch.is_empty() {
+            return;
+        }
+        for resp in svc.run_batch(batch, rec) {
+            out.push_str(&resp.to_line());
+            out.push('\n');
+        }
+        batch.clear();
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            flush(svc, &mut batch, &mut out);
+            if svc.shutting_down() {
+                return out;
+            }
+        } else {
+            batch.push(line.to_string());
+        }
+    }
+    flush(svc, &mut batch, &mut out);
+    out
+}
+
+/// The interactive request loop: read JSONL from `input`, answer on
+/// `output` after each blank-line-delimited batch window (or EOF),
+/// exit after draining a `shutdown` request. Responses are flushed per
+/// batch so a caller driving stdin sees answers as windows close.
+///
+/// # Errors
+///
+/// I/O errors reading the input or writing responses.
+pub fn run_loop(
+    svc: &mut Service,
+    input: impl std::io::BufRead,
+    output: &mut impl std::io::Write,
+    rec: &impl Recorder,
+) -> std::io::Result<()> {
+    let mut batch: Vec<String> = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            if !batch.is_empty() {
+                for resp in svc.run_batch(&batch, rec) {
+                    writeln!(output, "{}", resp.to_line())?;
+                }
+                output.flush()?;
+                batch.clear();
+            }
+            if svc.shutting_down() {
+                return Ok(());
+            }
+        } else {
+            batch.push(line);
+        }
+    }
+    if !batch.is_empty() {
+        for resp in svc.run_batch(&batch, rec) {
+            writeln!(output, "{}", resp.to_line())?;
+        }
+        output.flush()?;
+    }
+    Ok(())
+}

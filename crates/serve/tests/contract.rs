@@ -1,0 +1,281 @@
+//! The serve robustness contract: a batch containing injected panics,
+//! deadline overruns and a corrupted cache entry completes with zero
+//! crashes and zero silent corruption, and responses are byte-identical
+//! across worker counts and across a kill-and-restart cycle.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tbpoint_obs::{CollectingRecorder, EventKind, NullRecorder};
+use tbpoint_pool::ExecPlan;
+use tbpoint_serve::{process_text, RetryPolicy, ServeOptions, Service};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tbpoint_serve_contract_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(pool_workers: usize, cache_dir: Option<PathBuf>) -> ServeOptions {
+    ServeOptions {
+        plan: ExecPlan {
+            sim_jobs: 1,
+            pool_workers,
+        },
+        // Zero backoff: the contract suite cares about outcomes, not
+        // pacing.
+        retry: RetryPolicy {
+            max_backoff_ms: 0,
+            ..RetryPolicy::default()
+        },
+        cache_dir,
+        ..ServeOptions::default()
+    }
+}
+
+/// The mixed-adversity batch from the acceptance criteria: clean work,
+/// a transient panic (retry succeeds), a permanent panic (retries
+/// exhaust), a deadline overrun, an unknown benchmark and a malformed
+/// line.
+const ADVERSE_BATCH: &str = r#"{"id":"clean","cmd":"simulate","bench":"bfs"}
+{"id":"transient","cmd":"simulate","bench":"stream","fault":"panic-once"}
+{"id":"hopeless","cmd":"simulate","bench":"hotspot","fault":"panic"}
+{"id":"deadline","cmd":"simulate","bench":"mri","cycle_budget":1}
+{"id":"ghost","cmd":"simulate","bench":"no-such-bench"}
+this line is not json
+{"id":"finale","cmd":"eval","bench":"bfs"}
+"#;
+
+fn run_adverse(pool_workers: usize) -> String {
+    let mut svc = Service::new(opts(pool_workers, None)).expect("service");
+    process_text(&mut svc, ADVERSE_BATCH, &NullRecorder)
+}
+
+#[test]
+fn adverse_batch_completes_with_structured_outcomes() {
+    let out = run_adverse(2);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 7, "one response per input line:\n{out}");
+
+    // Every line parses back and carries the expected status.
+    let status_of = |id: &str| -> String {
+        let line = lines
+            .iter()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no response for {id}:\n{out}"));
+        let resp: tbpoint_serve::Response = serde_json::from_str(line).expect("parse response");
+        resp.status
+    };
+    assert_eq!(status_of("clean"), "ok");
+    assert_eq!(
+        status_of("transient"),
+        "ok",
+        "retry recovers the panic-once"
+    );
+    assert_eq!(
+        status_of("hopeless"),
+        "error",
+        "exhausted retries end structured"
+    );
+    assert_eq!(status_of("deadline"), "deadline-exceeded");
+    assert_eq!(status_of("ghost"), "error");
+    assert_eq!(status_of("finale"), "ok");
+    // The malformed line got a structured error too (id = its seq).
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"id\":\"5\"") && l.contains("malformed")),
+        "malformed line answered, not dropped:\n{out}"
+    );
+}
+
+#[test]
+fn responses_are_byte_identical_across_worker_counts() {
+    let serial = run_adverse(1);
+    for workers in [2, 4] {
+        assert_eq!(
+            run_adverse(workers),
+            serial,
+            "pool_workers={workers} must not change a single byte"
+        );
+    }
+}
+
+#[test]
+fn transient_panic_response_matches_a_clean_run_byte_for_byte() {
+    // Identical work, with and without the injected transient fault:
+    // after the retry the wire bytes must be indistinguishable (only
+    // the id field differs by construction, so use the same id).
+    let req =
+        |fault: &str| format!("{{\"id\":\"x\",\"cmd\":\"simulate\",\"bench\":\"bfs\"{fault}}}\n");
+    let mut clean_svc = Service::new(opts(2, None)).expect("service");
+    let clean = process_text(&mut clean_svc, &req(""), &NullRecorder);
+    let mut faulted_svc = Service::new(opts(2, None)).expect("service");
+    let faulted = process_text(
+        &mut faulted_svc,
+        &req(",\"fault\":\"panic-once\""),
+        &NullRecorder,
+    );
+    assert_eq!(clean, faulted);
+}
+
+#[test]
+fn admission_control_sheds_load_with_structured_rejections() {
+    let mut o = opts(2, None);
+    o.max_pending = 2;
+    let mut svc = Service::new(o).expect("service");
+    let rec = CollectingRecorder::new();
+    let batch = "{\"id\":\"a\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\
+                 {\"id\":\"b\",\"cmd\":\"status\"}\n\
+                 {\"id\":\"c\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\
+                 {\"id\":\"d\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n";
+    let out = process_text(&mut svc, batch, &rec);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "overflow answered, never silently dropped");
+    assert!(lines[2].contains("\"status\":\"rejected\""));
+    assert!(lines[3].contains("\"status\":\"rejected\""));
+    assert_eq!(svc.counters().admitted, 2);
+    assert_eq!(svc.counters().rejected, 2);
+    let rejected_events = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RequestRejected { .. }))
+        .count();
+    assert_eq!(rejected_events, 2);
+}
+
+#[test]
+fn deadline_and_retry_traffic_is_observable() {
+    let mut svc = Service::new(opts(2, None)).expect("service");
+    let rec = CollectingRecorder::new();
+    let batch = "{\"id\":\"t\",\"cmd\":\"simulate\",\"bench\":\"bfs\",\"fault\":\"panic-once\"}\n\
+                 {\"id\":\"d\",\"cmd\":\"simulate\",\"bench\":\"mri\",\"cycle_budget\":1}\n";
+    let _ = process_text(&mut svc, batch, &rec);
+    let events = rec.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RequestRetried { seq: 0, attempt: 1 })),
+        "the transient fault's retry is recorded"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DeadlineExceeded { seq: 1 })),
+        "the overrun is recorded"
+    );
+    assert_eq!(svc.counters().retried, 1);
+    assert_eq!(svc.counters().deadline_exceeded, 1);
+}
+
+#[test]
+fn kill_and_restart_reuses_the_cache_and_answers_identically() {
+    let dir = scratch("restart");
+    let batch = "{\"id\":\"a\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\
+                 {\"id\":\"b\",\"cmd\":\"eval\",\"bench\":\"stream\"}\n";
+
+    // Reference: one uninterrupted service, no cache.
+    let mut bare = Service::new(opts(2, None)).expect("service");
+    let reference = process_text(&mut bare, batch, &NullRecorder);
+
+    // First incarnation computes and persists; simulate the kill -9 by
+    // dropping it mid-life (drop is not a clean shutdown path — the
+    // cache is crash-consistent by construction, not by teardown).
+    let mut first = Service::new(opts(2, Some(dir.clone()))).expect("service");
+    let run1 = process_text(&mut first, batch, &NullRecorder);
+    assert_eq!(first.counters().cache_stores, 2);
+    assert_eq!(first.counters().cache_hits, 0);
+    drop(first);
+
+    // Second incarnation answers from the persisted entries.
+    let mut second = Service::new(opts(2, Some(dir.clone()))).expect("service");
+    let run2 = process_text(&mut second, batch, &NullRecorder);
+    assert_eq!(second.counters().cache_hits, 2, "restart reuses the cache");
+
+    assert_eq!(run1, reference, "caching changes no bytes");
+    assert_eq!(run2, reference, "restart + resubmit changes no bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entry_is_quarantined_recomputed_and_observable() {
+    let dir = scratch("corrupt");
+    let line = "{\"id\":\"a\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n";
+
+    let mut svc = Service::new(opts(1, Some(dir.clone()))).expect("service");
+    let clean = process_text(&mut svc, line, &NullRecorder);
+    drop(svc);
+
+    // Flip one byte in the (only) persisted entry.
+    let entry = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("one cache entry");
+    let mut bytes = std::fs::read(&entry).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&entry, &bytes).expect("corrupt entry");
+
+    let mut svc = Service::new(opts(1, Some(dir.clone()))).expect("service");
+    let rec = CollectingRecorder::new();
+    let healed = process_text(&mut svc, line, &rec);
+    assert_eq!(healed, clean, "recomputed answer, not the corrupt bytes");
+    assert_eq!(svc.counters().cache_quarantined, 1);
+    assert_eq!(svc.counters().cache_hits, 0);
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CacheQuarantined { seq: 0 })),
+        "quarantine is observable"
+    );
+    assert!(
+        std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(Result::ok)
+            .any(|e| e.path().to_string_lossy().ends_with(".quarantined")),
+        "damaged entry kept aside for forensics"
+    );
+
+    // Third run hits the healed entry.
+    let mut svc = Service::new(opts(1, Some(dir.clone()))).expect("service");
+    let hit = process_text(&mut svc, line, &NullRecorder);
+    assert_eq!(hit, clean);
+    assert_eq!(svc.counters().cache_hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_its_batch_then_stops_the_loop() {
+    let mut svc = Service::new(opts(1, None)).expect("service");
+    let text = "{\"id\":\"a\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\
+                {\"id\":\"bye\",\"cmd\":\"shutdown\"}\n\
+                \n\
+                {\"id\":\"late\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n";
+    let out = process_text(&mut svc, text, &NullRecorder);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(
+        lines.len(),
+        2,
+        "the batch drains; the post-shutdown window never runs"
+    );
+    assert!(lines[0].contains("\"id\":\"a\"") && lines[0].contains("\"status\":\"ok\""));
+    assert!(lines[1].contains("\"id\":\"bye\"") && lines[1].contains("\"status\":\"ok\""));
+    assert!(svc.shutting_down());
+}
+
+#[test]
+fn run_loop_streams_batches_and_exits_on_shutdown() {
+    let mut svc = Service::new(opts(1, None)).expect("service");
+    let input = "{\"id\":\"a\",\"cmd\":\"status\"}\n\n{\"id\":\"z\",\"cmd\":\"shutdown\"}\n\n";
+    let mut out = Vec::new();
+    tbpoint_serve::run_loop(&mut svc, input.as_bytes(), &mut out, &NullRecorder).expect("loop");
+    let text = String::from_utf8(out).expect("utf8");
+    assert_eq!(text.lines().count(), 2);
+    assert!(text.lines().next().expect("first").contains("\"service\":"));
+}
