@@ -3,14 +3,17 @@
 //! Times the two eval stages (functional profile, cycle-level simulate)
 //! for every Table VI workload over the shared `tbpoint-workloads`
 //! fixtures (the same roster the Criterion benches in `crates/bench`
-//! draw from) and writes a schema'd artifact (`BENCH_PR7.json`) holding
-//! per-stage wall times, throughputs, interner hit counts and **both
-//! parallel axes** of the [`ExecPlan`]: the SM-sharded intra-launch
+//! draw from) and writes a schema'd artifact (`BENCH_PR9.json`) holding
+//! per-stage wall times, throughputs, interner hit counts, **both
+//! parallel axes** of the [`ExecPlan`] — the SM-sharded intra-launch
 //! speedup (`--jobs`) and the cross-launch pool speedup
-//! (`--pool-workers`) — plus the previous PR's numbers as the frozen
-//! baseline for the speedup comparison. Each future perf PR regenerates
-//! the artifact (seeding `baseline` from the previous one), growing a
-//! measured trajectory instead of anecdotes.
+//! (`--pool-workers`) — and **both sampling modes**: the paper's
+//! two-phase pipeline (profile then sample) against the live
+//! single-pass pipeline, each with its wall time and sampled-vs-full
+//! error, plus the previous PR's numbers as the frozen baseline for the
+//! speedup comparison. Each future perf PR regenerates the artifact
+//! (seeding `baseline` from the previous one), growing a measured
+//! trajectory instead of anecdotes.
 //!
 //! Methodology: per workload, `reps` measurements of each stage
 //! (single-threaded, whole-launch) and the **minimum** is kept — the
@@ -21,15 +24,20 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use tbpoint_core::{run_tbpoint_live_plan, run_tbpoint_plan, SamplingMode, TbpointConfig};
 use tbpoint_pool::{map_indexed, ExecPlan};
 use tbpoint_sim::{simulate_launch_perf, GpuConfig, NullSampling, SimPerf};
 use tbpoint_workloads::{all_benchmarks, Scale};
 
 /// Artifact schema identifier; bump on breaking shape changes.
-pub const SCHEMA: &str = "tbpoint-bench/v3";
+pub const SCHEMA: &str = "tbpoint-bench/v4";
 
 /// The previous PR's schema; still readable, but only to seed the new
-/// artifact's baseline section (see [`baseline_from_v2`]).
+/// artifact's baseline section (see [`baseline_from_v3`]).
+pub const V3_SCHEMA: &str = "tbpoint-bench/v3";
+
+/// The PR-5 schema; readable through [`baseline_from_v2`] for the same
+/// purpose.
 pub const V2_SCHEMA: &str = "tbpoint-bench/v2";
 
 /// The PR-4 schema; readable through [`baseline_from_v1`] for the same
@@ -37,10 +45,13 @@ pub const V2_SCHEMA: &str = "tbpoint-bench/v2";
 pub const V1_SCHEMA: &str = "tbpoint-bench/v1";
 
 /// Default artifact path (repo root, committed).
-pub const DEFAULT_ARTIFACT: &str = "BENCH_PR7.json";
+pub const DEFAULT_ARTIFACT: &str = "BENCH_PR9.json";
 
 /// The previous PR's committed artifact, consumed as the default
 /// baseline when the new artifact is first generated.
+pub const V3_ARTIFACT: &str = "BENCH_PR7.json";
+
+/// The PR-5 committed artifact, the next baseline seed fallback.
 pub const V2_ARTIFACT: &str = "BENCH_PR5.json";
 
 /// The PR-4 committed artifact, the baseline seed of last resort.
@@ -50,6 +61,13 @@ pub const V1_ARTIFACT: &str = "BENCH_PR4.json";
 /// generous on purpose: CI runners are noisy, and the check exists to
 /// catch order-of-magnitude hot-path regressions, not 10% drift.
 pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Fail `--check` when either sampling mode's sampled-vs-full error
+/// exceeds this bound. It is the clean-baseline anchor of the
+/// resilience suite's error-growth curve (zero injected faults keeps
+/// `curve[0].mean_err_pct` under 10%), so a quick bench that breaches
+/// it means accuracy regressed, not that the runner was slow.
+pub const ERROR_BOUND_PCT: f64 = 10.0;
 
 /// One workload's measurements.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -99,6 +117,20 @@ pub struct WorkloadBench {
     pub simulate_pool_ms: f64,
     /// `simulate_ms / simulate_pool_ms` — cross-launch pool speedup.
     pub pool_speedup: f64,
+    /// Two-phase TBPoint pipeline wall time (best of `reps`): sampling
+    /// and prediction on an already-collected profile. The full
+    /// two-phase cost is `profile_ms + two_phase_ms`.
+    pub two_phase_ms: f64,
+    /// Two-phase sampled-vs-full IPC error (absolute %).
+    pub two_phase_err_pct: f64,
+    /// Live single-pass pipeline wall time (best of `reps`); live mode
+    /// needs no profile, so this is its whole cost.
+    pub live_ms: f64,
+    /// Live sampled-vs-full IPC error (absolute %).
+    pub live_err_pct: f64,
+    /// `(profile_ms + two_phase_ms) / live_ms` — end-to-end gain from
+    /// fusing profiling into the timing simulation.
+    pub live_speedup: f64,
 }
 
 /// Suite-wide sums.
@@ -192,7 +224,8 @@ pub fn host_cpus() -> u64 {
 /// defaults in `tbpoint-sim`).
 pub fn build_label() -> String {
     "release, thin LTO, codegen-units=1; trace interning + event horizon on; \
-     two-axis ExecPlan parallelism available (--jobs, --pool-workers)"
+     two-axis ExecPlan parallelism available (--jobs, --pool-workers); \
+     live single-pass sampling available (--live)"
         .to_string()
 }
 
@@ -235,12 +268,21 @@ pub fn measure(
     let jobs = plan.sim_jobs;
     let pool = plan.pool_workers;
     let cfg = GpuConfig::fermi();
+    let tb_cfg = TbpointConfig::default();
+    let live_cfg = TbpointConfig {
+        mode: SamplingMode::Live,
+        ..TbpointConfig::default()
+    };
     let mut out = Vec::new();
     for bench in all_benchmarks(scale) {
         let mut best_profile = f64::MAX;
         let mut best_sim = f64::MAX;
         let mut best_par = f64::MAX;
         let mut best_pool = f64::MAX;
+        let mut best_two = f64::MAX;
+        let mut best_live = f64::MAX;
+        let mut two_err = 0.0f64;
+        let mut live_err = 0.0f64;
         let mut warp_insts = 0u64;
         let mut cycles = 0u64;
         let mut perf = SimPerf::default();
@@ -329,6 +371,26 @@ pub fn measure(
                 best_pool = best_pool.min(pool_ms);
             }
 
+            // The sampling-mode legs: the paper's two-phase pipeline on
+            // the profile already in hand, then the live single-pass
+            // pipeline that needs none. Both run serially so the
+            // comparison is free of scheduling noise; both are exact
+            // about accuracy — the errors are deterministic, the wall
+            // times take the per-rep minimum like every other stage.
+            let full_ipc = if cy > 0 { wi as f64 / cy as f64 } else { 0.0 };
+            let t4 = Instant::now();
+            let tbp = run_tbpoint_plan(&bench.run, &profile, &tb_cfg, &cfg, ExecPlan::serial())
+                .expect("two-phase pipeline rejected");
+            let two_ms = t4.elapsed().as_secs_f64() * 1e3;
+            let t5 = Instant::now();
+            let live = run_tbpoint_live_plan(&bench.run, &live_cfg, &cfg, ExecPlan::serial())
+                .expect("live pipeline rejected");
+            let live_ms = t5.elapsed().as_secs_f64() * 1e3;
+            two_err = tbp.error_vs(full_ipc);
+            live_err = live.error_vs(full_ipc);
+            best_two = best_two.min(two_ms);
+            best_live = best_live.min(live_ms);
+
             best_profile = best_profile.min(profile_ms);
             best_sim = best_sim.min(sim_ms);
             warp_insts = wi;
@@ -357,6 +419,10 @@ pub fn measure(
                 (false, false) => String::new(),
             },
             warp_insts
+        ));
+        progress(&format!(
+            "{:8} sampling: two-phase {:>7.1} ms (err {:.2}%), live {:>7.1} ms (err {:.2}%)",
+            "", best_two, two_err, best_live, live_err
         ));
         out.push(WorkloadBench {
             name: bench.name.to_string(),
@@ -387,6 +453,15 @@ pub fn measure(
             simulate_pool_ms: round2(best_pool),
             pool_speedup: if best_pool > 0.0 {
                 round2(best_sim / best_pool)
+            } else {
+                0.0
+            },
+            two_phase_ms: round2(best_two),
+            two_phase_err_pct: round2(two_err),
+            live_ms: round2(best_live),
+            live_err_pct: round2(live_err),
+            live_speedup: if best_live > 0.0 {
+                round2((best_profile + best_two) / best_live)
             } else {
                 0.0
             },
@@ -612,6 +687,108 @@ pub fn baseline_from_v2(bytes: &[u8]) -> Result<BaselineSection, String> {
     })
 }
 
+/// The v3 (PR7) workload shape — v2 plus the cross-launch pool leg —
+/// decoded only to seed a new artifact's baseline section.
+#[derive(Debug, Clone, Deserialize)]
+struct WorkloadBenchV3 {
+    name: String,
+    kind: String,
+    launches: u64,
+    blocks: u64,
+    profile_ms: f64,
+    simulate_ms: f64,
+    eval_ms: f64,
+    warp_insts: u64,
+    cycles: u64,
+    warp_insts_per_sec: f64,
+    cycles_per_sec: f64,
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_uncacheable: u64,
+    jobs: u64,
+    simulate_par_ms: f64,
+    par_speedup: f64,
+    pool_workers: u64,
+    simulate_pool_ms: f64,
+    pool_speedup: f64,
+}
+
+/// The v3 (PR7) artifact shape.
+#[derive(Debug, Clone, Deserialize)]
+struct BenchReportV3 {
+    schema: String,
+    build: String,
+    host_cpus: u64,
+    scale: String,
+    reps: u32,
+    workloads: Vec<WorkloadBenchV3>,
+    totals: BenchTotals,
+    quick_scale: String,
+    quick: Vec<WorkloadBenchV3>,
+    baseline: Option<BaselineSection>,
+}
+
+/// Convert the previous PR's committed v3 artifact into a baseline
+/// section for the v4 artifact, exactly as [`baseline_from_v2`] does
+/// for v2: its measurements become the frozen reference. (The vendored
+/// serde has no `#[serde(default)]`, so the version upgrade is an
+/// explicit conversion, not a lenient parse.)
+pub fn baseline_from_v3(bytes: &[u8]) -> Result<BaselineSection, String> {
+    let v3: BenchReportV3 =
+        serde_json::from_slice(bytes).map_err(|e| format!("v3 artifact does not parse: {e}"))?;
+    if v3.schema != V3_SCHEMA {
+        return Err(format!(
+            "expected a {V3_SCHEMA:?} artifact, got schema {:?}",
+            v3.schema
+        ));
+    }
+    let strip = |ws: &[WorkloadBenchV3]| {
+        ws.iter()
+            .map(|w| BaselineWorkload {
+                name: w.name.clone(),
+                profile_ms: w.profile_ms,
+                simulate_ms: w.simulate_ms,
+                eval_ms: w.eval_ms,
+                warp_insts: w.warp_insts,
+                cycles: w.cycles,
+            })
+            .collect()
+    };
+    // Touch the fields the conversion deliberately drops so the v3
+    // mirror stays an exact decode of the committed artifact.
+    let _ = (
+        &v3.totals,
+        &v3.baseline,
+        &v3.quick_scale,
+        v3.host_cpus,
+        v3.workloads.first().map(|w| {
+            (
+                &w.kind,
+                w.launches,
+                w.blocks,
+                w.warp_insts_per_sec,
+                w.cycles_per_sec,
+                w.intern_hits,
+                w.intern_misses,
+                w.intern_uncacheable,
+                w.jobs,
+                w.simulate_par_ms,
+                w.par_speedup,
+                w.pool_workers,
+                w.simulate_pool_ms,
+                w.pool_speedup,
+            )
+        }),
+    );
+    Ok(BaselineSection {
+        build: format!("{} [{}]", v3.build, V3_ARTIFACT),
+        scale: v3.scale,
+        reps: v3.reps,
+        workloads: strip(&v3.workloads),
+        quick: strip(&v3.quick),
+    })
+}
+
 /// Render the per-workload simulated-work counts (name, warp
 /// instructions, cycles) as stable one-per-line text. CI writes this
 /// for a `--jobs 1` and a `--jobs 2` quick run and `cmp`s the files
@@ -652,6 +829,21 @@ pub fn check_regressions(current: &[WorkloadBench], committed: &BenchReport) -> 
                 cur.name, cur.warp_insts_per_sec, floor, base.warp_insts_per_sec, REGRESSION_FACTOR
             ));
         }
+        // Accuracy gate: both sampling modes must stay inside the
+        // clean-baseline error envelope. Unlike throughput this is
+        // deterministic, so there is no noise allowance.
+        for (mode, err) in [
+            ("two-phase", cur.two_phase_err_pct),
+            ("live", cur.live_err_pct),
+        ] {
+            if err > ERROR_BOUND_PCT {
+                failures.push(format!(
+                    "{}: {mode} sampled-vs-full error {err:.2}% exceeds the \
+                     {ERROR_BOUND_PCT}% clean-baseline bound",
+                    cur.name
+                ));
+            }
+        }
     }
     failures
 }
@@ -662,12 +854,16 @@ pub fn render_summary(report: &BenchReport) -> String {
     let baseline = report.baseline.as_ref().filter(|b| b.scale == report.scale);
     let parallel = report.workloads.iter().any(|w| w.jobs > 1);
     let pooled = report.workloads.iter().any(|w| w.pool_workers > 1);
+    let live = report.workloads.iter().any(|w| w.live_ms > 0.0);
     let mut headers = vec!["bench", "kind", "eval ms", "simulate ms", "Mwi/s", "hit%"];
     if parallel {
         headers.push("par x");
     }
     if pooled {
         headers.push("pool x");
+    }
+    if live {
+        headers.push("live x");
     }
     if baseline.is_some() {
         headers.push("speedup");
@@ -699,6 +895,13 @@ pub fn render_summary(report: &BenchReport) -> String {
         if pooled {
             row.push(if w.pool_workers > 1 {
                 format!("{:.2}x@{}", w.pool_speedup, w.pool_workers)
+            } else {
+                "-".to_string()
+            });
+        }
+        if live {
+            row.push(if w.live_ms > 0.0 {
+                format!("{:.2}x", w.live_speedup)
             } else {
                 "-".to_string()
             });
@@ -763,6 +966,11 @@ mod tests {
             pool_workers: 1,
             simulate_pool_ms: 10.0,
             pool_speedup: 1.0,
+            two_phase_ms: 5.0,
+            two_phase_err_pct: 2.0,
+            live_ms: 4.0,
+            live_err_pct: 3.0,
+            live_speedup: 1.5,
         }
     }
 
@@ -873,6 +1081,57 @@ mod tests {
         assert!(baseline_from_v2(v3.as_bytes())
             .unwrap_err()
             .contains("schema"));
+    }
+
+    #[test]
+    fn regression_check_trips_on_error_bound_breach() {
+        let committed = report();
+        let mut cur = wl("stream", 100_000.0);
+        cur.live_err_pct = ERROR_BOUND_PCT + 2.0;
+        let fails = check_regressions(&[cur], &committed);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("live"));
+        assert!(fails[0].contains("clean-baseline bound"));
+
+        let mut cur = wl("stream", 100_000.0);
+        cur.two_phase_err_pct = ERROR_BOUND_PCT + 0.5;
+        let fails = check_regressions(&[cur], &committed);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("two-phase"));
+    }
+
+    #[test]
+    fn v3_artifact_converts_into_a_baseline_section() {
+        let v3 = r#"{"schema":"tbpoint-bench/v3","build":"pr7 build","host_cpus":4,
+            "scale":"dev","reps":3,
+            "workloads":[{"name":"stream","kind":"regular","launches":1,"blocks":2,
+                "profile_ms":1.1,"simulate_ms":12.0,"eval_ms":13.1,"warp_insts":1000,
+                "cycles":500,"warp_insts_per_sec":83000.0,"cycles_per_sec":41000.0,
+                "intern_hits":3,"intern_misses":1,"intern_uncacheable":0,
+                "jobs":2,"simulate_par_ms":7.0,"par_speedup":1.71,
+                "pool_workers":2,"simulate_pool_ms":8.0,"pool_speedup":1.5}],
+            "totals":{"profile_ms":1.1,"simulate_ms":12.0,"eval_ms":13.1,
+                "warp_insts":1000,"cycles":500,"warp_insts_per_sec":83000.0},
+            "quick_scale":"tiny","quick":[],"baseline":null}"#;
+        let b = baseline_from_v3(v3.as_bytes()).unwrap();
+        assert_eq!(b.scale, "dev");
+        assert!(b.build.contains("BENCH_PR7.json"));
+        assert_eq!(b.workloads.len(), 1);
+        assert_eq!(b.workloads[0].simulate_ms, 12.0);
+        assert_eq!(b.workloads[0].warp_insts, 1000);
+
+        // A v4 artifact must be rejected as a v3 baseline source.
+        let v4 = v3.replace("tbpoint-bench/v3", "tbpoint-bench/v4");
+        assert!(baseline_from_v3(v4.as_bytes())
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn summary_shows_live_speedup_column() {
+        let s = render_summary(&report());
+        assert!(s.contains("live x"), "summary:\n{s}");
+        assert!(s.contains("1.50x"), "summary:\n{s}");
     }
 
     #[test]

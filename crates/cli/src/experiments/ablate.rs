@@ -7,7 +7,10 @@ use crate::output::{self, TraceEntry};
 use serde::{Deserialize, Serialize};
 use tbpoint_core::inter::{InterAlgo, InterConfig};
 use tbpoint_core::intra::IntraConfig;
-use tbpoint_core::predict::{run_tbpoint_plan, run_tbpoint_traced_plan, TbpointConfig};
+use tbpoint_core::predict::{
+    run_tbpoint_live_plan, run_tbpoint_live_traced_plan, run_tbpoint_plan, run_tbpoint_traced_plan,
+    SamplingMode, TbpointConfig,
+};
 use tbpoint_emu::profile_run;
 use tbpoint_pool::{map_indexed, ExecPlan};
 use tbpoint_sim::{simulate_run, GpuConfig, NullSampling};
@@ -63,12 +66,18 @@ fn score(cfg: &TbpointConfig, scale: Scale, plan: ExecPlan) -> (f64, f64) {
     let unit_plan = plan.unit();
     let scored = map_indexed(plan.pool_workers, benches.len(), |i| {
         let bench = &benches[i];
-        let profile = profile_run(&bench.run, 1);
         let full = simulate_run(&bench.run, &gpu, &mut NullSampling, None);
         // Every swept value is a valid setting and the profile matches
         // the run, so failure is unreachable.
-        let tbp = run_tbpoint_plan(&bench.run, &profile, cfg, &gpu, unit_plan)
-            .expect("TBPoint pipeline rejected");
+        let tbp = match cfg.mode {
+            SamplingMode::Live => run_tbpoint_live_plan(&bench.run, cfg, &gpu, unit_plan)
+                .expect("TBPoint pipeline rejected"),
+            SamplingMode::TwoPhase => {
+                let profile = profile_run(&bench.run, 1);
+                run_tbpoint_plan(&bench.run, &profile, cfg, &gpu, unit_plan)
+                    .expect("TBPoint pipeline rejected")
+            }
+        };
         (
             tbp.error_vs(full.overall_ipc()).max(0.05),
             tbp.sample_size(),
@@ -85,15 +94,28 @@ fn score(cfg: &TbpointConfig, scale: Scale, plan: ExecPlan) -> (f64, f64) {
 /// point would multiply the trace volume by the number of knob values
 /// without showing anything new — the events of interest are the
 /// sampler's transitions, which the default pass already exercises).
-pub fn ablate_traced(scale: Scale, plan: ExecPlan) -> (AblationResult, Vec<TraceEntry>) {
-    let result = ablate(scale, plan);
+pub fn ablate_traced(
+    scale: Scale,
+    plan: ExecPlan,
+    mode: SamplingMode,
+) -> (AblationResult, Vec<TraceEntry>) {
+    let result = ablate(scale, plan, mode);
     let gpu = GpuConfig::fermi();
+    let cfg = TbpointConfig {
+        mode,
+        ..TbpointConfig::default()
+    };
     let mut entries = Vec::new();
     for bench in all_benchmarks(scale) {
-        let profile = profile_run(&bench.run, 1);
-        let (_, traces) =
-            run_tbpoint_traced_plan(&bench.run, &profile, &TbpointConfig::default(), &gpu, plan)
-                .expect("TBPoint pipeline rejected");
+        let (_, traces) = match mode {
+            SamplingMode::Live => run_tbpoint_live_traced_plan(&bench.run, &cfg, &gpu, plan)
+                .expect("TBPoint pipeline rejected"),
+            SamplingMode::TwoPhase => {
+                let profile = profile_run(&bench.run, 1);
+                run_tbpoint_traced_plan(&bench.run, &profile, &cfg, &gpu, plan)
+                    .expect("TBPoint pipeline rejected")
+            }
+        };
         entries.extend(traces.into_iter().map(|t| TraceEntry {
             label: format!("default/{}", bench.name),
             launch: t.launch,
@@ -104,10 +126,15 @@ pub fn ablate_traced(scale: Scale, plan: ExecPlan) -> (AblationResult, Vec<Trace
 }
 
 /// Run every ablation sweep at the given scale. Each swept point scores
-/// the roster on the pool described by `plan`.
-pub fn ablate(scale: Scale, plan: ExecPlan) -> AblationResult {
+/// the roster on the pool described by `plan`; `mode` selects two-phase
+/// or live sampling for every point, so a live ablation shows how the
+/// same knobs move the online detector.
+pub fn ablate(scale: Scale, plan: ExecPlan, mode: SamplingMode) -> AblationResult {
     let mut points = vec![];
-    let base = TbpointConfig::default();
+    let base = TbpointConfig {
+        mode,
+        ..TbpointConfig::default()
+    };
 
     // 1. Inter-launch distance threshold sigma (paper: 0.1).
     for sigma in [0.02, 0.05, 0.1, 0.2, 0.5] {

@@ -18,7 +18,8 @@ use tbpoint_baselines::{
     RandomConfig, SystematicConfig,
 };
 use tbpoint_core::predict::{
-    run_tbpoint_plan, run_tbpoint_traced_plan, TbpointConfig, TbpointResult,
+    run_tbpoint_live_plan, run_tbpoint_live_traced_plan, run_tbpoint_plan, run_tbpoint_traced_plan,
+    SamplingMode, TbpointConfig, TbpointResult,
 };
 use tbpoint_core::TbError;
 use tbpoint_emu::profile_run;
@@ -197,8 +198,13 @@ pub fn eval_bench(
     gpu: &GpuConfig,
     plan: ExecPlan,
 ) -> Result<BenchEval, TbError> {
-    build_bench_eval(bench, cfg, gpu, |profile| {
-        run_tbpoint_plan(&bench.run, profile, &cfg.tbpoint, gpu, plan)
+    build_bench_eval(bench, cfg, gpu, |profile| match cfg.tbpoint.mode {
+        // Live mode never consumes the profile — the online detector
+        // learns everything from the retire stream. The profile is
+        // still collected above because the baseline approaches and
+        // the unit-size choice need the instruction totals.
+        SamplingMode::Live => run_tbpoint_live_plan(&bench.run, &cfg.tbpoint, gpu, plan),
+        SamplingMode::TwoPhase => run_tbpoint_plan(&bench.run, profile, &cfg.tbpoint, gpu, plan),
     })
 }
 
@@ -236,7 +242,14 @@ fn eval_one_traced(
 ) -> Result<(BenchEval, Vec<TraceEntry>), TbError> {
     let mut entries = Vec::new();
     let b = build_bench_eval(bench, cfg, gpu, |profile| {
-        let (tbp, traces) = run_tbpoint_traced_plan(&bench.run, profile, &cfg.tbpoint, gpu, plan)?;
+        let (tbp, traces) = match cfg.tbpoint.mode {
+            SamplingMode::Live => {
+                run_tbpoint_live_traced_plan(&bench.run, &cfg.tbpoint, gpu, plan)?
+            }
+            SamplingMode::TwoPhase => {
+                run_tbpoint_traced_plan(&bench.run, profile, &cfg.tbpoint, gpu, plan)?
+            }
+        };
         entries = traces
             .into_iter()
             .map(|t| TraceEntry {

@@ -12,7 +12,7 @@
 //! tbpoint inspect <bench>             characterisation report
 //! tbpoint profile <bench>             save a one-time profile (JSON)
 //! tbpoint faultmatrix [--scale tiny]  fault-injection containment matrix
-//! tbpoint bench  [--quick]            perf baseline (BENCH_PR7.json)
+//! tbpoint bench  [--quick]            perf baseline (BENCH_PR9.json)
 //! tbpoint serve  [--cache-dir DIR]    long-running JSONL request service
 //! tbpoint all    [--scale dev]        everything above
 //! ```
@@ -33,20 +33,31 @@
 //! `--threads` remains the profiler's thread count (the functional
 //! emulation is embarrassingly parallel and outside the plan).
 //!
+//! `--live` switches `eval`, `fig12`/`fig13` and `ablate` to **live
+//! single-pass sampling** (`TbpointConfig::mode = Live`, DESIGN.md
+//! "Live sampling"): the separate profiling pass is skipped and the
+//! online epoch detector decides during the one timing pass when to
+//! warm, fast-forward and fall back. Live artifacts cache under
+//! distinct names (`eval_live_*.json`, `sensitivity_live_*.json`,
+//! `ablate_live_*.json`) so the modes never overwrite each other.
+//!
 //! `bench` times profile + simulate for the whole roster and writes the
 //! committed perf artifact (see EXPERIMENTS.md, "Performance baseline"):
 //! the pinned `--scale dev` measurement plus a `tiny` quick section,
 //! with a parallel leg per workload on each active axis (`--jobs > 1`,
 //! `--pool-workers > 1`), and the host's CPU count for context.
+//! Every workload is also timed through both sampling modes (two-phase
+//! and live), with each mode's sampled-vs-full error recorded.
 //! `--quick` runs only the tiny pass (min of 2 reps) and, with
-//! `--check BENCH_PR7.json`, exits non-zero when throughput falls more
-//! than 2x below the committed numbers — CI's `perf-smoke` job, which
-//! also `cmp`s `--counts-out` files from a `--jobs 1` and a `--jobs 2`
-//! run byte-for-byte.
+//! `--check BENCH_PR9.json`, exits non-zero when throughput falls more
+//! than 2x below the committed numbers **or** either sampling mode's
+//! error breaches the 10% clean-baseline bound — CI's `perf-smoke`
+//! job, which also `cmp`s `--counts-out` files from a `--jobs 1` and a
+//! `--jobs 2` run byte-for-byte.
 //! `--baseline <file>` seeds/replaces the frozen reference section;
 //! without it, a regeneration carries the existing artifact's baseline
-//! forward (seeding from `BENCH_PR5.json`, then `BENCH_PR4.json`, if
-//! neither exists).
+//! forward (seeding from `BENCH_PR7.json`, then `BENCH_PR5.json`, then
+//! `BENCH_PR4.json`, if none exists).
 //!
 //! Artefacts (JSON + CSV) land in `./artifacts/`.
 //!
@@ -89,6 +100,11 @@ struct Args {
     max_units: Option<usize>,
     cycle_budget: Option<u64>,
     quick: bool,
+    /// Live single-pass sampling (`TbpointConfig::mode = Live`): fuse
+    /// profiling into the timing simulation for `eval`, `fig12`/`fig13`
+    /// and `ablate`. Live artifacts cache under distinct names
+    /// (`eval_live_*.json`, ...) so the modes never collide.
+    live: bool,
     reps: u32,
     jobs: Option<usize>,
     pool_workers: Option<usize>,
@@ -130,6 +146,7 @@ fn parse_args() -> Args {
         max_units: None,
         cycle_budget: None,
         quick: false,
+        live: false,
         reps: 3,
         jobs: None,
         pool_workers: None,
@@ -188,6 +205,7 @@ fn parse_args() -> Args {
                 args.cycle_budget = Some(n);
             }
             "--quick" => args.quick = true,
+            "--live" => args.live = true,
             "--counts-out" => {
                 let Some(v) = it.next() else {
                     eprintln!("--counts-out needs a path");
@@ -304,9 +322,32 @@ fn scale_tag(scale: Scale) -> &'static str {
     }
 }
 
+/// The sampling mode the `--live` flag selects.
+fn sampling_mode(args: &Args) -> tbpoint_core::SamplingMode {
+    if args.live {
+        tbpoint_core::SamplingMode::Live
+    } else {
+        tbpoint_core::SamplingMode::TwoPhase
+    }
+}
+
+/// Artifact/sweep tag distinguishing live results from two-phase ones:
+/// the two modes produce different numbers, so their caches and unit
+/// files must never collide.
+fn mode_tag(args: &Args) -> &'static str {
+    if args.live {
+        "live_"
+    } else {
+        ""
+    }
+}
+
 fn eval_cache_path(args: &Args) -> PathBuf {
-    args.artifacts
-        .join(format!("eval_{}.json", scale_tag(args.scale)))
+    args.artifacts.join(format!(
+        "eval_{}{}.json",
+        mode_tag(args),
+        scale_tag(args.scale)
+    ))
 }
 
 fn dump_traces(path: &Path, entries: &[output::TraceEntry]) {
@@ -366,14 +407,20 @@ fn finish_sweep<T>(result: Result<SweepOutcome<T>, sweep::SweepError>, what: &st
 fn eval_config(args: &Args) -> EvalConfig {
     let mut cfg = EvalConfig::new(args.scale);
     cfg.tbpoint.cycle_budget = args.cycle_budget;
+    cfg.tbpoint.mode = sampling_mode(args);
     cfg
 }
 
 fn run_eval(args: &Args) -> experiments::EvalResult {
     let cfg = eval_config(args);
     eprintln!(
-        "running evaluation at {} scale on {} pool worker(s), {} sim job(s) \
+        "running {} evaluation at {} scale on {} pool worker(s), {} sim job(s) \
          (this simulates every benchmark in full)...",
+        if args.live {
+            "live single-pass"
+        } else {
+            "two-phase"
+        },
         scale_tag(args.scale),
         args.plan.pool_workers,
         args.plan.sim_jobs
@@ -403,7 +450,10 @@ fn run_eval(args: &Args) -> experiments::EvalResult {
                 plan: unit_plan,
             })
             .collect();
-        let plan = sweep_plan(args, format!("eval_{}", scale_tag(args.scale)));
+        let plan = sweep_plan(
+            args,
+            format!("eval_{}{}", mode_tag(args), scale_tag(args.scale)),
+        );
         let outcome = sweep::run_units(&plan, &units);
         experiments::EvalResult {
             config: cfg,
@@ -473,9 +523,11 @@ fn cmd_fig8(args: &Args) {
 }
 
 fn cmd_sensitivity(args: &Args, which: &str) {
-    let path = args
-        .artifacts
-        .join(format!("sensitivity_{}.json", scale_tag(args.scale)));
+    let path = args.artifacts.join(format!(
+        "sensitivity_{}{}.json",
+        mode_tag(args),
+        scale_tag(args.scale)
+    ));
     // Tracing needs the simulations to actually run, so it bypasses the
     // cached sweep.
     let cached: Option<experiments::SensitivityResult> = if args.trace_out.is_some() {
@@ -493,6 +545,7 @@ fn cmd_sensitivity(args: &Args, which: &str) {
         None if args.trace_out.is_some() => {
             let tb_cfg = tbpoint_core::predict::TbpointConfig {
                 cycle_budget: args.cycle_budget,
+                mode: sampling_mode(args),
                 ..Default::default()
             };
             match experiments::sensitivity_traced(args.scale, args.threads, &tb_cfg, args.plan) {
@@ -511,6 +564,7 @@ fn cmd_sensitivity(args: &Args, which: &str) {
             let benches = tbpoint_workloads::all_benchmarks(args.scale);
             let tb_cfg = tbpoint_core::predict::TbpointConfig {
                 cycle_budget: args.cycle_budget,
+                mode: sampling_mode(args),
                 ..Default::default()
             };
             let unit_plan = args.plan.unit();
@@ -522,7 +576,10 @@ fn cmd_sensitivity(args: &Args, which: &str) {
                     plan: unit_plan,
                 })
                 .collect();
-            let plan = sweep_plan(args, format!("sensitivity_{}", scale_tag(args.scale)));
+            let plan = sweep_plan(
+                args,
+                format!("sensitivity_{}{}", mode_tag(args), scale_tag(args.scale)),
+            );
             let outcome = sweep::run_units(&plan, &units);
             let rows = finish_sweep(outcome, "sensitivity");
             let r = experiments::SensitivityResult {
@@ -599,8 +656,8 @@ fn cmd_bench(args: &Args) {
         .unwrap_or_else(|| PathBuf::from(bench::DEFAULT_ARTIFACT));
     // The frozen reference: an explicit --baseline file wins; then the
     // existing artifact's baseline section carries forward; then the
-    // previous PRs' committed artifacts (BENCH_PR5.json, falling back
-    // to BENCH_PR4.json) seed it.
+    // previous PRs' committed artifacts (BENCH_PR7.json, falling back
+    // to BENCH_PR5.json, then BENCH_PR4.json) seed it.
     let baseline = if let Some(bp) = &args.baseline {
         let bytes = std::fs::read(bp)
             .unwrap_or_else(|e| die(&format!("reading baseline {}", bp.display()), e));
@@ -612,6 +669,19 @@ fn cmd_bench(args: &Args) {
             .ok()
             .and_then(|bytes| bench::parse_report(&bytes).ok())
             .and_then(|r| r.baseline)
+            .or_else(|| {
+                let v3 = std::fs::read(bench::V3_ARTIFACT).ok()?;
+                match bench::baseline_from_v3(&v3) {
+                    Ok(section) => {
+                        eprintln!("baseline: seeded from {}", bench::V3_ARTIFACT);
+                        Some(section)
+                    }
+                    Err(e) => {
+                        eprintln!("warning: ignoring {}: {e}", bench::V3_ARTIFACT);
+                        None
+                    }
+                }
+            })
             .or_else(|| {
                 let v2 = std::fs::read(bench::V2_ARTIFACT).ok()?;
                 match bench::baseline_from_v2(&v2) {
@@ -827,16 +897,19 @@ fn main() {
                 scale_tag(args.scale)
             );
             let r = if let Some(trace_path) = &args.trace_out {
-                let (r, traces) = experiments::ablate_traced(args.scale, args.plan);
+                let (r, traces) =
+                    experiments::ablate_traced(args.scale, args.plan, sampling_mode(&args));
                 dump_traces(trace_path, &traces);
                 r
             } else {
-                experiments::ablate(args.scale, args.plan)
+                experiments::ablate(args.scale, args.plan, sampling_mode(&args))
             };
             write_json_or_die(
-                &args
-                    .artifacts
-                    .join(format!("ablate_{}.json", scale_tag(args.scale))),
+                &args.artifacts.join(format!(
+                    "ablate_{}{}.json",
+                    mode_tag(&args),
+                    scale_tag(args.scale)
+                )),
                 &r,
             );
             println!(
@@ -912,7 +985,7 @@ fn main() {
                 "usage: tbpoint <table1|table6|fig5|fig8|eval|fig9|fig10|fig11|fig12|fig13|ablate|inspect <bench>|profile <bench>|faultmatrix [bench]|bench|serve|all> \
                  [--scale full|dev|tiny] [--samples N] [--threads N] [--artifacts DIR] [--trace-out FILE] \
                  [--resume] [--max-units K] [--cycle-budget N] [--jobs N] [--pool-workers N] \
-                 [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE] [--counts-out FILE] \
+                 [--live] [--quick] [--reps N] [--out FILE] [--check FILE] [--baseline FILE] [--counts-out FILE] \
                  [--requests FILE] [--cache-dir DIR] [--max-pending N] [--retries N]"
             );
             std::process::exit(2);

@@ -247,6 +247,14 @@ where
 {
     let keys: Vec<String> = units.iter().map(SweepUnit::id).collect();
     std::fs::create_dir_all(&plan.dir).map_err(|e| io_err(&plan.dir, e))?;
+    // Sweep `write_atomic` staging files a crashed previous run left
+    // behind, exactly as the serve result cache does on open: a stale
+    // `.tmp` is never valid input, and leaving it around masks how much
+    // disk the unit directory really holds.
+    let swept = tbpoint_obs::clean_stale_tmps(&plan.dir).map_err(|e| io_err(&plan.dir, e))?;
+    for path in &swept {
+        eprintln!("swept stale staging file {}", path.display());
+    }
 
     let mut done: BTreeMap<usize, String> = if plan.resume {
         load_verified_units(plan, &keys)

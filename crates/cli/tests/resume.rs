@@ -222,6 +222,27 @@ fn truncated_manifest_recomputes_but_still_converges() {
 }
 
 #[test]
+fn stale_staging_files_are_swept_before_the_sweep() {
+    // A crash between `write_atomic`'s create and rename leaves a
+    // `.tmp` staging file in the unit directory; the next sweep must
+    // remove it on startup (it is never valid input) while leaving
+    // real unit files alone.
+    let dir = scratch("tmpsweep");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let stale = dir.join(".test_sweep.unit.bfs.json.tmp");
+    std::fs::write(&stale, b"torn half-write").expect("plant stale tmp");
+    let full = run_units(&plan(&dir), &units()).expect("sweep over stale tmp");
+    assert!(!full.partial);
+    assert_eq!(full.computed, keys().len());
+    assert!(!stale.exists(), "stale staging file swept on startup");
+    assert!(
+        dir.join("test_sweep.unit.bfs.json").exists(),
+        "real unit files are untouched"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn failing_unit_keeps_completed_units_for_resume() {
     let dir = scratch("fail");
 

@@ -34,6 +34,10 @@
 //!   cycles from the last warm unit's IPC.
 //! * [`predict`] — the end-to-end pipeline and IPC / sample-size /
 //!   skipped-instruction accounting behind Figs. 9-13 (Table IV).
+//! * [`sampling::live`] — **live single-pass sampling**: the same
+//!   epoch/cluster/region structure detected *online* from the
+//!   simulator's retire-time feature stream, with no profiling pass
+//!   ([`run_tbpoint_live`], `TbpointConfig::mode = Live`).
 //!
 //! Entry points return [`TbError`] on invalid configs or mismatched
 //! profiles; samplers are built with [`RegionSamplerBuilder`] and report
@@ -52,8 +56,10 @@ pub use error::TbError;
 pub use inter::{inter_launch_sample, InterConfig, InterResult};
 pub use intra::{build_epochs, identify_regions, Epoch, IntraConfig, Region, RegionTable};
 pub use predict::{
-    run_tbpoint, run_tbpoint_plan, run_tbpoint_traced, run_tbpoint_traced_plan, LaunchTrace,
-    SavingsBreakdown, TbpointConfig, TbpointResult,
+    run_tbpoint, run_tbpoint_live, run_tbpoint_live_plan, run_tbpoint_live_traced,
+    run_tbpoint_live_traced_plan, run_tbpoint_plan, run_tbpoint_traced, run_tbpoint_traced_plan,
+    LaunchTrace, SamplingMode, SavingsBreakdown, TbpointConfig, TbpointResult,
 };
+pub use sampling::live::{LiveOutcome, LiveSampler, LiveSamplerBuilder};
 pub use sampling::{IntraOutcome, RegionSampler, RegionSamplerBuilder};
 pub use tbpoint_pool::ExecPlan;

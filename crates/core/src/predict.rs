@@ -25,11 +25,13 @@
 use crate::error::{invalid, TbError};
 use crate::inter::{inter_launch_sample, InterConfig, InterResult};
 use crate::intra::{build_epochs, identify_regions, IntraConfig};
+use crate::sampling::live::LiveSampler;
 use crate::sampling::RegionSampler;
 use serde::{Deserialize, Serialize};
 use tbpoint_cluster::Clustering;
 use tbpoint_emu::LaunchProfile;
 use tbpoint_emu::RunProfile;
+use tbpoint_emu::TraceDeps;
 use tbpoint_ir::KernelRun;
 use tbpoint_ir::LaunchSpec;
 use tbpoint_obs::{
@@ -40,6 +42,19 @@ use tbpoint_sim::{
     simulate_launch_obs_with_options, CycleBudgetHook, GpuConfig, NullSampling, SamplingHook,
     SimOptions,
 };
+
+/// Which pipeline produces the prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// The paper's two-phase pipeline: profile every launch first, then
+    /// sample the timing simulation against the profile.
+    #[default]
+    TwoPhase,
+    /// Live single-pass sampling: no profiling pass; epochs and clusters
+    /// are detected online from the simulator's retire-time feature
+    /// stream (see [`crate::sampling::live::LiveSampler`]).
+    Live,
+}
 
 /// Full TBPoint configuration (paper defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,6 +84,21 @@ pub struct TbpointConfig {
     /// dispatching blocks past this many cycles is drained and reported
     /// as [`TbError::BudgetExceeded`] (`None` = no watchdog).
     pub cycle_budget: Option<u64>,
+    /// Which pipeline to run ([`SamplingMode::TwoPhase`] by default).
+    /// The [`run_tbpoint`] family ignores this field — callers branch on
+    /// it to pick between [`run_tbpoint`] and [`run_tbpoint_live`].
+    pub mode: SamplingMode,
+    /// Live mode: consecutive same-cluster epochs required before
+    /// warming starts. Must be at least 1.
+    pub live_min_run: u32,
+    /// Live mode: during fast-forward, every `live_guard_period`-th
+    /// dispatched block is simulated as a guard (destabilisation probe)
+    /// instead of skipped. Must be at least 1.
+    pub live_guard_period: u32,
+    /// Live mode: relative deviation of a guard block's stall
+    /// probability from its cluster centre that destabilises the
+    /// fast-forward. Must be finite and positive.
+    pub live_destab_tolerance: f64,
 }
 
 impl Default for TbpointConfig {
@@ -83,6 +113,10 @@ impl Default for TbpointConfig {
             intra_enabled: true,
             warming_budget: None,
             cycle_budget: None,
+            mode: SamplingMode::TwoPhase,
+            live_min_run: 2,
+            live_guard_period: 8,
+            live_destab_tolerance: 0.5,
         }
     }
 }
@@ -138,6 +172,21 @@ impl TbpointConfig {
         }
         if self.cycle_budget == Some(0) {
             return Err(invalid("cycle_budget", "must be at least 1 cycle (got 0)"));
+        }
+        if self.live_min_run == 0 {
+            return Err(invalid("live_min_run", "must be at least 1 (got 0)"));
+        }
+        if self.live_guard_period == 0 {
+            return Err(invalid("live_guard_period", "must be at least 1 (got 0)"));
+        }
+        if !self.live_destab_tolerance.is_finite() || self.live_destab_tolerance <= 0.0 {
+            return Err(invalid(
+                "live_destab_tolerance",
+                format!(
+                    "must be finite and positive (got {})",
+                    self.live_destab_tolerance
+                ),
+            ));
         }
         Ok(())
     }
@@ -676,6 +725,335 @@ pub fn run_tbpoint_traced_plan(
     Ok((aggregate(run, profile, inter, &rep_results), traces))
 }
 
+// --- live single-pass pipeline -----------------------------------------
+
+/// Live inter-launch grouping: with no profile (and therefore no Eq. 2
+/// feature vectors), launches are grouped by their *specs* — identical
+/// `(num_blocks, work_scale)` means identical work on our deterministic
+/// substrate, so one representative per spec class suffices. The first
+/// launch of each class is its representative.
+fn live_classes(run: &KernelRun, cfg: &TbpointConfig) -> InterResult {
+    let n = run.launches.len();
+    if !cfg.inter_enabled {
+        return InterResult {
+            clustering: Clustering::from_assignments(&(0..n).collect::<Vec<_>>()),
+            representatives: (0..n).collect(),
+            features: vec![],
+        };
+    }
+    let mut keys: Vec<(u32, u64)> = Vec::new();
+    let mut assignments = Vec::with_capacity(n);
+    let mut representatives = Vec::new();
+    for (i, spec) in run.launches.iter().enumerate() {
+        let key = (spec.num_blocks, spec.work_scale.to_bits());
+        match keys.iter().position(|k| *k == key) {
+            Some(c) => assignments.push(c),
+            None => {
+                assignments.push(keys.len());
+                representatives.push(i);
+                keys.push(key);
+            }
+        }
+    }
+    InterResult {
+        clustering: Clustering::from_assignments(&assignments),
+        representatives,
+        features: vec![],
+    }
+}
+
+/// Step 2 of the live pipeline: simulate one representative with the
+/// online [`LiveSampler`] (no profile). Instruction totals come out of
+/// the simulator plus the sampler's skip estimates instead of a profile.
+#[allow(clippy::too_many_arguments)]
+fn simulate_rep_live<R: Recorder>(
+    run: &KernelRun,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+    occupancy: u32,
+    block_invariant: bool,
+    jobs: usize,
+    rep: usize,
+    rec: &R,
+) -> Result<RepSim, TbError> {
+    let spec = &run.launches[rep];
+    if cfg.intra_enabled {
+        let mut sampler = LiveSampler::builder(spec.num_blocks, occupancy)
+            .block_invariant(block_invariant)
+            .sigma(cfg.intra.sigma)
+            .threshold(cfg.warming_threshold)
+            .unit_tb_span(cfg.unit_tb_span)
+            .warming_window(cfg.warming_window)
+            .warming_budget(cfg.warming_budget)
+            .min_run(cfg.live_min_run)
+            .guard_period(cfg.live_guard_period)
+            .destab_tolerance(cfg.live_destab_tolerance)
+            .recorder(rec)
+            .build()?;
+        let r = simulate_guarded(
+            run,
+            spec,
+            gpu,
+            &mut sampler,
+            cfg.cycle_budget,
+            jobs,
+            rep,
+            rec,
+        )?;
+        let o = sampler.outcome();
+        let est_total = r.issued_warp_insts + o.skipped_warp_insts;
+        let predicted_cycles = r.cycles as f64 + o.predicted_skipped_cycles;
+        let predicted_ipc = if predicted_cycles > 0.0 {
+            est_total as f64 / predicted_cycles
+        } else {
+            0.0
+        };
+        return Ok(RepSim {
+            issued: r.issued_warp_insts,
+            skipped_insts: o.skipped_warp_insts,
+            sim_cycles: r.cycles,
+            predicted_cycles,
+            predicted_ipc,
+            degraded: o.degraded_regions > 0,
+        });
+    }
+
+    // Intra-launch sampling disabled: the "live" run is just a detailed
+    // simulation (still profile-free; instruction counts are exact).
+    let r = simulate_guarded(
+        run,
+        spec,
+        gpu,
+        &mut NullSampling,
+        cfg.cycle_budget,
+        jobs,
+        rep,
+        rec,
+    )?;
+    let predicted_cycles = r.cycles as f64;
+    let predicted_ipc = if predicted_cycles > 0.0 {
+        r.issued_warp_insts as f64 / predicted_cycles
+    } else {
+        0.0
+    };
+    Ok(RepSim {
+        issued: r.issued_warp_insts,
+        skipped_insts: 0,
+        sim_cycles: r.cycles,
+        predicted_cycles,
+        predicted_ipc,
+        degraded: false,
+    })
+}
+
+/// Steps 3-4 of the live pipeline. Identical accounting to the two-phase
+/// [`aggregate`], except instruction totals come from the simulated
+/// representatives (issued + estimated skipped) instead of the profile:
+/// a non-representative launch shares its class representative's spec,
+/// so its instruction count *is* the representative's estimated total.
+fn aggregate_live(run: &KernelRun, inter: InterResult, rep_results: &[RepSim]) -> TbpointResult {
+    let n_launches = run.launches.len();
+    // rep_outcome[launch] = (predicted_cycles, predicted_ipc, est insts).
+    let mut rep_outcome: Vec<Option<(f64, f64, u64)>> = vec![None; n_launches];
+    let mut simulated_warp_insts = 0u64;
+    let mut intra_skipped = 0u64;
+    let mut degraded_launches = 0usize;
+    for (&rep, r) in inter.representatives.iter().zip(rep_results) {
+        simulated_warp_insts += r.issued;
+        intra_skipped += r.skipped_insts;
+        if r.degraded {
+            degraded_launches += 1;
+        }
+        rep_outcome[rep] = Some((
+            r.predicted_cycles,
+            r.predicted_ipc,
+            r.issued + r.skipped_insts,
+        ));
+    }
+
+    let mut per_launch_predicted_cycles = Vec::with_capacity(n_launches);
+    let mut inter_skipped = 0u64;
+    let mut total_insts = 0u64;
+    for i in 0..n_launches {
+        let rep = inter.representatives[inter.clustering.assignments[i]];
+        // Filled for every representative by the loop above; the
+        // fallback only guards an impossible index.
+        let (rep_cycles, rep_ipc, rep_insts) = rep_outcome[rep].unwrap_or((0.0, 0.0, 0));
+        total_insts += rep_insts;
+        if i == rep {
+            per_launch_predicted_cycles.push(rep_cycles);
+        } else {
+            inter_skipped += rep_insts;
+            let cycles = if rep_ipc > 0.0 {
+                rep_insts as f64 / rep_ipc
+            } else {
+                rep_cycles
+            };
+            per_launch_predicted_cycles.push(cycles);
+        }
+    }
+    let predicted_total_cycles: f64 = per_launch_predicted_cycles.iter().sum();
+    let predicted_ipc = if predicted_total_cycles > 0.0 {
+        total_insts as f64 / predicted_total_cycles
+    } else {
+        0.0
+    };
+
+    TbpointResult {
+        kernel_name: run.kernel.name.clone(),
+        predicted_ipc,
+        simulated_warp_insts,
+        total_warp_insts: total_insts,
+        predicted_total_cycles,
+        breakdown: SavingsBreakdown {
+            inter_skipped_warp_insts: inter_skipped,
+            intra_skipped_warp_insts: intra_skipped,
+        },
+        num_simulated_launches: inter.representatives.len(),
+        num_launches: n_launches,
+        per_launch_predicted_cycles,
+        inter_clustering: inter.clustering,
+        degraded_launches,
+    }
+}
+
+/// Run the live single-pass TBPoint pipeline for one benchmark: no
+/// profiling pass, no region tables — epoch detection, clustering and
+/// fast-forwarding all happen online inside the one timing simulation
+/// (see [`crate::sampling::live::LiveSampler`]).
+///
+/// The returned [`TbpointResult`] has the same shape as
+/// [`run_tbpoint`]'s, but `total_warp_insts` (and everything derived
+/// from it) is an *estimate*: exact for block-invariant kernels, the
+/// cluster running mean otherwise.
+///
+/// # Errors
+///
+/// [`TbError::InvalidConfig`] when [`TbpointConfig::validate`] rejects
+/// `cfg`; [`TbError::BudgetExceeded`] when a representative overruns
+/// `cfg.cycle_budget`.
+pub fn run_tbpoint_live(
+    run: &KernelRun,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+) -> Result<TbpointResult, TbError> {
+    run_tbpoint_live_plan(run, cfg, gpu, ExecPlan::serial())
+}
+
+/// [`run_tbpoint_live`] under an explicit [`ExecPlan`].
+///
+/// Exactly like [`run_tbpoint_plan`], representatives fan out across
+/// `plan.pool_workers` pool threads and each launch runs with
+/// `plan.sim_jobs` SM-shard workers; the retire-time feature stream the
+/// live sampler consumes is delivered in the same deterministic order at
+/// every worker count, so the result is bit-identical to serial on both
+/// axes.
+///
+/// # Errors
+///
+/// Exactly as [`run_tbpoint_live`]; a failing representative reports
+/// the error with the lowest recorded representative index.
+pub fn run_tbpoint_live_plan(
+    run: &KernelRun,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+    plan: ExecPlan,
+) -> Result<TbpointResult, TbError> {
+    cfg.validate()?;
+    let inter = live_classes(run, cfg);
+    let occupancy = gpu.system_occupancy(&run.kernel);
+    let deps = TraceDeps::of(&run.kernel);
+    let block_invariant = !deps.per_thread && !deps.per_block;
+
+    let plan = plan.normalized();
+    let reps = &inter.representatives;
+    let rep_results = run_indexed(plan.pool_workers, reps.len(), |i| {
+        simulate_rep_live(
+            run,
+            cfg,
+            gpu,
+            occupancy,
+            block_invariant,
+            plan.sim_jobs,
+            reps[i],
+            &NullRecorder,
+        )
+    })
+    .map_err(|(_, e)| e)?;
+
+    Ok(aggregate_live(run, inter, &rep_results))
+}
+
+/// [`run_tbpoint_live`] with per-launch observability traces (the live
+/// analogue of [`run_tbpoint_traced`]). Runs serially; use
+/// [`run_tbpoint_live_traced_plan`] to fan out.
+///
+/// # Errors
+///
+/// Exactly as [`run_tbpoint_live`].
+pub fn run_tbpoint_live_traced(
+    run: &KernelRun,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+) -> Result<(TbpointResult, Vec<LaunchTrace>), TbError> {
+    run_tbpoint_live_traced_plan(run, cfg, gpu, ExecPlan::serial())
+}
+
+/// [`run_tbpoint_live_traced`] under an explicit [`ExecPlan`]: each
+/// representative records into its own [`CollectingRecorder`] inside its
+/// pool job and traces merge back in canonical representative order, so
+/// both the result and the trace streams are bit-identical to serial at
+/// every worker count.
+///
+/// # Errors
+///
+/// Exactly as [`run_tbpoint_live`].
+pub fn run_tbpoint_live_traced_plan(
+    run: &KernelRun,
+    cfg: &TbpointConfig,
+    gpu: &GpuConfig,
+    plan: ExecPlan,
+) -> Result<(TbpointResult, Vec<LaunchTrace>), TbError> {
+    cfg.validate()?;
+    let inter = live_classes(run, cfg);
+    let occupancy = gpu.system_occupancy(&run.kernel);
+    let deps = TraceDeps::of(&run.kernel);
+    let block_invariant = !deps.per_thread && !deps.per_block;
+
+    let plan = plan.normalized();
+    let reps = &inter.representatives;
+    let outcomes = run_indexed(plan.pool_workers, reps.len(), |i| {
+        let rep = reps[i];
+        let rec = CollectingRecorder::new();
+        let span = Span::SimulateLaunch {
+            launch: run.launches[rep].launch_id.0,
+        };
+        rec.span_start(0, span);
+        let r = simulate_rep_live(
+            run,
+            cfg,
+            gpu,
+            occupancy,
+            block_invariant,
+            plan.sim_jobs,
+            rep,
+            &rec,
+        )?;
+        rec.span_end(r.sim_cycles, span);
+        Ok((r, rec.finish()))
+    })
+    .map_err(|(_, e): (usize, TbError)| e)?;
+
+    let mut rep_results = Vec::with_capacity(outcomes.len());
+    let mut traces = Vec::with_capacity(outcomes.len());
+    for (&rep, (r, trace)) in reps.iter().zip(outcomes) {
+        rep_results.push(r);
+        traces.push(LaunchTrace { launch: rep, trace });
+    }
+
+    Ok((aggregate_live(run, inter, &rep_results), traces))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,6 +1420,183 @@ mod tests {
                 .counters
                 .iter()
                 .any(|c| c.name == "issued_warp_insts"));
+        }
+    }
+
+    #[test]
+    fn live_mode_on_homogeneous_run_is_accurate_and_cheap() {
+        let run = homogeneous_run(6, 1800);
+        let gpu = GpuConfig::fermi();
+        let full = simulate_run(&run, &gpu, &mut NullSampling, None);
+
+        let cfg = TbpointConfig {
+            mode: SamplingMode::Live,
+            ..Default::default()
+        };
+        let result = run_tbpoint_live(&run, &cfg, &gpu).unwrap();
+        assert_eq!(
+            result.num_simulated_launches, 1,
+            "6 identical specs -> 1 simulated"
+        );
+        let err = result.error_vs(full.overall_ipc());
+        assert!(err < 10.0, "live error {err:.2}% too high");
+        assert!(
+            result.sample_size() < 0.25,
+            "live sample size {:.3} should be small",
+            result.sample_size()
+        );
+        assert!(result.breakdown.inter_skipped_warp_insts > 0);
+        assert!(result.breakdown.intra_skipped_warp_insts > 0);
+        // Conservation holds on the estimated totals too.
+        assert_eq!(
+            result.simulated_warp_insts + result.breakdown.total_skipped(),
+            result.total_warp_insts
+        );
+        // Block-invariant kernel: the estimate is exact, so the total
+        // matches what a profile would report.
+        let profile = profile_run(&run, 2);
+        let exact: u64 = profile.launches.iter().map(|l| l.warp_insts()).sum();
+        assert_eq!(result.total_warp_insts, exact);
+    }
+
+    #[test]
+    fn live_and_two_phase_agree_on_homogeneous_run() {
+        let run = homogeneous_run(4, 1800);
+        let gpu = GpuConfig::fermi();
+        let profile = profile_run(&run, 2);
+        let cfg = TbpointConfig::default();
+        let two_phase = run_tbpoint(&run, &profile, &cfg, &gpu).unwrap();
+        let live = run_tbpoint_live(&run, &cfg, &gpu).unwrap();
+        let rel = ((live.predicted_ipc - two_phase.predicted_ipc) / two_phase.predicted_ipc).abs();
+        assert!(
+            rel < 0.10,
+            "live {:.3} vs two-phase {:.3}: {:.2}% apart",
+            live.predicted_ipc,
+            two_phase.predicted_ipc,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn live_with_intra_disabled_matches_full_simulation() {
+        let run = homogeneous_run(2, 300);
+        let gpu = GpuConfig::fermi();
+        let cfg = TbpointConfig {
+            inter_enabled: false,
+            intra_enabled: false,
+            ..Default::default()
+        };
+        let result = run_tbpoint_live(&run, &cfg, &gpu).unwrap();
+        assert_eq!(result.sample_size(), 1.0);
+        let full = simulate_run(&run, &gpu, &mut NullSampling, None);
+        assert!(result.error_vs(full.overall_ipc()) < 1e-9);
+    }
+
+    #[test]
+    fn live_warming_budget_degrades_gracefully() {
+        let run = homogeneous_run(1, 1800);
+        let gpu = GpuConfig::fermi();
+        let cfg = TbpointConfig {
+            warming_threshold: 1e-300,
+            warming_budget: Some(crate::sampling::WARMING_WINDOW as u32),
+            ..Default::default()
+        };
+        let (result, traces) = run_tbpoint_live_traced(&run, &cfg, &gpu).unwrap();
+        assert_eq!(result.degraded_launches, 1);
+        assert_eq!(result.breakdown.intra_skipped_warp_insts, 0);
+        assert!(traces.iter().flat_map(|t| &t.trace.events).any(|e| {
+            matches!(
+                e.kind,
+                tbpoint_obs::EventKind::DegradedMode {
+                    reason: DegradeReason::WarmingBudgetExceeded { .. }
+                }
+            )
+        }));
+    }
+
+    #[test]
+    fn live_cycle_budget_overrun_is_an_error() {
+        let run = homogeneous_run(1, 1800);
+        let gpu = GpuConfig::fermi();
+        let cfg = TbpointConfig {
+            cycle_budget: Some(1),
+            ..Default::default()
+        };
+        let err = run_tbpoint_live(&run, &cfg, &gpu).unwrap_err();
+        assert_eq!(
+            err,
+            TbError::BudgetExceeded {
+                launch: 0,
+                budget_cycles: 1
+            }
+        );
+    }
+
+    #[test]
+    fn live_config_knobs_are_validated() {
+        let run = homogeneous_run(1, 10);
+        let gpu = GpuConfig::fermi();
+        for (cfg, field) in [
+            (
+                TbpointConfig {
+                    live_min_run: 0,
+                    ..Default::default()
+                },
+                "live_min_run",
+            ),
+            (
+                TbpointConfig {
+                    live_guard_period: 0,
+                    ..Default::default()
+                },
+                "live_guard_period",
+            ),
+            (
+                TbpointConfig {
+                    live_destab_tolerance: f64::NAN,
+                    ..Default::default()
+                },
+                "live_destab_tolerance",
+            ),
+        ] {
+            let err = run_tbpoint_live(&run, &cfg, &gpu).unwrap_err();
+            match err {
+                TbError::InvalidConfig { field: f, .. } => assert_eq!(f, field),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn live_pooled_results_and_traces_are_identical_at_any_worker_count() {
+        let run = homogeneous_run(5, 300);
+        let gpu = GpuConfig::fermi();
+        let cfg = TbpointConfig {
+            inter_enabled: false,
+            ..Default::default()
+        };
+        let serial = run_tbpoint_live(&run, &cfg, &gpu).unwrap();
+        let (serial_traced, serial_traces) = run_tbpoint_live_traced(&run, &cfg, &gpu).unwrap();
+        assert_eq!(serial, serial_traced, "tracing changed the live result");
+        for (sim_jobs, pool_workers) in [(1, 1), (1, 2), (2, 1), (2, 2), (1, 4)] {
+            let plan = ExecPlan {
+                sim_jobs,
+                pool_workers,
+            };
+            let pooled = run_tbpoint_live_plan(&run, &cfg, &gpu, plan).unwrap();
+            assert_eq!(pooled, serial, "jobs={sim_jobs} workers={pool_workers}");
+            let (traced, traces) = run_tbpoint_live_traced_plan(&run, &cfg, &gpu, plan).unwrap();
+            assert_eq!(
+                traced, serial_traced,
+                "jobs={sim_jobs} workers={pool_workers}"
+            );
+            // Trace *streams* are canonical across the pool axis. Across
+            // the SM-shard axis only the result is pinned: window
+            // boundaries legitimately split idle jumps differently (the
+            // same caveat as the two-phase pipeline).
+            if sim_jobs == 1 {
+                assert_eq!(traces, serial_traces, "workers={pool_workers}");
+            }
         }
     }
 

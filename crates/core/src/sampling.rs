@@ -19,6 +19,8 @@
 //! transition is reported to the attached [`tbpoint_obs::Recorder`]
 //! (the default [`tbpoint_obs::NullRecorder`] makes that free).
 
+pub mod live;
+
 use crate::error::{invalid, TbError};
 use crate::intra::RegionTable;
 use serde::{Deserialize, Serialize};

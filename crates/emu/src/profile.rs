@@ -22,6 +22,34 @@ use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LatencyClass, LaunchSpec, TbId};
 use tbpoint_obs::{Recorder, Span};
 use tbpoint_stats::cov;
 
+/// The per-TB feature statistics the live (single-pass) sampler
+/// consumes: the subset of [`TbProfile`] counters the timing simulator
+/// can reproduce exactly at block retirement, without a separate
+/// profiling pass. The counts are hardware independent — identical to
+/// what [`profile_tb`] would have recorded for the same block — so a
+/// stream of `TbStats` is an incremental, on-the-fly profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TbStats {
+    /// Warp instructions executed.
+    pub warp_insts: u64,
+    /// Thread instructions executed (sum of active lanes).
+    pub thread_insts: u64,
+    /// Global-memory requests after intra-warp coalescing.
+    pub mem_requests: u64,
+}
+
+impl TbStats {
+    /// The paper's per-TB stall probability approximation:
+    /// `mem_requests / warp_insts` (Eq. 5). Zero for an empty TB.
+    pub fn stall_probability(&self) -> f64 {
+        if self.warp_insts == 0 {
+            0.0
+        } else {
+            self.mem_requests as f64 / self.warp_insts as f64
+        }
+    }
+}
+
 /// Profile of a single thread block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TbProfile {
@@ -57,6 +85,16 @@ impl TbProfile {
     /// "Thread block size" in the paper's sense: thread instructions.
     pub fn size(&self) -> u64 {
         self.thread_insts
+    }
+
+    /// The live-sampling feature subset of this profile — the counters a
+    /// retire-time stream reproduces ([`TbStats`]).
+    pub fn features(&self) -> TbStats {
+        TbStats {
+            warp_insts: self.warp_insts,
+            thread_insts: self.thread_insts,
+            mem_requests: self.mem_requests,
+        }
     }
 }
 
@@ -459,6 +497,25 @@ mod tests {
         let k = b.finish(n);
         let lp = profile_launch(&k, &launch(50), 1);
         assert!(lp.tb_size_cov() > 0.1, "cov = {}", lp.tb_size_cov());
+    }
+
+    #[test]
+    fn features_agree_with_profile() {
+        let k = simple_kernel(64);
+        let ctx = ExecCtx {
+            kernel_seed: 5,
+            launch_id: LaunchId(0),
+            block_id: 0,
+            num_blocks: 1,
+            work_scale: 1.0,
+        };
+        let p = profile_tb(&k, &ctx, TbId(0));
+        let f = p.features();
+        assert_eq!(f.warp_insts, p.warp_insts);
+        assert_eq!(f.thread_insts, p.thread_insts);
+        assert_eq!(f.mem_requests, p.mem_requests);
+        assert_eq!(f.stall_probability(), p.stall_probability());
+        assert_eq!(TbStats::default().stall_probability(), 0.0);
     }
 
     #[test]

@@ -111,6 +111,31 @@ pub enum EventKind {
         warp_insts: u64,
     },
 
+    // --- live single-pass sampler (tbpoint-core) ---
+    /// The online detector completed an epoch of retired blocks and
+    /// assigned it to a behaviour cluster.
+    LiveEpochDetected {
+        /// Epoch index within the launch.
+        epoch: u32,
+        /// Cluster the epoch's mean stall probability landed in.
+        cluster: u32,
+    },
+    /// A cluster's warming converged during the single pass; subsequent
+    /// blocks of the cluster fast-forward at the given IPC.
+    LiveFastForward {
+        /// Cluster index.
+        cluster: u32,
+        /// The stabilised IPC used to extrapolate skipped blocks.
+        ipc: f64,
+    },
+    /// A guard block's statistics deviated from its cluster's running
+    /// representative: fast-forwarding stopped and the sampler fell back
+    /// to detailed simulation.
+    LiveDestabilised {
+        /// Cluster index that destabilised.
+        cluster: u32,
+    },
+
     // --- resilience (tbpoint-core) ---
     /// The pipeline fell back to detailed simulation instead of
     /// fast-forwarding on untrustworthy data.
@@ -224,6 +249,9 @@ impl EventKind {
             EventKind::UnitClosed { .. } => "UnitClosed",
             EventKind::FastForwardStarted { .. } => "FastForwardStarted",
             EventKind::BlockSkipped { .. } => "BlockSkipped",
+            EventKind::LiveEpochDetected { .. } => "LiveEpochDetected",
+            EventKind::LiveFastForward { .. } => "LiveFastForward",
+            EventKind::LiveDestabilised { .. } => "LiveDestabilised",
             EventKind::DegradedMode { .. } => "DegradedMode",
             EventKind::ExecPlanAdjusted { .. } => "ExecPlanAdjusted",
             EventKind::RequestAdmitted { .. } => "RequestAdmitted",
@@ -405,6 +433,28 @@ mod tests {
         ];
         for kind in kinds {
             let ev = Event { cycle: 0, kind };
+            let line = crate::jsonl::event_line(&ev);
+            let back = crate::jsonl::parse_event(&line).expect("round trip");
+            assert_eq!(back, ev, "{}", kind.name());
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn live_events_round_trip_through_jsonl() {
+        let kinds = [
+            EventKind::LiveEpochDetected {
+                epoch: 3,
+                cluster: 1,
+            },
+            EventKind::LiveFastForward {
+                cluster: 1,
+                ipc: 12.5,
+            },
+            EventKind::LiveDestabilised { cluster: 1 },
+        ];
+        for kind in kinds {
+            let ev = Event { cycle: 42, kind };
             let line = crate::jsonl::event_line(&ev);
             let back = crate::jsonl::parse_event(&line).expect("round trip");
             assert_eq!(back, ev, "{}", kind.name());

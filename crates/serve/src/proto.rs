@@ -75,6 +75,12 @@ pub struct Request {
     pub cycle_budget: Option<u64>,
     /// Per-request warming budget override.
     pub warming_budget: Option<u32>,
+    /// Run the live single-pass sampling mode (`TbpointConfig::mode =
+    /// Live`): the profiling stage is skipped and the online detector
+    /// samples during the one timing pass. Defaults to `false`
+    /// (two-phase). The cache key includes the full config, so live and
+    /// two-phase results never collide.
+    pub live: bool,
     /// Wall-clock guardrail in milliseconds, checked between retry
     /// rounds only. **Nondeterministic by nature** — contract tests
     /// never set it; see the service docs.
@@ -88,6 +94,17 @@ fn str_field(obj: &[(String, serde::Value)], name: &str) -> Result<Option<String
         None => Ok(None),
         Some((_, serde::Value::Str(s))) => Ok(Some(s.clone())),
         Some((_, v)) => Err(format!("field `{name}`: expected string, got {}", v.kind())),
+    }
+}
+
+fn bool_field(obj: &[(String, serde::Value)], name: &str) -> Result<Option<bool>, String> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None | Some((_, serde::Value::Null)) => Ok(None),
+        Some((_, serde::Value::Bool(b))) => Ok(Some(*b)),
+        Some((_, v)) => Err(format!(
+            "field `{name}`: expected boolean, got {}",
+            v.kind()
+        )),
     }
 }
 
@@ -163,6 +180,7 @@ pub fn parse_request(line: &str, seq: u64) -> Result<Request, String> {
         scale,
         cycle_budget: u64_field(obj, "cycle_budget")?,
         warming_budget,
+        live: bool_field(obj, "live")?.unwrap_or(false),
         wall_budget_ms: u64_field(obj, "wall_budget_ms")?,
         fault,
     })
@@ -245,6 +263,11 @@ pub struct StatusReport {
     pub completed_ok: u64,
     /// Work requests that ended in a structured error.
     pub failed: u64,
+    /// Result-cache entries on disk at the end of the batch the
+    /// `status` request arrived in (0 when caching is disabled).
+    pub cache_entries: u64,
+    /// Total size in bytes of those entries.
+    pub cache_bytes: u64,
 }
 
 /// One response line. Every field is always serialised (empty string /

@@ -49,7 +49,7 @@ use crate::proto::{
 };
 use crate::retry::RetryPolicy;
 use std::path::PathBuf;
-use tbpoint_core::{run_tbpoint_plan, TbError, TbpointConfig};
+use tbpoint_core::{run_tbpoint_live_plan, run_tbpoint_plan, SamplingMode, TbError, TbpointConfig};
 use tbpoint_emu::profile_run;
 use tbpoint_obs::{EventKind, Recorder};
 use tbpoint_pool::{run_supervised, ExecPlan, UnitError};
@@ -144,6 +144,34 @@ impl Service {
         self.shutdown
     }
 
+    /// Committed result-cache entries on disk right now: `(count,
+    /// total bytes)`. Staging (`.tmp`) and `.quarantined` files are
+    /// not entries; `(0, 0)` when caching is disabled. Reported in
+    /// the `status` payload so operators can watch cache growth
+    /// without shelling into the cache directory.
+    pub fn cache_usage(&self) -> (u64, u64) {
+        let Some(cache) = &self.cache else {
+            return (0, 0);
+        };
+        let Ok(dir) = std::fs::read_dir(cache.dir()) else {
+            return (0, 0);
+        };
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for e in dir.flatten() {
+            if !e.file_name().to_string_lossy().ends_with(".json") {
+                continue;
+            }
+            if let Ok(meta) = e.metadata() {
+                if meta.is_file() {
+                    entries += 1;
+                    bytes += meta.len();
+                }
+            }
+        }
+        (entries, bytes)
+    }
+
     /// Process one batch window of request lines and return their
     /// responses in arrival order. See the module docs for the
     /// lifecycle and determinism contract.
@@ -218,7 +246,9 @@ impl Service {
             match req.cmd {
                 Command::Status => {
                     let mut resp = Response::empty(req.id.clone(), req.seq, "ok", "status", "");
-                    resp.service = Some(self.counters);
+                    let mut report = self.counters;
+                    (report.cache_entries, report.cache_bytes) = self.cache_usage();
+                    resp.service = Some(report);
                     responses[*slot] = Some(resp);
                 }
                 Command::Shutdown => {
@@ -444,6 +474,11 @@ fn run_work(
     let cfg = TbpointConfig {
         warming_budget: req.warming_budget.or(opts.config.warming_budget),
         cycle_budget: req.cycle_budget.or(opts.config.cycle_budget),
+        mode: if req.live {
+            SamplingMode::Live
+        } else {
+            opts.config.mode
+        },
         ..opts.config
     };
 
@@ -484,8 +519,17 @@ fn run_work(
         }
     }
 
-    let profile = profile_run(&bench.run, 1);
-    let tbp = match run_tbpoint_plan(&bench.run, &profile, &cfg, &opts.gpu, opts.plan.unit()) {
+    // Live requests skip the profiling pass entirely — the online
+    // detector learns from the retire stream — which is the whole
+    // point of accepting `"live": true` on a service request.
+    let tbp = match cfg.mode {
+        SamplingMode::Live => run_tbpoint_live_plan(&bench.run, &cfg, &opts.gpu, opts.plan.unit()),
+        SamplingMode::TwoPhase => {
+            let profile = profile_run(&bench.run, 1);
+            run_tbpoint_plan(&bench.run, &profile, &cfg, &opts.gpu, opts.plan.unit())
+        }
+    };
+    let tbp = match tbp {
         Ok(r) => r,
         Err(e) => {
             done.body = Err(e);

@@ -251,6 +251,87 @@ fn corrupted_cache_entry_is_quarantined_recomputed_and_observable() {
 }
 
 #[test]
+fn live_requests_run_single_pass_and_are_deterministic_across_workers() {
+    let line = "{\"id\":\"lv\",\"cmd\":\"eval\",\"bench\":\"bfs\",\"live\":true}\n";
+    let mut svc = Service::new(opts(1, None)).expect("service");
+    let serial = process_text(&mut svc, line, &NullRecorder);
+    assert!(
+        serial.contains("\"status\":\"ok\""),
+        "live eval answers ok:\n{serial}"
+    );
+    assert!(
+        serial.contains("\"eval\":"),
+        "live eval carries an eval body:\n{serial}"
+    );
+    for workers in [2, 4] {
+        let mut svc = Service::new(opts(workers, None)).expect("service");
+        assert_eq!(
+            process_text(&mut svc, line, &NullRecorder),
+            serial,
+            "pool_workers={workers} must not change a live byte"
+        );
+    }
+}
+
+#[test]
+fn live_and_two_phase_requests_cache_under_distinct_keys() {
+    let dir = scratch("livecache");
+    let batch = "{\"id\":\"tp\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\
+                 {\"id\":\"lv\",\"cmd\":\"simulate\",\"bench\":\"bfs\",\"live\":true}\n";
+    let mut svc = Service::new(opts(1, Some(dir.clone()))).expect("service");
+    let _ = process_text(&mut svc, batch, &NullRecorder);
+    assert_eq!(
+        svc.counters().cache_stores,
+        2,
+        "the sampling mode is part of the cache key"
+    );
+    let mut svc = Service::new(opts(1, Some(dir.clone()))).expect("service");
+    let _ = process_text(&mut svc, batch, &NullRecorder);
+    assert_eq!(svc.counters().cache_hits, 2, "both modes hit on resubmit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_reports_cache_entry_count_and_total_bytes() {
+    let dir = scratch("usage");
+    let mut svc = Service::new(opts(1, Some(dir.clone()))).expect("service");
+    let text = "{\"id\":\"w\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\
+                {\"id\":\"s\",\"cmd\":\"status\"}\n";
+    let out = process_text(&mut svc, text, &NullRecorder);
+    let status_line = out
+        .lines()
+        .find(|l| l.contains("\"id\":\"s\""))
+        .expect("status response");
+    let resp: tbpoint_serve::Response = serde_json::from_str(status_line).expect("parse status");
+    let report = resp.service.expect("service payload");
+    assert_eq!(
+        report.cache_entries, 1,
+        "status counts the entry the batch just stored"
+    );
+    let on_disk: u64 = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum();
+    assert!(on_disk > 0, "the entry really is on disk");
+    assert_eq!(report.cache_bytes, on_disk);
+
+    // With caching disabled the usage figures stay zero.
+    let mut bare = Service::new(opts(1, None)).expect("service");
+    let out = process_text(
+        &mut bare,
+        "{\"id\":\"s\",\"cmd\":\"status\"}\n",
+        &NullRecorder,
+    );
+    let resp: tbpoint_serve::Response =
+        serde_json::from_str(out.lines().next().expect("line")).expect("parse status");
+    let report = resp.service.expect("service payload");
+    assert_eq!((report.cache_entries, report.cache_bytes), (0, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_drains_its_batch_then_stops_the_loop() {
     let mut svc = Service::new(opts(1, None)).expect("service");
     let text = "{\"id\":\"a\",\"cmd\":\"simulate\",\"bench\":\"bfs\"}\n\

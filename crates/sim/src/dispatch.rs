@@ -8,6 +8,7 @@
 //! TBs outright. All of that is expressible through two callbacks, which
 //! keeps the simulator core ignorant of sampling policy.
 
+use tbpoint_emu::TbStats;
 use tbpoint_ir::TbId;
 
 /// What to do with a thread block that is about to be dispatched.
@@ -34,6 +35,16 @@ pub trait SamplingHook {
     /// not generate retire events (the hook already knows it skipped
     /// them).
     fn on_retire(&mut self, tb: TbId, cycle: u64, issued_warp_insts: u64);
+
+    /// [`SamplingHook::on_retire`] with the retired block's accumulated
+    /// feature counters ([`TbStats`]) — the retire-time profile stream
+    /// live sampling runs on. The simulator always calls this variant;
+    /// the default implementation drops the stats and delegates to
+    /// `on_retire`, so hooks that don't need features stay unchanged.
+    fn on_retire_stats(&mut self, tb: TbId, cycle: u64, issued_warp_insts: u64, stats: TbStats) {
+        let _ = stats;
+        self.on_retire(tb, cycle, issued_warp_insts);
+    }
 }
 
 /// The "Full" configuration: simulate everything, observe nothing.
@@ -97,6 +108,12 @@ impl<H: SamplingHook + ?Sized> SamplingHook for CycleBudgetHook<'_, H> {
     fn on_retire(&mut self, tb: TbId, cycle: u64, issued: u64) {
         if !self.exceeded {
             self.inner.on_retire(tb, cycle, issued);
+        }
+    }
+
+    fn on_retire_stats(&mut self, tb: TbId, cycle: u64, issued: u64, stats: TbStats) {
+        if !self.exceeded {
+            self.inner.on_retire_stats(tb, cycle, issued, stats);
         }
     }
 }

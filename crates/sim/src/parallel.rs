@@ -74,7 +74,7 @@ use crate::sm::{IssueMem, LoadOutcome, SmCore};
 use crate::units::{UnitCollector, UnitsConfig};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
-use tbpoint_emu::TraceArena;
+use tbpoint_emu::{TbStats, TraceArena};
 use tbpoint_ir::inst::CoalescedLines;
 use tbpoint_ir::{Kernel, LaunchSpec, TbId};
 use tbpoint_obs::{CollectingRecorder, EventKind, NullRecorder, Recorder};
@@ -186,8 +186,10 @@ struct ShardReport {
     before_last: u64,
     /// Global SM ids that issued at the window's last cycle, ascending.
     at_last: Vec<usize>,
-    /// `(sm, tb)` retirements, all at the last cycle, ascending by SM.
-    retired: Vec<(usize, TbId)>,
+    /// `(sm, tb, stats)` retirements, all at the last cycle, ascending
+    /// by SM — carrying each block's accumulated feature counters for
+    /// the retire-hook stream.
+    retired: Vec<(usize, TbId, TbStats)>,
     /// `(cycle, sm, bb)` issue trail for the unit collector (only
     /// gathered when requested).
     trail: Vec<(u64, usize, u16)>,
@@ -346,7 +348,7 @@ fn run_window<R2: Recorder>(
                 if c + 1 != w.t1 {
                     st.report.stray_retire = true;
                 }
-                st.report.retired.push((*gid, tb));
+                st.report.retired.push((*gid, tb, r.retired_stats));
             }
         }
         if any {
@@ -521,7 +523,7 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
             let mut drained_reqs: Vec<Vec<SharedReq>> = vec![Vec::new(); jobs];
             let mut drained_lines: Vec<Vec<u64>> = vec![Vec::new(); jobs];
             let mut at_last: Vec<usize> = Vec::new();
-            let mut retired: Vec<(usize, TbId)> = Vec::new();
+            let mut retired: Vec<(usize, TbId, TbStats)> = Vec::new();
             let mut trail: Vec<(u64, usize, u16)> = Vec::new();
             let mut order: Vec<(usize, usize)> = Vec::new();
             loop {
@@ -652,8 +654,8 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
                     // to and including the retiring one).
                     issued_total += issued_before_last;
                     at_last.sort_unstable();
-                    retired.sort_unstable_by_key(|&(sm, _)| sm);
-                    for &(sm, tb) in &retired {
+                    retired.sort_unstable_by_key(|&(sm, _, _)| sm);
+                    for &(sm, tb, stats) in &retired {
                         let prefix = at_last.partition_point(|&s| s <= sm) as u64;
                         ds.outstanding -= 1;
                         if rec.enabled() {
@@ -670,7 +672,7 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
                                 .unwrap_or(u64::MAX);
                             rec.gauge("sm_resident_blocks", sm_u32, resident);
                         }
-                        hook.on_retire(tb, c_last, issued_total + prefix);
+                        hook.on_retire_stats(tb, c_last, issued_total + prefix, stats);
                     }
                     issued_total += at_last.len() as u64;
 
@@ -742,6 +744,8 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
         l1s.sort_unstable_by_key(|&(gid, _)| gid);
         sms = cores.into_iter().map(|(_, sm)| sm).collect();
 
+        perf.stat_retires += u64::from(ds.simulated);
+        perf.hook_skips += u64::from(ds.skipped);
         perf.absorb_intern(&arena.stats);
         if rec.enabled() {
             rec.counter("trace_intern_hits", perf.intern_hits);
@@ -762,6 +766,8 @@ fn run<R: Recorder + ?Sized, R2: Recorder + Default + Send>(
 
     // Degenerate launch: everything skipped or insta-retired during the
     // initial fill — no cycle loop, same as serial.
+    perf.stat_retires += u64::from(ds.simulated);
+    perf.hook_skips += u64::from(ds.skipped);
     perf.absorb_intern(&arena.stats);
     if rec.enabled() {
         rec.counter("trace_intern_hits", perf.intern_hits);

@@ -8,7 +8,7 @@ use crate::sm::SmCore;
 use crate::units::{UnitCollector, UnitRecord, UnitsConfig};
 use serde::{Deserialize, Serialize};
 use std::borrow::BorrowMut;
-use tbpoint_emu::{InternStats, TraceArena};
+use tbpoint_emu::{InternStats, TbStats, TraceArena};
 use tbpoint_ir::{ExecCtx, Kernel, KernelRun, LaunchSpec, TbId};
 use tbpoint_obs::{EventKind, NullRecorder, Recorder};
 
@@ -64,6 +64,12 @@ pub struct SimPerf {
     pub idle_jumps: u64,
     /// Cycles those jumps skipped.
     pub idle_cycles_skipped: u64,
+    /// Thread-block retirements whose feature counters were streamed to
+    /// the sampling hook (every simulated TB generates exactly one).
+    pub stat_retires: u64,
+    /// Thread blocks the sampling hook skipped at dispatch — the
+    /// fast-forward periods of a sampling run.
+    pub hook_skips: u64,
 }
 
 impl SimPerf {
@@ -84,6 +90,8 @@ impl SimPerf {
         self.traced_warp_insts += other.traced_warp_insts;
         self.idle_jumps += other.idle_jumps;
         self.idle_cycles_skipped += other.idle_cycles_skipped;
+        self.stat_retires += other.stat_retires;
+        self.hook_skips += other.hook_skips;
     }
 }
 
@@ -355,7 +363,10 @@ pub(crate) fn greedy_fill<R: Recorder + ?Sized, S: BorrowMut<SmCore>>(
                             sm: sm_u32,
                         },
                     );
-                    hook.on_retire(rtb, cycle, issued_total);
+                    // A degenerate (all-empty-trace) block issues nothing,
+                    // so its streamed profile is the all-zero one — exactly
+                    // what the profiler would have recorded for it.
+                    hook.on_retire_stats(rtb, cycle, issued_total, TbStats::default());
                 } else {
                     ds.outstanding += 1;
                     if rec.enabled() {
@@ -444,7 +455,7 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
                     let resident = u64::try_from(sm.resident_blocks()).unwrap_or(u64::MAX);
                     rec.gauge("sm_resident_blocks", sm_u32, resident);
                 }
-                hook.on_retire(tb, cycle, issued_total);
+                hook.on_retire_stats(tb, cycle, issued_total, r.retired_stats);
             }
         }
         if any_retired {
@@ -518,6 +529,8 @@ fn simulate_launch_core<R: Recorder + ?Sized>(
         }
     }
 
+    perf.stat_retires += u64::from(ds.simulated);
+    perf.hook_skips += u64::from(ds.skipped);
     perf.absorb_intern(&arena.stats);
     if rec.enabled() {
         // Aggregate interner traffic, once per launch (per-dispatch
@@ -812,6 +825,51 @@ mod tests {
             fast.cycles,
             slow.cycles
         );
+    }
+
+    /// Record every retire-streamed [`TbStats`] for comparison against
+    /// the profiler.
+    #[derive(Debug, Default)]
+    struct StatRecorder {
+        stats: Vec<(u32, TbStats)>,
+    }
+
+    impl SamplingHook for StatRecorder {
+        fn on_dispatch(&mut self, _tb: TbId, _cycle: u64, _issued: u64) -> DispatchDecision {
+            DispatchDecision::Simulate
+        }
+
+        fn on_retire(&mut self, _tb: TbId, _cycle: u64, _issued: u64) {}
+
+        fn on_retire_stats(&mut self, tb: TbId, _cycle: u64, _issued: u64, stats: TbStats) {
+            self.stats.push((tb.0, stats));
+        }
+    }
+
+    #[test]
+    fn retire_streamed_stats_match_the_profiler() {
+        let k = memory_kernel();
+        let spec = launch(30);
+        let cfg = GpuConfig::fermi();
+        let prof = tbpoint_emu::profile_launch(&k, &spec, 1);
+        for jobs in [1usize, 2] {
+            let mut hook = StatRecorder::default();
+            let (r, perf) = simulate_launch_perf(&k, &spec, &cfg, &mut hook, None, jobs);
+            assert_eq!(hook.stats.len(), 30);
+            assert_eq!(perf.stat_retires, 30);
+            assert_eq!(perf.hook_skips, 0);
+            let mut by_tb = hook.stats.clone();
+            by_tb.sort_by_key(|&(tb, _)| tb);
+            for (tb, stats) in by_tb {
+                assert_eq!(
+                    stats,
+                    prof.tbs[tb as usize].features(),
+                    "tb {tb} jobs {jobs}"
+                );
+            }
+            let streamed: u64 = hook.stats.iter().map(|&(_, s)| s.warp_insts).sum();
+            assert_eq!(streamed, r.issued_warp_insts);
+        }
     }
 
     #[test]

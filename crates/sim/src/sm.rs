@@ -6,7 +6,7 @@ use crate::stats::SmStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use tbpoint_emu::{TraceArena, TraceInst};
+use tbpoint_emu::{TbStats, TraceArena, TraceInst};
 use tbpoint_ir::{ExecCtx, Kernel, LatencyClass, Op, TbId};
 use tbpoint_obs::{NullRecorder, Recorder};
 
@@ -38,6 +38,11 @@ struct ResidentBlock {
     /// parallel simulator's window sizing rests on
     /// ([`SmCore::earliest_retire_bound`]).
     remaining: u64,
+    /// Feature counters accumulated at issue time — at retirement they
+    /// equal exactly what the profiler would have recorded for this
+    /// block ([`tbpoint_emu::profile_tb`] counts the same events), which
+    /// is what lets the live sampler run without a profiling pass.
+    stats: TbStats,
 }
 
 /// How the memory backend resolved one coalesced load.
@@ -117,6 +122,10 @@ pub struct IssueResult {
     pub issued_lanes: u32,
     /// A thread block that retired as a result of this issue.
     pub retired: Option<TbId>,
+    /// The retired block's accumulated feature counters (meaningful only
+    /// when `retired` is `Some`; zeroed otherwise). Streamed to the
+    /// sampling hook so live mode needs no separate profiling pass.
+    pub retired_stats: TbStats,
 }
 
 /// One SM core.
@@ -267,6 +276,7 @@ impl SmCore {
             live,
             at_barrier: 0,
             remaining,
+            stats: TbStats::default(),
         });
         None
     }
@@ -414,6 +424,7 @@ impl SmCore {
                 issued_bb: None,
                 issued_lanes: 0,
                 retired: None,
+                retired_stats: TbStats::default(),
             };
         }
         let Some((s, w)) = self.pick_warp(now) else {
@@ -421,6 +432,7 @@ impl SmCore {
                 issued_bb: None,
                 issued_lanes: 0,
                 retired: None,
+                retired_stats: TbStats::default(),
             };
         };
         // pick_warp only returns occupied slots; an empty one issues nothing.
@@ -429,6 +441,7 @@ impl SmCore {
                 issued_bb: None,
                 issued_lanes: 0,
                 retired: None,
+                retired_stats: TbStats::default(),
             };
         };
         let ctx = block.ctx;
@@ -439,6 +452,8 @@ impl SmCore {
         self.issued_warp_insts += 1;
         let lanes = inst.mask.count_ones();
         self.issued_thread_insts += lanes as u64;
+        block.stats.warp_insts += 1;
+        block.stats.thread_insts += lanes as u64;
         self.stats.issued_warp_insts += 1;
         self.stats.issued_thread_insts += lanes as u64;
         self.stats.mix.record(inst.op.latency_class());
@@ -460,6 +475,9 @@ impl SmCore {
                         inst.iter_key,
                         inst.site,
                     );
+                    // Same count the profiler records: coalesced lines,
+                    // loads and stores alike.
+                    block.stats.mem_requests += lines.len() as u64;
                     let is_store = matches!(inst.op, Op::StGlobal(_));
                     if is_store {
                         mem.store(self.id, &lines, now);
@@ -493,6 +511,7 @@ impl SmCore {
 
         // Trace exhausted?
         let mut retired = None;
+        let mut retired_stats = TbStats::default();
         if warp.pc >= warp.trace.len() {
             warp.done = true;
             // A warp cannot end on an unreleased barrier (validated IR),
@@ -504,6 +523,7 @@ impl SmCore {
             block.live -= 1;
             if block.live == 0 {
                 retired = Some(block.tb_id);
+                retired_stats = block.stats;
                 self.stats.blocks_retired += 1;
                 self.slots[s] = None;
                 self.resident -= 1;
@@ -533,6 +553,7 @@ impl SmCore {
             issued_bb: Some(inst.bb),
             issued_lanes: lanes,
             retired,
+            retired_stats,
         }
     }
 

@@ -97,7 +97,7 @@ fn arbitrary_span(g: &mut Gen) -> Span {
 }
 
 fn arbitrary_kind(g: &mut Gen) -> EventKind {
-    match g.u64(0, 13) {
+    match g.u64(0, 16) {
         0 => EventKind::SpanStart {
             span: arbitrary_span(g),
         },
@@ -136,6 +136,17 @@ fn arbitrary_kind(g: &mut Gen) -> EventKind {
         11 => EventKind::FastForwardStarted {
             region: g.u32(0, 1 << 16),
             ipc: g.f64(0.0, 64.0),
+        },
+        12 => EventKind::LiveEpochDetected {
+            epoch: g.u32(0, 1 << 20),
+            cluster: g.u32(0, 1 << 16),
+        },
+        13 => EventKind::LiveFastForward {
+            cluster: g.u32(0, 1 << 16),
+            ipc: g.f64(0.0, 64.0),
+        },
+        14 => EventKind::LiveDestabilised {
+            cluster: g.u32(0, 1 << 16),
         },
         _ => EventKind::BlockSkipped {
             tb: g.u32(0, 1 << 24),
